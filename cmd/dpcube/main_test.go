@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestReadTable(t *testing.T) {
+	in := "a,b\nx,1\ny,2\nx,1\n"
+	tab, dicts, err := readTable(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Count() != 3 || len(dicts) != 2 {
+		t.Fatalf("parsed %d rows, %d dicts", tab.Count(), len(dicts))
+	}
+}
+
+func TestAttrIndex(t *testing.T) {
+	s := repro.MustSchema([]repro.Attribute{
+		{Name: "age", Cardinality: 3},
+		{Name: "sex", Cardinality: 2},
+	})
+	if attrIndex(s, "sex") != 1 {
+		t.Fatal("attrIndex(sex) wrong")
+	}
+	if attrIndex(s, "missing") != -1 {
+		t.Fatal("missing attribute should give -1")
+	}
+}
+
+func TestCellIndexForPacksMaskBits(t *testing.T) {
+	s := repro.MustSchema([]repro.Attribute{
+		{Name: "a", Cardinality: 4}, // bits 0-1
+		{Name: "b", Cardinality: 2}, // bit 2
+		{Name: "c", Cardinality: 4}, // bits 3-4
+	})
+	mt := repro.MarginalTable{Mask: s.MaskOf(0, 2)} // bits 0,1,3,4
+	// Domain index with a=3 (bits 0-1), c=2 (bits 3-4 → value 2 = bit 4).
+	domainIdx := 3 | 2<<3
+	// Packed: a occupies packed bits 0-1, c packed bits 2-3 → 3 | 2<<2 = 11.
+	if got := cellIndexFor(s, mt, domainIdx); got != 11 {
+		t.Fatalf("cellIndexFor = %d, want 11", got)
+	}
+}
+
+func TestForEachCellVisitsAllValidCombinations(t *testing.T) {
+	s := repro.MustSchema([]repro.Attribute{
+		{Name: "a", Cardinality: 3},
+		{Name: "b", Cardinality: 2},
+	})
+	w := repro.AllKWayMarginals(s, 2)
+	tab := &repro.Table{Schema: s, Rows: [][]int{{0, 0}, {1, 1}, {2, 0}}}
+	res, err := repro.Release(tab, w, repro.Options{Epsilon: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	seen := map[string]bool{}
+	forEachCell(s, res.Tables[0], nil, func(labels []string, v float64) {
+		count++
+		key := strings.Join(labels, "|")
+		if seen[key] {
+			t.Fatalf("duplicate cell %q", key)
+		}
+		seen[key] = true
+		if len(labels) != 2 {
+			t.Fatalf("labels = %v", labels)
+		}
+	})
+	if count != 3*2 { // only valid value combinations, not padding cells
+		t.Fatalf("visited %d cells, want 6", count)
+	}
+}
+
+func TestForEachCellUsesDictionaries(t *testing.T) {
+	s := repro.MustSchema([]repro.Attribute{{Name: "color", Cardinality: 2}})
+	w := repro.AllKWayMarginals(s, 1)
+	tab := &repro.Table{Schema: s, Rows: [][]int{{0}, {1}, {1}}}
+	res, err := repro.Release(tab, w, repro.Options{Epsilon: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	forEachCell(s, res.Tables[0], [][]string{{"blue", "red"}}, func(labels []string, v float64) {
+		got = append(got, labels[0])
+	})
+	if len(got) != 2 || got[0] != "color=blue" || got[1] != "color=red" {
+		t.Fatalf("labels = %v", got)
+	}
+}

@@ -1,0 +1,182 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation as CSV on stdout (or into -outdir).
+//
+// Usage:
+//
+//	experiments -fig fig4            # Adult accuracy sweep (Figure 4)
+//	experiments -fig fig5            # NLTCS accuracy sweep (Figure 5)
+//	experiments -fig fig6            # NLTCS running-time sweep (Figure 6)
+//	experiments -fig table1          # error-bound table (Table 1)
+//	experiments -fig intro           # Section 1 worked example
+//	experiments -fig all             # everything
+//
+// Flags -trials, -cluster, -scale and -workloads trade fidelity for time;
+// the defaults finish in minutes on a laptop. EXPERIMENTS.md records a full
+// run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/noise"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "which artefact to regenerate: fig4|fig5|fig6|table1|intro|all")
+		trials    = flag.Int("trials", 3, "trials per (method, ε) point")
+		seed      = flag.Int64("seed", 20130408, "base random seed (ICDE'13 started April 8)")
+		cluster   = flag.Bool("cluster", true, "include the (slow) clustering strategies C and C+")
+		scale     = flag.Int("scale", 0, "override tuple count for the synthetic datasets (0 = paper sizes)")
+		outdir    = flag.String("outdir", "", "write one CSV per artefact into this directory instead of stdout")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (e.g. Q1,Q2*); empty = all six")
+		epsilons  = flag.String("epsilons", "", "comma-separated ε grid; empty = 0.1..1.0")
+		delta     = flag.Float64("delta", 0, "run the accuracy sweeps under (ε,δ)-DP with this δ (0 = pure ε-DP)")
+	)
+	flag.Parse()
+
+	run := func(name string, fn func(io.Writer) error) {
+		var w io.Writer = os.Stdout
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*outdir, name+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		} else {
+			fmt.Printf("## %s\n", name)
+		}
+		if err := fn(w); err != nil {
+			fatal(err)
+		}
+	}
+
+	eps := experiments.DefaultEpsilons()
+	if *epsilons != "" {
+		eps = eps[:0]
+		for _, tok := range strings.Split(*epsilons, ",") {
+			var e float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%g", &e); err != nil {
+				fatal(fmt.Errorf("bad epsilon %q: %w", tok, err))
+			}
+			eps = append(eps, e)
+		}
+	}
+
+	wantWorkload := func(name string) bool {
+		if *workloads == "" {
+			return true
+		}
+		for _, tok := range strings.Split(*workloads, ",") {
+			if strings.TrimSpace(tok) == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	base := noise.Params{Type: noise.PureDP, Neighbor: noise.AddRemove}
+	if *delta > 0 {
+		base.Type, base.Delta = noise.ApproxDP, *delta
+	}
+	accuracy := func(datasetName string, tab *dataset.Table) func(io.Writer) error {
+		return func(out io.Writer) error {
+			x, err := tab.Vector()
+			if err != nil {
+				return err
+			}
+			ws := experiments.SchemaWorkloads(tab.Schema)
+			var all []experiments.Point
+			for _, name := range ws.Names {
+				if !wantWorkload(name) {
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "[%s] workload %s (%d marginals)\n", datasetName, name, len(ws.ByName[name].Marginals))
+				pts, err := experiments.AccuracySweepParams(datasetName, name, ws.ByName[name], x,
+					experiments.Methods(*cluster), base, eps, *trials, *seed)
+				if err != nil {
+					return err
+				}
+				all = append(all, pts...)
+			}
+			return experiments.WritePointsCSV(out, all)
+		}
+	}
+
+	adultTuples, nltcsTuples := dataset.AdultTupleCount, dataset.NLTCSTupleCount
+	if *scale > 0 {
+		adultTuples, nltcsTuples = *scale, *scale
+	}
+
+	figs := strings.Split(*fig, ",")
+	want := func(name string) bool {
+		for _, f := range figs {
+			if f == "all" || f == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("fig4") {
+		run("fig4_adult_accuracy", accuracy("adult", dataset.SyntheticAdult(*seed, adultTuples)))
+	}
+	if want("fig5") {
+		run("fig5_nltcs_accuracy", accuracy("nltcs", dataset.SyntheticNLTCS(*seed, nltcsTuples)))
+	}
+	if want("fig6") {
+		run("fig6_nltcs_time", func(out io.Writer) error {
+			tab := dataset.SyntheticNLTCS(*seed, nltcsTuples)
+			x, err := tab.Vector()
+			if err != nil {
+				return err
+			}
+			ws := experiments.SchemaWorkloads(tab.Schema)
+			times, err := experiments.TimingSweep("nltcs", ws, x, experiments.Methods(*cluster), *seed)
+			if err != nil {
+				return err
+			}
+			return experiments.WriteTimesCSV(out, times)
+		})
+	}
+	if want("table1") {
+		run("table1_bounds", func(out io.Writer) error {
+			p := noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.AddRemove}
+			rows, err := experiments.Table1Rows([]int{8, 10, 12, 14}, []int{1, 2, 3}, p, *trials, *seed)
+			if err != nil {
+				return err
+			}
+			return experiments.WriteBoundsCSV(out, rows)
+		})
+	}
+	if want("intro") {
+		run("intro_worked_example", func(out io.Writer) error {
+			uniform, nonUniform, gls, err := experiments.IntroExample()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "stage,total_variance_times_eps_squared")
+			fmt.Fprintf(out, "uniform,%.4f\n", uniform)
+			fmt.Fprintf(out, "non_uniform_fixed_recovery,%.4f\n", nonUniform)
+			fmt.Fprintf(out, "non_uniform_gls_recovery,%.4f\n", gls)
+			fmt.Fprintf(out, "paper_reference,48 -> 46.17 -> 34.6\n")
+			return nil
+		})
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

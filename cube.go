@@ -1,0 +1,69 @@
+package repro
+
+import (
+	"repro/internal/datacube"
+	"repro/internal/strategy"
+	"repro/internal/synth"
+)
+
+// CubeRelease is a private datacube: noisy, mutually consistent cuboids
+// navigable with the OLAP operations Cuboid, RollUp, Slice and Dice.
+type CubeRelease = datacube.Released
+
+// CubeLattice is the cuboid lattice of a released datacube.
+type CubeLattice = datacube.Lattice
+
+// ReleaseCube privately materialises every cuboid (marginal) of the table
+// with at most maxOrder attributes. The released cuboids are mutually
+// consistent: rolling a child cuboid up always reproduces its released
+// ancestor exactly, so the cube behaves like a real OLAP cube downstream.
+func ReleaseCube(t *Table, maxOrder int, o Options) (*CubeRelease, error) {
+	var strat strategy.Strategy
+	switch o.Strategy {
+	case StrategyWorkload:
+		strat = strategy.Workload{}
+	case StrategyIdentity:
+		strat = strategy.Identity{}
+	case StrategyCluster:
+		strat = strategy.Cluster{}
+	default:
+		strat = strategy.Fourier{}
+	}
+	return datacube.Release(t, maxOrder, datacube.Options{
+		Epsilon:       o.Epsilon,
+		Delta:         o.Delta,
+		UniformBudget: o.UniformBudget,
+		Seed:          o.Seed,
+		Strategy:      strat,
+	})
+}
+
+// SyntheticData converts a consistent release into row-level synthetic
+// microdata: the release's Fourier coefficients are materialised as an
+// estimated contingency vector, clamped and rounded to non-negative integer
+// counts (the post-processing of the paper's concluding remarks), and
+// sampled back into tuples under the schema. Post-processing adds no
+// privacy cost.
+//
+// The release must have been produced with consistency enabled (the
+// default); SkipConsistency releases carry no coefficients to materialise.
+func SyntheticData(s *Schema, w *Workload, res *Result, seed int64) (*Table, error) {
+	rel, err := ReleaseVectorCoefficients(s, w, res)
+	if err != nil {
+		return nil, err
+	}
+	counts := synth.RoundToCounts(rel)
+	tab, _ := synth.SampleTuples(s, counts, seed)
+	return tab, nil
+}
+
+// ReleaseVectorCoefficients reconstructs the estimated contingency vector
+// from a released workload by re-running the (deterministic) consistency
+// projection on the released answers and inverting the Fourier transform.
+func ReleaseVectorCoefficients(s *Schema, w *Workload, res *Result) ([]float64, error) {
+	coeffRes, err := consistencyOf(w, res)
+	if err != nil {
+		return nil, err
+	}
+	return synth.MaterializeVector(s.Dim(), coeffRes)
+}

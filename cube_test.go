@@ -1,0 +1,119 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func retailTable() *Table {
+	s := MustSchema([]Attribute{
+		{Name: "region", Cardinality: 3},
+		{Name: "product", Cardinality: 4},
+		{Name: "channel", Cardinality: 2},
+	})
+	rows := make([][]int, 0, 900)
+	for i := 0; i < 900; i++ {
+		rows = append(rows, []int{i % 3, (i / 3) % 4, (i / 12) % 2})
+	}
+	return &Table{Schema: s, Rows: rows}
+}
+
+func TestReleaseCubeConsistent(t *testing.T) {
+	tab := retailTable()
+	cube, err := ReleaseCube(tab, 2, Options{Epsilon: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cube.Lattice.Cuboids) != 1+3+3 {
+		t.Fatalf("%d cuboids, want 7", len(cube.Lattice.Cuboids))
+	}
+	if e := cube.ConsistencyError(); e > 1e-6 {
+		t.Fatalf("consistency error %v", e)
+	}
+	if math.Abs(cube.Total()-900) > 100 {
+		t.Fatalf("total %v far from 900", cube.Total())
+	}
+}
+
+func TestReleaseCubeStrategies(t *testing.T) {
+	tab := retailTable()
+	for _, k := range []StrategyKind{StrategyFourier, StrategyWorkload, StrategyCluster, StrategyIdentity} {
+		cube, err := ReleaseCube(tab, 1, Options{Epsilon: 1, Seed: 3, Strategy: k})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if e := cube.ConsistencyError(); e > 1e-6 {
+			t.Fatalf("%v: consistency error %v", k, e)
+		}
+	}
+}
+
+func TestSyntheticDataEndToEnd(t *testing.T) {
+	tab := retailTable()
+	w := AllKWayMarginals(tab.Schema, 2)
+	res, err := Release(tab, w, Options{Epsilon: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := SyntheticData(tab.Schema, w, res, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.Count() == 0 {
+		t.Fatal("empty synthetic table")
+	}
+	if math.Abs(float64(syn.Count())-900) > 150 {
+		t.Fatalf("synthetic row count %d far from 900", syn.Count())
+	}
+	// Synthetic rows must be valid tuples.
+	for _, row := range syn.Rows {
+		for j, v := range row {
+			if v < 0 || v >= tab.Schema.Attrs[j].Cardinality {
+				t.Fatalf("invalid synthetic value %d for attribute %d", v, j)
+			}
+		}
+	}
+	// Its 1-way marginals track the release within the rounding budget.
+	truth, err := Release(tab, w, Options{Epsilon: 1e12, SkipConsistency: true, Strategy: StrategyWorkload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synRes, err := Release(syn, w, Options{Epsilon: 1e12, SkipConsistency: true, Strategy: StrategyWorkload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := 0.0
+	for i := range truth.Answers {
+		drift += math.Abs(synRes.Answers[i] - res.Answers[i])
+	}
+	noise := 0.0
+	for i := range truth.Answers {
+		noise += math.Abs(res.Answers[i] - truth.Answers[i])
+	}
+	if drift > 3*noise+float64(len(truth.Answers)) {
+		t.Fatalf("synthetic drift %v too large vs mechanism noise %v", drift, noise)
+	}
+}
+
+func TestReleaseVectorCoefficients(t *testing.T) {
+	tab := retailTable()
+	w := AllKWayMarginals(tab.Schema, 1)
+	res, err := Release(tab, w, Options{Epsilon: 5, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xhat, err := ReleaseVectorCoefficients(tab.Schema, w, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xhat) != tab.Schema.DomainSize() {
+		t.Fatalf("vector length %d, want %d", len(xhat), tab.Schema.DomainSize())
+	}
+	total := 0.0
+	for _, v := range xhat {
+		total += v
+	}
+	if math.Abs(total-900) > 50 {
+		t.Fatalf("materialised total %v far from 900", total)
+	}
+}

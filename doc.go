@@ -1,0 +1,32 @@
+// Package repro is a from-scratch Go implementation of "Accurate and
+// Efficient Private Release of Datacubes and Contingency Tables" (Cormode,
+// Procopiuc, Srivastava, Yaroslavtsev; ICDE 2013): differentially private
+// release of marginals, datacubes and contingency tables through the
+// strategy / optimal-noise-budgeting / recovery framework, with Fourier
+// consistency.
+//
+// # Quick start
+//
+//	schema := repro.MustSchema([]repro.Attribute{
+//		{Name: "age-band", Cardinality: 8},
+//		{Name: "smoker", Cardinality: 2},
+//	})
+//	table := &repro.Table{Schema: schema, Rows: rows}
+//	workload := repro.AllKWayMarginals(schema, 1)
+//	release, err := repro.Release(table, workload, repro.Options{
+//		Epsilon:  0.5,
+//		Strategy: repro.StrategyFourier,
+//	})
+//
+// The release holds one noisy table per requested marginal, consistent with
+// a common (unknown) dataset, under ε-differential privacy.
+//
+// The internal packages follow the paper's structure: internal/strategy
+// (Step 1), internal/budget (Step 2, Section 3.1), internal/recovery and
+// internal/consistency (Step 3, Sections 3.2–3.3 and 4.3), internal/core
+// (the assembled mechanism), with internal/linalg, internal/lp,
+// internal/transform, internal/noise, internal/bits and internal/dataset as
+// self-contained substrates. See DESIGN.md for the full inventory and
+// EXPERIMENTS.md for the reproduction of every table and figure in the
+// paper's evaluation.
+package repro

@@ -1,0 +1,108 @@
+// Census: the paper's motivating scenario — release low-order marginals of
+// a census-like table (the Adult schema of Section 5) and compare the
+// strategies and budgeting rules at several privacy levels.
+//
+// Run with -full to use the paper-scale 23-bit Adult domain (needs ~1 GB
+// and a couple of minutes); the default uses a reduced schema that shows
+// the same orderings in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use the full 23-bit Adult schema")
+	trials := flag.Int("trials", 3, "trials per configuration")
+	flag.Parse()
+
+	var table *repro.Table
+	if *full {
+		table = repro.SyntheticAdult(1, 32561)
+	} else {
+		// Reduced census: same flavour, 12-bit domain.
+		schema := repro.MustSchema([]repro.Attribute{
+			{Name: "workclass", Cardinality: 5},      // 3 bits
+			{Name: "education", Cardinality: 8},      // 3 bits
+			{Name: "marital-status", Cardinality: 4}, // 2 bits
+			{Name: "race", Cardinality: 5},           // 3 bits
+			{Name: "sex", Cardinality: 2},            // 1 bit
+		})
+		rows := make([][]int, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			rows = append(rows, []int{
+				i % 5, (i * 7 % 13) % 8, (i / 5) % 4, (i * 3 % 11) % 5, i % 2,
+			})
+		}
+		table = &repro.Table{Schema: schema, Rows: rows}
+	}
+
+	workload := repro.AllKWayMarginals(table.Schema, 2)
+	truth := exactAnswers(table, workload)
+
+	fmt.Printf("census release: %d two-way marginals over %d-bit domain, %d tuples\n\n",
+		len(workload.Marginals), table.Schema.Dim(), table.Count())
+	fmt.Printf("%-10s %-9s %8s %8s %8s\n", "strategy", "budgets", "ε=0.25", "ε=0.5", "ε=1.0")
+
+	type cfg struct {
+		label   string
+		kind    repro.StrategyKind
+		uniform bool
+	}
+	for _, c := range []cfg{
+		{"identity", repro.StrategyIdentity, true},
+		{"workload", repro.StrategyWorkload, true},
+		{"workload", repro.StrategyWorkload, false},
+		{"fourier", repro.StrategyFourier, true},
+		{"fourier", repro.StrategyFourier, false},
+	} {
+		b := "optimal"
+		if c.uniform {
+			b = "uniform"
+		}
+		fmt.Printf("%-10s %-9s", c.label, b)
+		for _, eps := range []float64{0.25, 0.5, 1.0} {
+			total := 0.0
+			for tr := 0; tr < *trials; tr++ {
+				res, err := repro.Release(table, workload, repro.Options{
+					Epsilon:       eps,
+					Strategy:      c.kind,
+					UniformBudget: c.uniform,
+					Seed:          int64(100*tr) + 7,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				total += relativeError(truth, res.Answers)
+			}
+			fmt.Printf(" %8.4f", total/float64(*trials))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(relative error: mean |noisy−true| per cell / mean true cell; lower is better)")
+	fmt.Println("Expected shape per the paper: optimal budgets beat uniform for the same")
+	fmt.Println("strategy, and the identity strategy is never competitive at this order.")
+}
+
+func exactAnswers(t *repro.Table, w *repro.Workload) []float64 {
+	// Exact answers via a non-private release at enormous ε.
+	res, err := repro.Release(t, w, repro.Options{Epsilon: 1e12, SkipConsistency: true, Strategy: repro.StrategyWorkload})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Answers
+}
+
+func relativeError(truth, noisy []float64) float64 {
+	num, den := 0.0, 0.0
+	for i := range truth {
+		num += math.Abs(noisy[i] - truth[i])
+		den += math.Abs(truth[i])
+	}
+	return num / den
+}

@@ -1,0 +1,75 @@
+// Quickstart: release all 1-way and one 2-way marginal of a small survey
+// table under ε-differential privacy, using the library defaults (Fourier
+// strategy, optimal non-uniform budgets, Fourier consistency).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	// A toy survey: 3 categorical attributes.
+	schema := repro.MustSchema([]repro.Attribute{
+		{Name: "age-band", Cardinality: 4}, // 0:18-30 1:31-45 2:46-60 3:61+
+		{Name: "smoker", Cardinality: 2},
+		{Name: "exercise", Cardinality: 3}, // 0:rare 1:weekly 2:daily
+	})
+	rows := make([][]int, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		age := i % 4
+		smoker := 0
+		if i%5 == 0 {
+			smoker = 1
+		}
+		exercise := (i / 4) % 3
+		if age == 3 {
+			exercise = 0 // older cohort exercises less in this toy data
+		}
+		rows = append(rows, []int{age, smoker, exercise})
+	}
+	table := &repro.Table{Schema: schema, Rows: rows}
+
+	// Workload: every 1-way marginal plus (age-band, exercise).
+	workload, err := repro.MarginalsOver(schema, [][]int{
+		{0}, {1}, {2}, {0, 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	release, err := repro.Release(table, workload, repro.Options{
+		Epsilon: 0.8,
+		Seed:    42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("released %d marginals with total noise variance %.1f\n\n",
+		len(release.Tables), release.TotalVariance)
+	for _, mt := range release.Tables {
+		names := make([]string, len(mt.Attrs))
+		for i, a := range mt.Attrs {
+			names[i] = schema.Attrs[a].Name
+		}
+		fmt.Printf("marginal over %v (per-cell σ≈%.1f):\n", names, math.Sqrt(mt.Variance))
+		for c, v := range mt.Cells {
+			fmt.Printf("  cell %02b: %8.1f\n", c, v)
+		}
+		fmt.Println()
+	}
+
+	// The released tables are mutually consistent: the noisy total count is
+	// identical across all marginals.
+	for _, mt := range release.Tables {
+		total := 0.0
+		for _, v := range mt.Cells {
+			total += v
+		}
+		fmt.Printf("total from marginal %v: %.4f\n", mt.Attrs, total)
+	}
+}

@@ -1,0 +1,67 @@
+// Rangequeries: the framework beyond marginals — answer 1-D range queries
+// over an ordered domain (e.g. a salary histogram) through the hierarchical
+// strategy of Hay et al. and the Haar wavelet strategy of Xiao et al., both
+// with the paper's optimal non-uniform level budgets, against the flat
+// Laplace baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro/internal/noise"
+	"repro/internal/rangequery"
+)
+
+func main() {
+	const n = 4096 // salary buckets
+	rng := rand.New(rand.NewSource(3))
+	hist := make([]float64, n)
+	for i := range hist {
+		// Log-normal-ish salary histogram.
+		mode := 700.0
+		hist[i] = 2000 * math.Exp(-math.Pow(math.Log(float64(i+1)/mode), 2)) * (0.8 + 0.4*rng.Float64())
+	}
+
+	// Workload: 200 random analyst ranges plus some long prefixes.
+	var ivs []rangequery.Interval
+	for i := 0; i < 200; i++ {
+		lo := rng.Intn(n)
+		hi := lo + 1 + rng.Intn(n-lo)
+		ivs = append(ivs, rangequery.Interval{Lo: lo, Hi: hi})
+	}
+	for i := 0; i < 50; i++ {
+		ivs = append(ivs, rangequery.Interval{Lo: 0, Hi: n - i*8})
+	}
+	w, err := rangequery.NewWorkload(n, ivs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := w.Eval(hist)
+	p := noise.Params{Type: noise.PureDP, Epsilon: 0.5, Neighbor: noise.AddRemove}
+
+	fmt.Printf("%d range queries over a %d-bucket histogram at ε=%.1f\n\n", len(ivs), n, p.Epsilon)
+	fmt.Printf("%-12s %-9s %14s %14s\n", "strategy", "budgets", "mean |error|", "total variance")
+	for _, m := range []rangequery.Method{rangequery.Flat, rangequery.Hierarchy, rangequery.Wavelet} {
+		for _, budgets := range []string{"uniform", "optimal"} {
+			if m == rangequery.Flat && budgets == "optimal" {
+				continue // single group: optimal = uniform
+			}
+			rel, err := rangequery.Run(w, hist, m, budgets, p, 11)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mae := 0.0
+			for i := range truth {
+				mae += math.Abs(rel.Answers[i] - truth[i])
+			}
+			mae /= float64(len(truth))
+			fmt.Printf("%-12v %-9s %14.1f %14.3g\n", m, budgets, mae, rel.TotalVariance)
+		}
+	}
+	fmt.Println("\nExpected shape: hierarchy and wavelet beat flat on long ranges, and")
+	fmt.Println("optimal per-level budgets improve each of them (Section 3.1 applied")
+	fmt.Println("to the [14]/[23] strategies — the generalisation the paper claims).")
+}

@@ -1,0 +1,78 @@
+// Syntheticdata: turn a private marginal release into row-level synthetic
+// microdata (non-negative, integral — the concluding-remarks extension) and
+// check how well the synthetic rows preserve the released statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	// A clinical-style table: condition severity correlates with age band.
+	schema := repro.MustSchema([]repro.Attribute{
+		{Name: "age-band", Cardinality: 4},
+		{Name: "severity", Cardinality: 3},
+		{Name: "insured", Cardinality: 2},
+	})
+	rows := make([][]int, 0, 8000)
+	for i := 0; i < 8000; i++ {
+		age := (i * 3 % 7) % 4
+		sev := 0
+		if age >= 2 && i%3 == 0 {
+			sev = 1
+		}
+		if age == 3 && i%5 == 0 {
+			sev = 2
+		}
+		insured := (i + age) % 2
+		rows = append(rows, []int{age, sev, insured})
+	}
+	table := &repro.Table{Schema: schema, Rows: rows}
+
+	workload := repro.AllKWayMarginals(schema, 2)
+	release, err := repro.Release(table, workload, repro.Options{Epsilon: 0.7, Seed: 23})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	synthetic, err := repro.SyntheticData(schema, workload, release, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("true table: %d rows; synthetic table: %d rows\n\n", table.Count(), synthetic.Count())
+
+	// Fidelity: compare each released marginal against the synthetic data's
+	// marginal of the same attributes.
+	exact := func(t *repro.Table) []float64 {
+		res, err := repro.Release(t, workload, repro.Options{Epsilon: 1e12, SkipConsistency: true, Strategy: repro.StrategyWorkload})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Answers
+	}
+	truth := exact(table)
+	synthAnswers := exact(synthetic)
+
+	fmt.Printf("%-24s %14s %14s\n", "comparison", "L1 distance", "per released cell")
+	relVsTruth := l1(release.Answers, truth)
+	synthVsRelease := l1(synthAnswers, release.Answers)
+	synthVsTruth := l1(synthAnswers, truth)
+	n := float64(len(truth))
+	fmt.Printf("%-24s %14.1f %14.2f\n", "release vs truth", relVsTruth, relVsTruth/n)
+	fmt.Printf("%-24s %14.1f %14.2f\n", "synthetic vs release", synthVsRelease, synthVsRelease/n)
+	fmt.Printf("%-24s %14.1f %14.2f\n", "synthetic vs truth", synthVsTruth, synthVsTruth/n)
+	fmt.Println("\nThe synthetic rows cost no extra privacy (post-processing) and stay")
+	fmt.Println("within rounding distance of the released marginals.")
+}
+
+func l1(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}

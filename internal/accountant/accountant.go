@@ -1,0 +1,156 @@
+// Package accountant tracks the cumulative privacy cost of a sequence of
+// releases over the same dataset. The paper's mechanisms consume their whole
+// budget in one shot; a data owner running several of them (different
+// workloads, re-releases after corrections) composes their guarantees:
+//
+//   - sequential composition: releasing A at (ε₁,δ₁) and B at (ε₂,δ₂) over
+//     the same data is (ε₁+ε₂, δ₁+δ₂)-DP;
+//   - parallel composition: releases over disjoint subsets of the
+//     population cost only the maximum of their budgets.
+//
+// The accountant is a ledger with a hard cap: Charge refuses any release
+// that would push the total past the cap, which turns accidental budget
+// overruns into errors instead of silent privacy loss.
+package accountant
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrBudgetExceeded is returned when a charge would pass the cap.
+var ErrBudgetExceeded = errors.New("accountant: privacy budget exceeded")
+
+// Charge records one release's cost.
+type Charge struct {
+	Label   string
+	Epsilon float64
+	Delta   float64
+	// Partition names the disjoint population slice the release touched;
+	// charges with the same non-empty Partition compose sequentially with
+	// each other but in parallel across partitions. An empty Partition
+	// means the whole population.
+	Partition string
+}
+
+// Accountant is a concurrency-safe privacy ledger. The zero value is not
+// usable; construct with New.
+type Accountant struct {
+	mu      sync.Mutex
+	epsCap  float64
+	delCap  float64
+	charges []Charge
+}
+
+// New builds an accountant with the given total (ε, δ) cap. A zero δ cap
+// permits only pure-DP releases.
+func New(epsilonCap, deltaCap float64) (*Accountant, error) {
+	if epsilonCap <= 0 {
+		return nil, fmt.Errorf("accountant: epsilon cap must be positive, got %v", epsilonCap)
+	}
+	if deltaCap < 0 || deltaCap >= 1 {
+		return nil, fmt.Errorf("accountant: delta cap must be in [0,1), got %v", deltaCap)
+	}
+	return &Accountant{epsCap: epsilonCap, delCap: deltaCap}, nil
+}
+
+// Spent returns the current composed cost: within each partition charges
+// add up (sequential composition); across partitions the maximum applies
+// (parallel composition); whole-population charges add to every partition.
+func (a *Accountant) Spent() (epsilon, delta float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spentLocked()
+}
+
+func (a *Accountant) spentLocked() (float64, float64) {
+	var globalEps, globalDel float64
+	perPartEps := map[string]float64{}
+	perPartDel := map[string]float64{}
+	for _, c := range a.charges {
+		if c.Partition == "" {
+			globalEps += c.Epsilon
+			globalDel += c.Delta
+			continue
+		}
+		perPartEps[c.Partition] += c.Epsilon
+		perPartDel[c.Partition] += c.Delta
+	}
+	maxEps, maxDel := 0.0, 0.0
+	for p, e := range perPartEps {
+		if e > maxEps {
+			maxEps = e
+		}
+		if d := perPartDel[p]; d > maxDel {
+			maxDel = d
+		}
+	}
+	return globalEps + maxEps, globalDel + maxDel
+}
+
+// Remaining returns the unspent budget.
+func (a *Accountant) Remaining() (epsilon, delta float64) {
+	e, d := a.Spent()
+	return a.epsCap - e, a.delCap - d
+}
+
+// Charge records a release if it fits under the cap; otherwise it returns
+// ErrBudgetExceeded and records nothing.
+func (a *Accountant) Charge(c Charge) error {
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("accountant: charge epsilon must be positive, got %v", c.Epsilon)
+	}
+	if c.Delta < 0 || c.Delta >= 1 {
+		return fmt.Errorf("accountant: charge delta must be in [0,1), got %v", c.Delta)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.charges = append(a.charges, c)
+	eps, del := a.spentLocked()
+	if eps > a.epsCap+1e-12 || del > a.delCap+1e-15 {
+		a.charges = a.charges[:len(a.charges)-1]
+		return fmt.Errorf("%w: charge %q needs (ε=%v, δ=%v) beyond cap (%v, %v); spent (%v, %v)",
+			ErrBudgetExceeded, c.Label, c.Epsilon, c.Delta, a.epsCap, a.delCap, eps-c.Epsilon, del-c.Delta)
+	}
+	return nil
+}
+
+// History returns a copy of the ledger in charge order.
+func (a *Accountant) History() []Charge {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Charge, len(a.charges))
+	copy(out, a.charges)
+	return out
+}
+
+// Summary renders a human-readable ledger breakdown.
+func (a *Accountant) Summary() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	eps, del := a.spentLocked()
+	s := fmt.Sprintf("privacy spent: ε=%.4g/%.4g, δ=%.3g/%.3g over %d releases\n",
+		eps, a.epsCap, del, a.delCap, len(a.charges))
+	byPart := map[string][]Charge{}
+	for _, c := range a.charges {
+		byPart[c.Partition] = append(byPart[c.Partition], c)
+	}
+	parts := make([]string, 0, len(byPart))
+	for p := range byPart {
+		parts = append(parts, p)
+	}
+	sort.Strings(parts)
+	for _, p := range parts {
+		name := p
+		if name == "" {
+			name = "(whole population)"
+		}
+		s += fmt.Sprintf("  partition %s:\n", name)
+		for _, c := range byPart[p] {
+			s += fmt.Sprintf("    %-24s ε=%.4g δ=%.3g\n", c.Label, c.Epsilon, c.Delta)
+		}
+	}
+	return s
+}

@@ -1,0 +1,222 @@
+// Package bits provides bit-vector algebra over the Boolean hypercube
+// {0,1}^d used throughout the marginal-release framework.
+//
+// A Mask identifies either a marginal (the set of attributes it aggregates
+// over, written α in the paper) or a cell inside a marginal (a setting β of
+// the attributes in α, with β ⪯ α). The package supplies the dominance
+// order, subset/superset enumeration, and the combinatorial counting
+// functions the error bounds of the paper are expressed in.
+package bits
+
+import (
+	"fmt"
+	mathbits "math/bits"
+	"sort"
+)
+
+// MaxDim is the largest supported number of binary attributes. The full
+// contingency vector has 2^d entries, so dimensions beyond 30 do not fit in
+// memory anyway; the limit keeps Mask arithmetic safely inside uint32.
+const MaxDim = 30
+
+// Mask is a subset of the d binary attributes, attribute j at bit j (LSB).
+type Mask uint32
+
+// CheckDim validates a dimension parameter.
+func CheckDim(d int) error {
+	if d < 0 || d > MaxDim {
+		return fmt.Errorf("bits: dimension %d out of range [0,%d]", d, MaxDim)
+	}
+	return nil
+}
+
+// Full returns the mask with the low d bits set (all attributes).
+func Full(d int) Mask {
+	if d <= 0 {
+		return 0
+	}
+	return Mask(1)<<uint(d) - 1
+}
+
+// Count returns ‖m‖, the number of set bits.
+func (m Mask) Count() int { return mathbits.OnesCount32(uint32(m)) }
+
+// Dominates reports β ⪯ m, i.e. every bit of β is also set in m.
+func (m Mask) Dominates(beta Mask) bool { return beta&^m == 0 }
+
+// Inner returns ⟨m, b⟩ mod 2 = parity of ‖m ∧ b‖, the exponent in the
+// Fourier basis entry f^m_b = 2^{-d/2}(−1)^{⟨m,b⟩}.
+func (m Mask) Inner(b Mask) int { return mathbits.OnesCount32(uint32(m&b)) & 1 }
+
+// Sign returns (−1)^{⟨m,b⟩} as a float64.
+func (m Mask) Sign(b Mask) float64 {
+	if m.Inner(b) == 1 {
+		return -1
+	}
+	return 1
+}
+
+// Bits returns the indices of the set bits in ascending order.
+func (m Mask) Bits() []int {
+	out := make([]int, 0, m.Count())
+	for v := uint32(m); v != 0; v &= v - 1 {
+		out = append(out, mathbits.TrailingZeros32(v))
+	}
+	return out
+}
+
+// String renders the mask as a d-agnostic bit list, e.g. {0,3,5}.
+func (m Mask) String() string {
+	return fmt.Sprintf("{%v}", m.Bits())
+}
+
+// Subsets returns every β ⪯ m in increasing numeric order, including 0 and
+// m itself (2^‖m‖ masks).
+func (m Mask) Subsets() []Mask {
+	out := make([]Mask, 0, 1<<uint(m.Count()))
+	// Standard subset-enumeration trick: iterate s = (s-1)&m downwards, then
+	// reverse. Enumerating upwards directly:
+	s := Mask(0)
+	for {
+		out = append(out, s)
+		if s == m {
+			break
+		}
+		s = (s - m) & m // next subset in increasing order: (s - m) & m == (s + ~m + 1) & m
+	}
+	return out
+}
+
+// VisitSubsets calls fn for every β ⪯ m in increasing numeric order.
+// It allocates nothing.
+func (m Mask) VisitSubsets(fn func(Mask)) {
+	s := Mask(0)
+	for {
+		fn(s)
+		if s == m {
+			return
+		}
+		s = (s - m) & m
+	}
+}
+
+// Supersets returns every γ with m ⪯ γ ⪯ Full(d) in increasing order.
+func (m Mask) Supersets(d int) []Mask {
+	free := Full(d) &^ m
+	out := make([]Mask, 0, 1<<uint(free.Count()))
+	free.VisitSubsets(func(s Mask) { out = append(out, m|s) })
+	return out
+}
+
+// CellIndex maps a cell mask β ⪯ α to its dense index in the 2^‖α‖-long
+// marginal table, by packing the bits of β at the positions of α.
+func CellIndex(alpha, beta Mask) int {
+	idx := 0
+	pos := 0
+	for v := uint32(alpha); v != 0; v &= v - 1 {
+		bit := Mask(v & -v)
+		if beta&bit != 0 {
+			idx |= 1 << uint(pos)
+		}
+		pos++
+	}
+	return idx
+}
+
+// CellMask is the inverse of CellIndex: it spreads the low ‖α‖ bits of idx
+// onto the set bit positions of α.
+func CellMask(alpha Mask, idx int) Mask {
+	var beta Mask
+	pos := 0
+	for v := uint32(alpha); v != 0; v &= v - 1 {
+		bit := Mask(v & -v)
+		if idx&(1<<uint(pos)) != 0 {
+			beta |= bit
+		}
+		pos++
+	}
+	return beta
+}
+
+// Binomial returns C(n, k) as a float64 (exact for the small n used here;
+// float64 keeps the Table-1 bound formulas simple). Returns 0 for k < 0 or
+// k > n.
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// BinomialInt returns C(n, k) as an int64, or an error on overflow.
+func BinomialInt(n, k int) (int64, error) {
+	if k < 0 || k > n {
+		return 0, nil
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var r int64 = 1
+	for i := 0; i < k; i++ {
+		next := r * int64(n-i)
+		if next/int64(n-i) != r {
+			return 0, fmt.Errorf("bits: C(%d,%d) overflows int64", n, k)
+		}
+		r = next / int64(i+1)
+	}
+	return r, nil
+}
+
+// MasksOfWeight returns all masks over d attributes with exactly k bits set,
+// in increasing numeric order.
+func MasksOfWeight(d, k int) []Mask {
+	if k < 0 || k > d {
+		return nil
+	}
+	n, _ := BinomialInt(d, k)
+	out := make([]Mask, 0, n)
+	if k == 0 {
+		return append(out, 0)
+	}
+	// Gosper's hack: iterate k-subsets in increasing order.
+	v := Mask(1)<<uint(k) - 1
+	limit := Full(d)
+	for v <= limit {
+		out = append(out, v)
+		// next k-combination
+		u := v & -v
+		w := v + u
+		v = w | ((v ^ w) / u >> 2)
+		if u == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// UnionClosure returns the downward closure ∪_i {β : β ⪯ α_i} of a set of
+// marginal masks — the Fourier coefficient index set F of Section 4.2 —
+// in increasing numeric order.
+func UnionClosure(alphas []Mask) []Mask {
+	seen := make(map[Mask]struct{})
+	for _, a := range alphas {
+		a.VisitSubsets(func(b Mask) { seen[b] = struct{}{} })
+	}
+	out := make([]Mask, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sortMasks(out)
+	return out
+}
+
+func sortMasks(ms []Mask) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+}

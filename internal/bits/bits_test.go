@@ -1,0 +1,326 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFull(t *testing.T) {
+	cases := []struct {
+		d    int
+		want Mask
+	}{
+		{0, 0}, {1, 1}, {2, 3}, {3, 7}, {8, 255}, {16, 0xffff}, {30, 0x3fffffff},
+	}
+	for _, c := range cases {
+		if got := Full(c.d); got != c.want {
+			t.Errorf("Full(%d) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestCheckDim(t *testing.T) {
+	if err := CheckDim(16); err != nil {
+		t.Errorf("CheckDim(16) = %v, want nil", err)
+	}
+	if err := CheckDim(-1); err == nil {
+		t.Error("CheckDim(-1) should fail")
+	}
+	if err := CheckDim(31); err == nil {
+		t.Error("CheckDim(31) should fail")
+	}
+	if err := CheckDim(MaxDim); err != nil {
+		t.Errorf("CheckDim(MaxDim) = %v, want nil", err)
+	}
+}
+
+func TestCount(t *testing.T) {
+	if got := Mask(0b1011).Count(); got != 3 {
+		t.Errorf("Count(1011) = %d, want 3", got)
+	}
+	if got := Mask(0).Count(); got != 0 {
+		t.Errorf("Count(0) = %d, want 0", got)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	alpha := Mask(0b110)
+	for beta, want := range map[Mask]bool{
+		0b000: true, 0b010: true, 0b100: true, 0b110: true,
+		0b001: false, 0b011: false, 0b111: false,
+	} {
+		if got := alpha.Dominates(beta); got != want {
+			t.Errorf("%v.Dominates(%v) = %v, want %v", alpha, beta, got, want)
+		}
+	}
+}
+
+func TestInnerAndSign(t *testing.T) {
+	// ⟨101, 100⟩ = 1, ⟨101, 101⟩ = 0 (two shared bits), ⟨101, 010⟩ = 0.
+	if got := Mask(0b101).Inner(0b100); got != 1 {
+		t.Errorf("Inner = %d, want 1", got)
+	}
+	if got := Mask(0b101).Inner(0b101); got != 0 {
+		t.Errorf("Inner = %d, want 0", got)
+	}
+	if got := Mask(0b101).Sign(0b100); got != -1 {
+		t.Errorf("Sign = %v, want -1", got)
+	}
+	if got := Mask(0b101).Sign(0b010); got != 1 {
+		t.Errorf("Sign = %v, want 1", got)
+	}
+}
+
+func TestBits(t *testing.T) {
+	got := Mask(0b101001).Bits()
+	want := []int{0, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Bits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Bits = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSubsetsIncreasingAndComplete(t *testing.T) {
+	m := Mask(0b10110)
+	subs := m.Subsets()
+	if len(subs) != 8 {
+		t.Fatalf("len(Subsets) = %d, want 8", len(subs))
+	}
+	for i, s := range subs {
+		if !m.Dominates(s) {
+			t.Errorf("subset %v not dominated by %v", s, m)
+		}
+		if i > 0 && subs[i-1] >= s {
+			t.Errorf("subsets not strictly increasing at %d: %v >= %v", i, subs[i-1], s)
+		}
+	}
+	if subs[0] != 0 || subs[len(subs)-1] != m {
+		t.Errorf("subsets must start at 0 and end at m: %v", subs)
+	}
+}
+
+func TestVisitSubsetsMatchesSubsets(t *testing.T) {
+	m := Mask(0b1101)
+	var visited []Mask
+	m.VisitSubsets(func(s Mask) { visited = append(visited, s) })
+	subs := m.Subsets()
+	if len(visited) != len(subs) {
+		t.Fatalf("VisitSubsets count %d != Subsets count %d", len(visited), len(subs))
+	}
+	for i := range subs {
+		if visited[i] != subs[i] {
+			t.Fatalf("mismatch at %d: %v vs %v", i, visited[i], subs[i])
+		}
+	}
+}
+
+func TestSubsetsOfEmpty(t *testing.T) {
+	subs := Mask(0).Subsets()
+	if len(subs) != 1 || subs[0] != 0 {
+		t.Errorf("Subsets(0) = %v, want [0]", subs)
+	}
+}
+
+func TestSupersets(t *testing.T) {
+	d := 4
+	m := Mask(0b0101)
+	sups := m.Supersets(d)
+	if len(sups) != 4 { // free bits: 1,3 → 2^2
+		t.Fatalf("len(Supersets) = %d, want 4", len(sups))
+	}
+	for _, s := range sups {
+		if !s.Dominates(m) {
+			t.Errorf("superset %v does not dominate %v", s, m)
+		}
+		if !Full(d).Dominates(s) {
+			t.Errorf("superset %v outside dimension", s)
+		}
+	}
+}
+
+func TestCellIndexRoundTrip(t *testing.T) {
+	alpha := Mask(0b101100)
+	k := alpha.Count()
+	seen := make(map[int]bool)
+	alpha.VisitSubsets(func(beta Mask) {
+		idx := CellIndex(alpha, beta)
+		if idx < 0 || idx >= 1<<uint(k) {
+			t.Fatalf("CellIndex(%v,%v) = %d out of range", alpha, beta, idx)
+		}
+		if seen[idx] {
+			t.Fatalf("CellIndex collision at %d", idx)
+		}
+		seen[idx] = true
+		if back := CellMask(alpha, idx); back != beta {
+			t.Fatalf("CellMask(CellIndex(%v)) = %v, want %v", beta, back, beta)
+		}
+	})
+	if len(seen) != 1<<uint(k) {
+		t.Fatalf("covered %d cells, want %d", len(seen), 1<<uint(k))
+	}
+}
+
+func TestCellIndexOrderPreserving(t *testing.T) {
+	// For fixed alpha, CellIndex should be monotone in beta (packing
+	// preserves relative order of dominated masks).
+	alpha := Mask(0b11010)
+	prev := -1
+	alpha.VisitSubsets(func(beta Mask) {
+		idx := CellIndex(alpha, beta)
+		if idx <= prev {
+			t.Fatalf("CellIndex not increasing: %d after %d", idx, prev)
+		}
+		prev = idx
+	})
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {8, 3, 56},
+		{16, 2, 120}, {16, 3, 560}, {23, 11, 1352078},
+		{5, -1, 0}, {5, 6, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialInt(t *testing.T) {
+	got, err := BinomialInt(30, 15)
+	if err != nil || got != 155117520 {
+		t.Errorf("BinomialInt(30,15) = %d, %v", got, err)
+	}
+	if _, err := BinomialInt(200, 100); err == nil {
+		t.Error("BinomialInt(200,100) should overflow")
+	}
+}
+
+func TestMasksOfWeight(t *testing.T) {
+	for _, c := range []struct{ d, k, want int }{
+		{4, 0, 1}, {4, 1, 4}, {4, 2, 6}, {4, 4, 1}, {8, 3, 56}, {16, 2, 120},
+	} {
+		ms := MasksOfWeight(c.d, c.k)
+		if len(ms) != c.want {
+			t.Errorf("MasksOfWeight(%d,%d) has %d entries, want %d", c.d, c.k, len(ms), c.want)
+		}
+		for i, m := range ms {
+			if m.Count() != c.k {
+				t.Errorf("mask %v has weight %d, want %d", m, m.Count(), c.k)
+			}
+			if !Full(c.d).Dominates(m) {
+				t.Errorf("mask %v outside d=%d", m, c.d)
+			}
+			if i > 0 && ms[i-1] >= m {
+				t.Errorf("masks not increasing")
+			}
+		}
+	}
+	if ms := MasksOfWeight(4, 5); ms != nil {
+		t.Errorf("MasksOfWeight(4,5) = %v, want nil", ms)
+	}
+}
+
+func TestUnionClosure(t *testing.T) {
+	// F for all 2-way marginals over d attributes must have size 1+d+C(d,2).
+	d := 5
+	f := UnionClosure(MasksOfWeight(d, 2))
+	want := 1 + d + int(Binomial(d, 2))
+	if len(f) != want {
+		t.Fatalf("|F| = %d, want %d", len(f), want)
+	}
+	for i := 1; i < len(f); i++ {
+		if f[i-1] >= f[i] {
+			t.Fatal("closure not sorted")
+		}
+	}
+}
+
+func TestUnionClosureOverlap(t *testing.T) {
+	f := UnionClosure([]Mask{0b011, 0b110})
+	// subsets: {0,1,2,3} ∪ {0,2,4,6} = {0,1,2,3,4,6}
+	want := []Mask{0, 1, 2, 3, 4, 6}
+	if len(f) != len(want) {
+		t.Fatalf("closure = %v, want %v", f, want)
+	}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("closure = %v, want %v", f, want)
+		}
+	}
+}
+
+// Property: for random alpha, the subset count is 2^popcount and CellIndex is
+// a bijection onto [0, 2^popcount).
+func TestQuickSubsetBijection(t *testing.T) {
+	fn := func(raw uint32) bool {
+		alpha := Mask(raw) & Full(16)
+		n := 0
+		seen := make(map[int]bool)
+		alpha.VisitSubsets(func(b Mask) {
+			n++
+			seen[CellIndex(alpha, b)] = true
+		})
+		return n == 1<<uint(alpha.Count()) && len(seen) == n
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Inner is symmetric and bilinear over XOR in the second argument
+// when restricted to disjoint supports.
+func TestQuickInnerSymmetric(t *testing.T) {
+	fn := func(a, b uint32) bool {
+		x, y := Mask(a)&Full(20), Mask(b)&Full(20)
+		return x.Inner(y) == y.Inner(x)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Binomial matches Pascal recurrence for moderate n.
+func TestQuickPascal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(25)
+		k := rng.Intn(n)
+		lhs := Binomial(n, k)
+		rhs := Binomial(n-1, k) + Binomial(n-1, k-1)
+		if lhs != rhs {
+			t.Fatalf("Pascal fails at C(%d,%d): %v vs %v", n, k, lhs, rhs)
+		}
+	}
+}
+
+func BenchmarkVisitSubsets(b *testing.B) {
+	m := Full(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cnt := 0
+		m.VisitSubsets(func(Mask) { cnt++ })
+		if cnt != 1<<16 {
+			b.Fatal("bad count")
+		}
+	}
+}
+
+func BenchmarkUnionClosure(b *testing.B) {
+	alphas := MasksOfWeight(16, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := UnionClosure(alphas); len(got) != 137 {
+			b.Fatalf("bad closure size %d", len(got))
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package bits
+
+import "testing"
+
+func FuzzCellIndexRoundTrip(f *testing.F) {
+	f.Add(uint32(0b1011), uint32(0b0011))
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(0xffff), uint32(0xabcd))
+	f.Fuzz(func(t *testing.T, alphaRaw, betaRaw uint32) {
+		alpha := Mask(alphaRaw) & Full(MaxDim)
+		beta := Mask(betaRaw) & alpha // force β ⪯ α
+		idx := CellIndex(alpha, beta)
+		if idx < 0 || idx >= 1<<uint(alpha.Count()) {
+			t.Fatalf("CellIndex(%v, %v) = %d out of range", alpha, beta, idx)
+		}
+		if back := CellMask(alpha, idx); back != beta {
+			t.Fatalf("round trip %v → %d → %v", beta, idx, back)
+		}
+	})
+}
+
+func FuzzSubsetsAreDominated(f *testing.F) {
+	f.Add(uint32(0b1100110))
+	f.Add(uint32(1))
+	f.Fuzz(func(t *testing.T, raw uint32) {
+		m := Mask(raw) & Full(18) // bound the enumeration size
+		count := 0
+		prev := Mask(0)
+		first := true
+		m.VisitSubsets(func(s Mask) {
+			if !m.Dominates(s) {
+				t.Fatalf("subset %v not dominated by %v", s, m)
+			}
+			if !first && s <= prev {
+				t.Fatalf("subsets not strictly increasing: %v after %v", s, prev)
+			}
+			prev, first = s, false
+			count++
+		})
+		if count != 1<<uint(m.Count()) {
+			t.Fatalf("enumerated %d subsets of %v, want %d", count, m, 1<<uint(m.Count()))
+		}
+	})
+}

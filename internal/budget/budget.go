@@ -1,0 +1,483 @@
+// Package budget implements Step 2 of the paper's framework: optimal
+// non-uniform noise budgeting (Section 3.1).
+//
+// Given a strategy S whose rows are answered with per-row budgets ε_i
+// (Proposition 3.1) and recovery weights w_i = Σ_j a_j R²_ji, the total
+// weighted output variance is Σ_i w_i·c/ε_i² (c = 2 for Laplace,
+// 2·ln(2/δ) for Gaussian). Minimising it subject to the privacy constraint
+// is the convex program (1)–(3). When S satisfies the grouping property
+// (Definition 3.1) the program collapses to (4)–(6) with the closed-form
+// Lagrange solution of Corollary 3.3, implemented by Optimal. For arbitrary
+// explicit strategies, General solves (1)–(3) directly by projected
+// exponentiated gradient.
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/noise"
+)
+
+// ErrNotGroupable is returned by FindGrouping when the strategy violates
+// Definition 3.1.
+var ErrNotGroupable = errors.New("budget: strategy matrix is not groupable")
+
+// Group is one set of strategy rows sharing a budget: the rows have
+// pairwise-disjoint supports and every non-zero entry has magnitude C.
+type Group struct {
+	Rows []int
+	C    float64
+}
+
+// Grouping partitions the rows of a strategy matrix per Definition 3.1.
+type Grouping struct {
+	Groups  []Group
+	NumRows int
+}
+
+// NewGrouping validates and builds a grouping from explicit groups.
+func NewGrouping(groups []Group, numRows int) (*Grouping, error) {
+	seen := make([]bool, numRows)
+	for gi, g := range groups {
+		if g.C <= 0 {
+			return nil, fmt.Errorf("budget: group %d has non-positive magnitude %v", gi, g.C)
+		}
+		for _, r := range g.Rows {
+			if r < 0 || r >= numRows {
+				return nil, fmt.Errorf("budget: group %d references row %d outside [0,%d)", gi, r, numRows)
+			}
+			if seen[r] {
+				return nil, fmt.Errorf("budget: row %d appears in two groups", r)
+			}
+			seen[r] = true
+		}
+	}
+	for r, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("budget: row %d not covered by any group", r)
+		}
+	}
+	return &Grouping{Groups: groups, NumRows: numRows}, nil
+}
+
+// MustGrouping panics on invalid groups; for statically correct strategies.
+func MustGrouping(groups []Group, numRows int) *Grouping {
+	g, err := NewGrouping(groups, numRows)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Uniform returns the single-budget grouping check value: Δ1 upper bound
+// Σ_g C_g used by the uniform baseline.
+func (g *Grouping) sumC() float64 {
+	s := 0.0
+	for _, grp := range g.Groups {
+		s += grp.C
+	}
+	return s
+}
+
+// FindGrouping greedily groups the rows of an explicit strategy matrix
+// (the "Arbitrary strategies S" paragraph of Section 3.1): a row joins the
+// first group whose rows it is support-disjoint with and whose magnitude it
+// matches; otherwise it starts a new group. Rows whose non-zero entries have
+// differing magnitudes make the matrix ungroupable.
+func FindGrouping(rows [][]float64) (*Grouping, error) {
+	if len(rows) == 0 {
+		return &Grouping{}, nil
+	}
+	type gstate struct {
+		rows    []int
+		c       float64
+		support []bool
+	}
+	ncols := len(rows[0])
+	var groups []gstate
+	for i, row := range rows {
+		if len(row) != ncols {
+			return nil, fmt.Errorf("budget: ragged strategy row %d", i)
+		}
+		// Row magnitude: all non-zeros must share |value|.
+		c := 0.0
+		for _, v := range row {
+			if v == 0 {
+				continue
+			}
+			a := math.Abs(v)
+			if c == 0 {
+				c = a
+			} else if math.Abs(a-c) > 1e-12*math.Max(1, c) {
+				return nil, fmt.Errorf("%w: row %d has entries of magnitude %v and %v", ErrNotGroupable, i, c, a)
+			}
+		}
+		if c == 0 {
+			return nil, fmt.Errorf("%w: row %d is all zero", ErrNotGroupable, i)
+		}
+		placed := false
+		for gi := range groups {
+			g := &groups[gi]
+			if math.Abs(g.c-c) > 1e-12*math.Max(1, c) {
+				continue
+			}
+			clash := false
+			for j, v := range row {
+				if v != 0 && g.support[j] {
+					clash = true
+					break
+				}
+			}
+			if clash {
+				continue
+			}
+			for j, v := range row {
+				if v != 0 {
+					g.support[j] = true
+				}
+			}
+			g.rows = append(g.rows, i)
+			placed = true
+			break
+		}
+		if !placed {
+			support := make([]bool, ncols)
+			for j, v := range row {
+				if v != 0 {
+					support[j] = true
+				}
+			}
+			groups = append(groups, gstate{rows: []int{i}, c: c, support: support})
+		}
+	}
+	out := make([]Group, len(groups))
+	for i, g := range groups {
+		out[i] = Group{Rows: g.rows, C: g.c}
+	}
+	return NewGrouping(out, len(rows))
+}
+
+// Allocation is the result of a budgeting step.
+type Allocation struct {
+	PerRow   []float64 // ε_i for every strategy row
+	PerGroup []float64 // η_g, parallel to Grouping.Groups (nil for General)
+	// Objective is the total weighted output variance Σ_i w_i·Var(ν_i)
+	// implied by the allocation, including the noise constant.
+	Objective float64
+}
+
+// groupWeights sums the recovery weights per group: s_g = Σ_{i∈g} w_i.
+func groupWeights(g *Grouping, w []float64) ([]float64, error) {
+	if len(w) != g.NumRows {
+		return nil, fmt.Errorf("budget: %d weights for %d rows", len(w), g.NumRows)
+	}
+	s := make([]float64, len(g.Groups))
+	for gi, grp := range g.Groups {
+		for _, r := range grp.Rows {
+			if w[r] < 0 {
+				return nil, fmt.Errorf("budget: negative weight %v at row %d", w[r], r)
+			}
+			s[gi] += w[r]
+		}
+	}
+	return s, nil
+}
+
+// noiseConstant is c in Var(ν_i) = c/ε_i².
+func noiseConstant(p noise.Params) float64 {
+	if p.Type == noise.ApproxDP {
+		return 2 * math.Log(2/p.Delta)
+	}
+	return 2
+}
+
+// Optimal computes the closed-form optimal group budgets of Corollary 3.3.
+//
+// w[i] is the recovery weight Σ_j a_j R²_ji of strategy row i; the recovery
+// matrix must be consistent with the grouping (Definition 3.2), i.e. w is
+// constant within each group — callers with exactly-grouped strategies
+// satisfy this by construction, and Optimal does not require it for the
+// allocation to be feasible (only for optimality).
+func Optimal(g *Grouping, w []float64, p noise.Params) (*Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := groupWeights(g, w)
+	if err != nil {
+		return nil, err
+	}
+	epsEff := p.EffectiveEpsilon()
+	c := noiseConstant(p)
+	eta := make([]float64, len(g.Groups))
+	var objective float64
+
+	switch p.Type {
+	case noise.PureDP:
+		// Minimise Σ s_g/η_g² s.t. Σ C_g·η_g = ε'.
+		// η_g = ε'·(s_g/C_g)^{1/3} / Σ_h (C_h²·s_h)^{1/3}.
+		denom := 0.0
+		for gi, grp := range g.Groups {
+			denom += math.Cbrt(grp.C * grp.C * s[gi])
+		}
+		if denom == 0 {
+			// All weights zero: any feasible allocation works; spread evenly.
+			return uniformAllocation(g, w, p), nil
+		}
+		for gi, grp := range g.Groups {
+			if s[gi] == 0 {
+				eta[gi] = 0 // row group unused by recovery: spend nothing
+				continue
+			}
+			eta[gi] = epsEff * math.Cbrt(s[gi]/grp.C) / denom
+		}
+		objective = c * denom * denom * denom / (epsEff * epsEff)
+	case noise.ApproxDP:
+		// Minimise Σ s_g/η_g² s.t. Σ C_g²·η_g² = ε'².
+		// η_g² = ε'²·(√s_g/C_g) / Σ_h C_h·√s_h.
+		denom := 0.0
+		for gi, grp := range g.Groups {
+			denom += grp.C * math.Sqrt(s[gi])
+		}
+		if denom == 0 {
+			return uniformAllocation(g, w, p), nil
+		}
+		for gi, grp := range g.Groups {
+			if s[gi] == 0 {
+				eta[gi] = 0
+				continue
+			}
+			eta[gi] = epsEff * math.Sqrt(math.Sqrt(s[gi])/grp.C/denom)
+		}
+		objective = c * denom * denom / (epsEff * epsEff)
+	}
+
+	perRow := make([]float64, g.NumRows)
+	for gi, grp := range g.Groups {
+		for _, r := range grp.Rows {
+			perRow[r] = eta[gi]
+		}
+	}
+	return &Allocation{PerRow: perRow, PerGroup: eta, Objective: objective}, nil
+}
+
+// Uniform computes the uniform baseline: every row receives the same budget
+// η = ε'/Δ with Δ = Σ_g C_g (the grouped column-sensitivity bound, exact for
+// all strategies in the paper), or Δ = √(Σ_g C_g²) under (ε,δ)-DP.
+func Uniform(g *Grouping, w []float64, p noise.Params) (*Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := groupWeights(g, w); err != nil {
+		return nil, err
+	}
+	return uniformAllocation(g, w, p), nil
+}
+
+func uniformAllocation(g *Grouping, w []float64, p noise.Params) *Allocation {
+	epsEff := p.EffectiveEpsilon()
+	var eta float64
+	switch p.Type {
+	case noise.ApproxDP:
+		sq := 0.0
+		for _, grp := range g.Groups {
+			sq += grp.C * grp.C
+		}
+		eta = epsEff / math.Sqrt(sq)
+	default:
+		eta = epsEff / g.sumC()
+	}
+	perRow := make([]float64, g.NumRows)
+	perGroup := make([]float64, len(g.Groups))
+	for gi := range g.Groups {
+		perGroup[gi] = eta
+	}
+	for i := range perRow {
+		perRow[i] = eta
+	}
+	c := noiseConstant(p)
+	obj := 0.0
+	for _, wi := range w {
+		obj += wi * c / (eta * eta)
+	}
+	return &Allocation{PerRow: perRow, PerGroup: perGroup, Objective: obj}
+}
+
+// Objective evaluates the total weighted variance of an arbitrary per-row
+// allocation: Σ_i w_i·c/ε_i². Rows with w_i = 0 may hold ε_i = 0.
+func Objective(perRow, w []float64, p noise.Params) float64 {
+	c := noiseConstant(p)
+	obj := 0.0
+	for i, e := range perRow {
+		if w[i] == 0 {
+			continue
+		}
+		if e <= 0 {
+			return math.Inf(1)
+		}
+		obj += w[i] * c / (e * e)
+	}
+	return obj
+}
+
+// Feasible verifies the privacy constraint of Proposition 3.1 for an
+// explicit strategy matrix: max_j Σ_i |S_ij|·ε_i ≤ ε' (pure DP) or
+// max_j √(Σ_i S_ij²·ε_i²) ≤ ε' ((ε,δ)-DP), within tol.
+func Feasible(rows [][]float64, perRow []float64, p noise.Params, tol float64) bool {
+	if len(rows) == 0 {
+		return true
+	}
+	epsEff := p.EffectiveEpsilon()
+	for j := range rows[0] {
+		s := 0.0
+		for i := range rows {
+			v := rows[i][j]
+			if v == 0 {
+				continue
+			}
+			if p.Type == noise.ApproxDP {
+				s += v * v * perRow[i] * perRow[i]
+			} else {
+				s += math.Abs(v) * perRow[i]
+			}
+		}
+		if p.Type == noise.ApproxDP {
+			s = math.Sqrt(s)
+		}
+		if s > epsEff+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// General solves the ungrouped program (1)–(3) for an explicit strategy by
+// a KKT fixed-point iteration. The stationarity condition with column
+// multipliers λ_j ≥ 0 reads
+//
+//	ε-DP:    2·w_i/ε_i³ = Σ_j λ_j·|S_ij|   ⇒ ε_i = (2·w_i / Σ_j λ_j|S_ij|)^{1/3}
+//	(ε,δ):   2·w_i/ε_i³ = 2·ε_i·Σ_j λ_j·S_ij² ⇒ ε_i = (w_i / Σ_j λ_j·S_ij²)^{1/4}
+//
+// and complementary slackness drives λ_j multiplicatively toward the loads:
+// λ_j ← λ_j·(load_j/ε')^θ shrinks multipliers of slack columns to zero and
+// grows those of violated ones. After each sweep the iterate is radially
+// rescaled into the (downward-closed) feasible set and the best feasible
+// objective is kept. On groupable strategies the result matches Optimal
+// (asserted in tests).
+func General(rows [][]float64, w []float64, p noise.Params, iters int) (*Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(rows)
+	if m == 0 {
+		return &Allocation{}, nil
+	}
+	if len(w) != m {
+		return nil, fmt.Errorf("budget: %d weights for %d rows", len(w), m)
+	}
+	if iters <= 0 {
+		iters = 400
+	}
+	ncols := len(rows[0])
+	epsEff := p.EffectiveEpsilon()
+	gaussian := p.Type == noise.ApproxDP
+
+	lambda := make([]float64, ncols)
+	for j := range lambda {
+		lambda[j] = 1
+	}
+	eps := make([]float64, m)
+	loads := make([]float64, ncols)
+
+	computeLoads := func() float64 {
+		worst := 0.0
+		for j := 0; j < ncols; j++ {
+			s := 0.0
+			for i := range rows {
+				v := rows[i][j]
+				if v == 0 {
+					continue
+				}
+				if gaussian {
+					s += v * v * eps[i] * eps[i]
+				} else {
+					s += math.Abs(v) * eps[i]
+				}
+			}
+			if gaussian {
+				s = math.Sqrt(s)
+			}
+			loads[j] = s
+			if s > worst {
+				worst = s
+			}
+		}
+		return worst
+	}
+
+	var best []float64
+	bestObj := math.Inf(1)
+	const theta = 0.5
+	for it := 0; it < iters; it++ {
+		// ε from multipliers (KKT stationarity).
+		for i := range eps {
+			den := 0.0
+			for j, v := range rows[i] {
+				if v == 0 {
+					continue
+				}
+				if gaussian {
+					den += lambda[j] * v * v
+				} else {
+					den += lambda[j] * math.Abs(v)
+				}
+			}
+			if den <= 0 || w[i] == 0 {
+				eps[i] = 0
+				continue
+			}
+			if gaussian {
+				eps[i] = math.Pow(w[i]/den, 0.25)
+			} else {
+				eps[i] = math.Cbrt(2 * w[i] / den)
+			}
+		}
+		worst := computeLoads()
+		if worst > 0 {
+			// Radial rescale into feasibility, then score.
+			f := epsEff / worst
+			for i := range eps {
+				eps[i] *= f
+			}
+			if obj := Objective(eps, w, p); obj < bestObj {
+				bestObj = obj
+				best = append(best[:0], eps...)
+			}
+			// Undo the rescale for the multiplier update so loads reflect
+			// the unconstrained KKT iterate.
+			for i := range eps {
+				eps[i] /= f
+			}
+		}
+		// Multiplicative multiplier update toward complementary slackness.
+		for j := range lambda {
+			target := loads[j] / epsEff
+			if gaussian {
+				target = (loads[j] * loads[j]) / (epsEff * epsEff)
+			}
+			if target <= 0 {
+				lambda[j] *= 1e-3
+			} else {
+				lambda[j] *= math.Pow(target, theta)
+			}
+			if lambda[j] < 1e-300 {
+				lambda[j] = 1e-300
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("budget: General failed to find a feasible allocation")
+	}
+	return &Allocation{PerRow: best, Objective: bestObj}, nil
+}

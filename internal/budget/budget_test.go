@@ -1,0 +1,454 @@
+package budget
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/marginal"
+	"repro/internal/noise"
+)
+
+func pure(eps float64) noise.Params {
+	return noise.Params{Type: noise.PureDP, Epsilon: eps, Neighbor: noise.AddRemove}
+}
+
+func approx(eps, delta float64) noise.Params {
+	return noise.Params{Type: noise.ApproxDP, Epsilon: eps, Delta: delta, Neighbor: noise.AddRemove}
+}
+
+// introQ is the query matrix of Figure 1(b): marginal on A (2 rows) and
+// marginal on A,B (4 rows) over d=3.
+func introQ() [][]float64 {
+	w := marginal.MustWorkload(3, []bits.Mask{0b100, 0b110})
+	return w.Rows()
+}
+
+func TestFindGroupingIntroExample(t *testing.T) {
+	g, err := FindGrouping(introQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Groups) != 2 {
+		t.Fatalf("grouping number = %d, want 2", len(g.Groups))
+	}
+	sizes := map[int]bool{len(g.Groups[0].Rows): true, len(g.Groups[1].Rows): true}
+	if !sizes[2] || !sizes[4] {
+		t.Fatalf("group sizes wrong: %d and %d", len(g.Groups[0].Rows), len(g.Groups[1].Rows))
+	}
+	for _, grp := range g.Groups {
+		if grp.C != 1 {
+			t.Fatalf("C = %v, want 1", grp.C)
+		}
+	}
+}
+
+func TestFindGroupingIdentity(t *testing.T) {
+	rows := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	g, err := FindGrouping(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Groups) != 1 {
+		t.Fatalf("identity grouping number = %d, want 1", len(g.Groups))
+	}
+}
+
+func TestFindGroupingFourierDense(t *testing.T) {
+	// Dense rows with equal magnitudes overlap everywhere: singleton groups.
+	rows := [][]float64{{0.5, 0.5}, {0.5, -0.5}}
+	g, err := FindGrouping(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Groups) != 2 {
+		t.Fatalf("dense grouping number = %d, want 2", len(g.Groups))
+	}
+}
+
+func TestFindGroupingRejectsMixedMagnitudes(t *testing.T) {
+	rows := [][]float64{{1, 2}}
+	if _, err := FindGrouping(rows); err == nil {
+		t.Fatal("mixed-magnitude row accepted")
+	}
+	if _, err := FindGrouping([][]float64{{0, 0}}); err == nil {
+		t.Fatal("zero row accepted")
+	}
+}
+
+func TestNewGroupingValidation(t *testing.T) {
+	if _, err := NewGrouping([]Group{{Rows: []int{0, 0}, C: 1}}, 1); err == nil {
+		t.Error("duplicate row accepted")
+	}
+	if _, err := NewGrouping([]Group{{Rows: []int{0}, C: 1}}, 2); err == nil {
+		t.Error("uncovered row accepted")
+	}
+	if _, err := NewGrouping([]Group{{Rows: []int{0}, C: 0}}, 1); err == nil {
+		t.Error("zero magnitude accepted")
+	}
+	if _, err := NewGrouping([]Group{{Rows: []int{5}, C: 1}}, 1); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+}
+
+// TestIntroUniformAndOptimal reproduces the Section 1 worked example: with
+// S = Q (marginal A + marginal AB), uniform budgeting costs 48/ε² total
+// variance, optimal non-uniform budgeting 46.17/ε², with budgets ≈ 4ε/9 and
+// 5ε/9.
+func TestIntroUniformAndOptimal(t *testing.T) {
+	rows := introQ()
+	g, err := FindGrouping(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, 6)
+	for i := range w {
+		w[i] = 1 // R = I
+	}
+	eps := 1.0
+	p := pure(eps)
+
+	uni, err := Uniform(g, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(uni.Objective-48) > 1e-9 {
+		t.Fatalf("uniform objective = %v, want 48", uni.Objective)
+	}
+
+	opt, err := Optimal(g, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * math.Pow(math.Cbrt(2)+math.Cbrt(4), 3) // = 46.16…
+	if math.Abs(opt.Objective-want) > 1e-9 {
+		t.Fatalf("optimal objective = %v, want %v", opt.Objective, want)
+	}
+	if math.Abs(want-46.17) > 0.02 {
+		t.Fatalf("closed form %v drifted from the paper's 46.17", want)
+	}
+	// Budgets: group with 2 rows ≈ 4ε/9 = 0.444, group with 4 rows ≈ 5ε/9.
+	for gi, grp := range g.Groups {
+		eta := opt.PerGroup[gi]
+		if len(grp.Rows) == 2 && math.Abs(eta-0.4425) > 0.001 {
+			t.Errorf("marginal-A budget = %v, want ≈0.4425 (paper rounds to 4/9)", eta)
+		}
+		if len(grp.Rows) == 4 && math.Abs(eta-0.5575) > 0.001 {
+			t.Errorf("marginal-AB budget = %v, want ≈0.5575 (paper rounds to 5/9)", eta)
+		}
+	}
+	// The allocation saturates the privacy constraint.
+	if !Feasible(rows, opt.PerRow, p, 1e-9) {
+		t.Fatal("optimal allocation infeasible")
+	}
+	sum := 0.0
+	for gi := range g.Groups {
+		sum += opt.PerGroup[gi] * g.Groups[gi].C
+	}
+	if math.Abs(sum-eps) > 1e-9 {
+		t.Fatalf("privacy constraint not tight: Σ C·η = %v, want %v", sum, eps)
+	}
+}
+
+func TestOptimalNeverWorseThanUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		ngroups := 1 + rng.Intn(5)
+		groups := make([]Group, ngroups)
+		row := 0
+		var w []float64
+		for gi := range groups {
+			n := 1 + rng.Intn(4)
+			rowsIdx := make([]int, n)
+			gw := 0.1 + 5*rng.Float64() // weight constant per group (Def 3.2)
+			for k := 0; k < n; k++ {
+				rowsIdx[k] = row
+				row++
+				w = append(w, gw)
+			}
+			groups[gi] = Group{Rows: rowsIdx, C: 0.25 * float64(1+rng.Intn(4))}
+		}
+		g := MustGrouping(groups, row)
+		for _, p := range []noise.Params{pure(0.7), approx(0.7, 1e-5)} {
+			opt, err := Optimal(g, w, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			uni, err := Uniform(g, w, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt.Objective > uni.Objective*(1+1e-9) {
+				t.Fatalf("trial %d %v: optimal %v worse than uniform %v", trial, p.Type, opt.Objective, uni.Objective)
+			}
+		}
+	}
+}
+
+func TestOptimalEqualsUniformForSingleGroup(t *testing.T) {
+	g := MustGrouping([]Group{{Rows: []int{0, 1, 2}, C: 1}}, 3)
+	w := []float64{2, 2, 2}
+	for _, p := range []noise.Params{pure(1), approx(1, 1e-6)} {
+		opt, _ := Optimal(g, w, p)
+		uni, _ := Uniform(g, w, p)
+		if math.Abs(opt.Objective-uni.Objective) > 1e-9 {
+			t.Fatalf("%v: single group must make optimal = uniform (%v vs %v)", p.Type, opt.Objective, uni.Objective)
+		}
+	}
+}
+
+func TestOptimalScalesWithEpsilonSquared(t *testing.T) {
+	g := MustGrouping([]Group{
+		{Rows: []int{0}, C: 1}, {Rows: []int{1, 2}, C: 1},
+	}, 3)
+	w := []float64{3, 1, 1}
+	a1, _ := Optimal(g, w, pure(1))
+	a2, _ := Optimal(g, w, pure(2))
+	if math.Abs(a1.Objective/a2.Objective-4) > 1e-9 {
+		t.Fatalf("objective must scale as 1/ε²: %v vs %v", a1.Objective, a2.Objective)
+	}
+}
+
+func TestNeighborModelHalvesBudget(t *testing.T) {
+	g := MustGrouping([]Group{{Rows: []int{0}, C: 1}}, 1)
+	w := []float64{1}
+	add, _ := Optimal(g, w, noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.AddRemove})
+	mod, _ := Optimal(g, w, noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.Modify})
+	if math.Abs(mod.PerRow[0]-add.PerRow[0]/2) > 1e-12 {
+		t.Fatalf("modify model must halve the budget: %v vs %v", mod.PerRow[0], add.PerRow[0])
+	}
+	if math.Abs(mod.Objective-4*add.Objective) > 1e-9 {
+		t.Fatalf("modify model must quadruple the variance: %v vs %v", mod.Objective, add.Objective)
+	}
+}
+
+func TestZeroWeightGroupGetsNoBudget(t *testing.T) {
+	g := MustGrouping([]Group{
+		{Rows: []int{0}, C: 1}, {Rows: []int{1}, C: 1},
+	}, 2)
+	opt, err := Optimal(g, []float64{1, 0}, pure(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.PerRow[1] != 0 {
+		t.Fatalf("zero-weight row budget = %v, want 0", opt.PerRow[1])
+	}
+	// The whole ε goes to row 0.
+	if math.Abs(opt.PerRow[0]-1) > 1e-12 {
+		t.Fatalf("useful row budget = %v, want 1", opt.PerRow[0])
+	}
+}
+
+func TestAllZeroWeightsFallsBackToUniform(t *testing.T) {
+	g := MustGrouping([]Group{{Rows: []int{0}, C: 1}}, 1)
+	opt, err := Optimal(g, []float64{0}, pure(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.PerRow[0] <= 0 {
+		t.Fatal("fallback should still produce a feasible positive budget")
+	}
+}
+
+func TestObjectiveHelper(t *testing.T) {
+	p := pure(1)
+	if got := Objective([]float64{1, 2}, []float64{1, 1}, p); math.Abs(got-(2+0.5)) > 1e-12 {
+		t.Fatalf("Objective = %v, want 2.5", got)
+	}
+	if !math.IsInf(Objective([]float64{0}, []float64{1}, p), 1) {
+		t.Fatal("zero budget with positive weight must be infinite")
+	}
+	if got := Objective([]float64{0}, []float64{0}, p); got != 0 {
+		t.Fatalf("zero-weight rows must not contribute: %v", got)
+	}
+}
+
+func TestFeasibleDetectsViolation(t *testing.T) {
+	rows := [][]float64{{1, 1}, {1, 0}}
+	p := pure(1)
+	if !Feasible(rows, []float64{0.5, 0.5}, p, 1e-12) {
+		t.Fatal("feasible point rejected")
+	}
+	if Feasible(rows, []float64{0.8, 0.5}, p, 1e-12) {
+		t.Fatal("infeasible point accepted (col 0 load 1.3)")
+	}
+}
+
+// TestGeneralMatchesOptimalOnGroupable cross-checks the KKT fixed-point
+// solver against the closed form on the intro example and random marginal
+// strategies.
+func TestGeneralMatchesOptimalOnGroupable(t *testing.T) {
+	rows := introQ()
+	g, _ := FindGrouping(rows)
+	w := []float64{1, 1, 1, 1, 1, 1}
+	for _, p := range []noise.Params{pure(1), approx(1, 1e-5)} {
+		opt, err := Optimal(g, w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := General(rows, w, p, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Feasible(rows, gen.PerRow, p, 1e-6) {
+			t.Fatalf("%v: General produced infeasible allocation", p.Type)
+		}
+		if gen.Objective > opt.Objective*1.001 {
+			t.Fatalf("%v: General %v vs Optimal %v", p.Type, gen.Objective, opt.Objective)
+		}
+		if gen.Objective < opt.Objective*0.999 {
+			t.Fatalf("%v: General %v beat the closed-form optimum %v — bug in one of them", p.Type, gen.Objective, opt.Objective)
+		}
+	}
+}
+
+func TestGeneralRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		// Random 2-marginal workload over d=4 as strategy.
+		d := 4
+		masks := []bits.Mask{
+			bits.Mask(rng.Intn(1 << d)),
+			bits.Mask(rng.Intn(1 << d)),
+		}
+		if masks[0] == 0 {
+			masks[0] = 1
+		}
+		if masks[1] == 0 {
+			masks[1] = 2
+		}
+		w := marginal.MustWorkload(d, masks)
+		rows := w.Rows()
+		weights := make([]float64, len(rows))
+		for i := range weights {
+			weights[i] = 1
+		}
+		g, err := FindGrouping(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := pure(0.5)
+		opt, _ := Optimal(g, weights, p)
+		gen, err := General(rows, weights, p, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen.Objective > opt.Objective*1.01 {
+			t.Fatalf("trial %d: General %v much worse than Optimal %v", trial, gen.Objective, opt.Objective)
+		}
+	}
+}
+
+func TestOptimalRejectsBadInput(t *testing.T) {
+	g := MustGrouping([]Group{{Rows: []int{0}, C: 1}}, 1)
+	if _, err := Optimal(g, []float64{1, 2}, pure(1)); err == nil {
+		t.Error("wrong weight length accepted")
+	}
+	if _, err := Optimal(g, []float64{-1}, pure(1)); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := Optimal(g, []float64{1}, pure(0)); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+}
+
+func BenchmarkOptimalManyGroups(b *testing.B) {
+	ngroups := 200
+	groups := make([]Group, ngroups)
+	w := make([]float64, ngroups*4)
+	row := 0
+	for gi := range groups {
+		idx := make([]int, 4)
+		for k := range idx {
+			idx[k] = row
+			w[row] = float64(gi%7 + 1)
+			row++
+		}
+		groups[gi] = Group{Rows: idx, C: 1}
+	}
+	g := MustGrouping(groups, row)
+	p := pure(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimal(g, w, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeneralIntro(b *testing.B) {
+	rows := introQ()
+	w := []float64{1, 1, 1, 1, 1, 1}
+	p := pure(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := General(rows, w, p, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestOptimalBeatsRandomFeasible: the closed form must (weakly) beat any
+// random feasible allocation — a direct check of optimality rather than of
+// the formula's algebra.
+func TestOptimalBeatsRandomFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		ngroups := 2 + rng.Intn(4)
+		groups := make([]Group, ngroups)
+		var w []float64
+		row := 0
+		for gi := range groups {
+			n := 1 + rng.Intn(3)
+			idx := make([]int, n)
+			gw := 0.5 + 3*rng.Float64()
+			for k := range idx {
+				idx[k] = row
+				w = append(w, gw)
+				row++
+			}
+			groups[gi] = Group{Rows: idx, C: 0.5 + rng.Float64()}
+		}
+		g := MustGrouping(groups, row)
+		for _, p := range []noise.Params{pure(1), approx(1, 1e-6)} {
+			opt, err := Optimal(g, w, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for probe := 0; probe < 40; probe++ {
+				// Random positive group budgets scaled onto the constraint.
+				eta := make([]float64, ngroups)
+				for i := range eta {
+					eta[i] = 0.05 + rng.Float64()
+				}
+				var load float64
+				if p.Type == noise.ApproxDP {
+					for i, grp := range groups {
+						load += grp.C * grp.C * eta[i] * eta[i]
+					}
+					load = math.Sqrt(load)
+				} else {
+					for i, grp := range groups {
+						load += grp.C * eta[i]
+					}
+				}
+				f := p.EffectiveEpsilon() / load
+				perRow := make([]float64, row)
+				for gi, grp := range groups {
+					for _, r := range grp.Rows {
+						if p.Type == noise.ApproxDP {
+							perRow[r] = eta[gi] * f
+						} else {
+							perRow[r] = eta[gi] * f
+						}
+					}
+				}
+				if obj := Objective(perRow, w, p); obj < opt.Objective*(1-1e-9) {
+					t.Fatalf("trial %d %v: random feasible allocation %v beat the closed form %v",
+						trial, p.Type, obj, opt.Objective)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package budget
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/noise"
+)
+
+// Spec is a compact description of one group of a structured strategy:
+// Count rows, each with the same recovery weight RowWeight and non-zero
+// magnitude C. All structured strategies in this repository (identity,
+// marginals, Fourier, cluster, hierarchy, wavelet levels) have per-group
+// constant weights, so the closed form of Corollary 3.3 needs only these
+// aggregates — no per-row slices, which matters when the identity strategy
+// has 2^23 rows.
+type Spec struct {
+	Count     int
+	RowWeight float64
+	C         float64
+}
+
+func validateSpecs(specs []Spec) error {
+	if len(specs) == 0 {
+		return fmt.Errorf("budget: no group specs")
+	}
+	for i, s := range specs {
+		if s.Count <= 0 {
+			return fmt.Errorf("budget: spec %d has count %d", i, s.Count)
+		}
+		if s.C <= 0 {
+			return fmt.Errorf("budget: spec %d has magnitude %v", i, s.C)
+		}
+		if s.RowWeight < 0 {
+			return fmt.Errorf("budget: spec %d has negative weight %v", i, s.RowWeight)
+		}
+	}
+	return nil
+}
+
+// SpecAllocation is the group-level result of a budgeting step.
+type SpecAllocation struct {
+	Eta       []float64 // per-group budget, parallel to specs
+	Objective float64   // total weighted variance including noise constant
+}
+
+// OptimalSpecs solves (4)–(6) in closed form over group specs.
+func OptimalSpecs(specs []Spec, p noise.Params) (*SpecAllocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	epsEff := p.EffectiveEpsilon()
+	c := noiseConstant(p)
+	eta := make([]float64, len(specs))
+	s := make([]float64, len(specs))
+	allZero := true
+	for i, sp := range specs {
+		s[i] = float64(sp.Count) * sp.RowWeight
+		if s[i] > 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		return UniformSpecs(specs, p)
+	}
+	var objective float64
+	switch p.Type {
+	case noise.PureDP:
+		denom := 0.0
+		for i, sp := range specs {
+			denom += math.Cbrt(sp.C * sp.C * s[i])
+		}
+		for i, sp := range specs {
+			if s[i] == 0 {
+				continue
+			}
+			eta[i] = epsEff * math.Cbrt(s[i]/sp.C) / denom
+		}
+		objective = c * denom * denom * denom / (epsEff * epsEff)
+	case noise.ApproxDP:
+		denom := 0.0
+		for i, sp := range specs {
+			denom += sp.C * math.Sqrt(s[i])
+		}
+		for i, sp := range specs {
+			if s[i] == 0 {
+				continue
+			}
+			eta[i] = epsEff * math.Sqrt(math.Sqrt(s[i])/sp.C/denom)
+		}
+		objective = c * denom * denom / (epsEff * epsEff)
+	}
+	return &SpecAllocation{Eta: eta, Objective: objective}, nil
+}
+
+// UniformSpecs assigns every group the same budget (the uniform baseline of
+// prior work): η = ε'/Σ C_g under ε-DP, η = ε'/√(Σ C_g²) under (ε,δ)-DP.
+func UniformSpecs(specs []Spec, p noise.Params) (*SpecAllocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	epsEff := p.EffectiveEpsilon()
+	var eta float64
+	if p.Type == noise.ApproxDP {
+		sq := 0.0
+		for _, sp := range specs {
+			sq += sp.C * sp.C
+		}
+		eta = epsEff / math.Sqrt(sq)
+	} else {
+		sum := 0.0
+		for _, sp := range specs {
+			sum += sp.C
+		}
+		eta = epsEff / sum
+	}
+	out := make([]float64, len(specs))
+	c := noiseConstant(p)
+	obj := 0.0
+	for i, sp := range specs {
+		out[i] = eta
+		obj += float64(sp.Count) * sp.RowWeight * c / (eta * eta)
+	}
+	return &SpecAllocation{Eta: out, Objective: obj}, nil
+}
+
+// SpecVariances converts per-group budgets into per-group noise variances.
+func SpecVariances(eta []float64, p noise.Params) []float64 {
+	out := make([]float64, len(eta))
+	for i, e := range eta {
+		out[i] = p.RowVariance(e)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package budget
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/noise"
+)
+
+func TestOptimalSpecsMatchesExplicit(t *testing.T) {
+	// Same instance expressed both ways must agree exactly.
+	groups := []Group{
+		{Rows: []int{0, 1}, C: 1},
+		{Rows: []int{2, 3, 4, 5}, C: 1},
+	}
+	g := MustGrouping(groups, 6)
+	w := []float64{1, 1, 1, 1, 1, 1}
+	specs := []Spec{
+		{Count: 2, RowWeight: 1, C: 1},
+		{Count: 4, RowWeight: 1, C: 1},
+	}
+	for _, p := range []noise.Params{pure(1), approx(0.5, 1e-6)} {
+		a, err := Optimal(g, w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := OptimalSpecs(specs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Objective-b.Objective) > 1e-9 {
+			t.Fatalf("%v: objectives differ: %v vs %v", p.Type, a.Objective, b.Objective)
+		}
+		for gi := range specs {
+			if math.Abs(a.PerGroup[gi]-b.Eta[gi]) > 1e-12 {
+				t.Fatalf("%v: group %d budget %v vs %v", p.Type, gi, a.PerGroup[gi], b.Eta[gi])
+			}
+		}
+		u1, err := Uniform(g, w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u2, err := UniformSpecs(specs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(u1.Objective-u2.Objective) > 1e-9 {
+			t.Fatalf("%v: uniform objectives differ: %v vs %v", p.Type, u1.Objective, u2.Objective)
+		}
+	}
+}
+
+func TestOptimalSpecsIntroNumbers(t *testing.T) {
+	specs := []Spec{
+		{Count: 2, RowWeight: 1, C: 1},
+		{Count: 4, RowWeight: 1, C: 1},
+	}
+	a, err := OptimalSpecs(specs, pure(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * math.Pow(math.Cbrt(2)+math.Cbrt(4), 3)
+	if math.Abs(a.Objective-want) > 1e-9 {
+		t.Fatalf("objective %v, want %v (the paper's 46.17)", a.Objective, want)
+	}
+	u, _ := UniformSpecs(specs, pure(1))
+	if math.Abs(u.Objective-48) > 1e-9 {
+		t.Fatalf("uniform objective %v, want 48", u.Objective)
+	}
+}
+
+func TestSpecsPrivacyConstraintTight(t *testing.T) {
+	specs := []Spec{
+		{Count: 3, RowWeight: 2, C: 0.5},
+		{Count: 1, RowWeight: 7, C: 2},
+		{Count: 5, RowWeight: 0.1, C: 1},
+	}
+	p := pure(0.8)
+	a, err := OptimalSpecs(specs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i, sp := range specs {
+		sum += sp.C * a.Eta[i]
+	}
+	if math.Abs(sum-p.EffectiveEpsilon()) > 1e-9 {
+		t.Fatalf("Σ C·η = %v, want %v", sum, p.EffectiveEpsilon())
+	}
+	// Gaussian constraint: Σ C²η² = ε'².
+	pg := approx(0.8, 1e-5)
+	ag, err := OptimalSpecs(specs, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := 0.0
+	for i, sp := range specs {
+		sq += sp.C * sp.C * ag.Eta[i] * ag.Eta[i]
+	}
+	want := pg.EffectiveEpsilon() * pg.EffectiveEpsilon()
+	if math.Abs(sq-want) > 1e-9 {
+		t.Fatalf("Σ C²η² = %v, want %v", sq, want)
+	}
+}
+
+func TestSpecsObjectiveIsSumOfVariances(t *testing.T) {
+	specs := []Spec{
+		{Count: 2, RowWeight: 3, C: 1},
+		{Count: 4, RowWeight: 1, C: 1},
+	}
+	p := pure(1)
+	a, err := OptimalSpecs(specs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := 0.0
+	for i, sp := range specs {
+		manual += float64(sp.Count) * sp.RowWeight * p.RowVariance(a.Eta[i])
+	}
+	if math.Abs(manual-a.Objective) > 1e-9 {
+		t.Fatalf("objective %v vs manual %v", a.Objective, manual)
+	}
+}
+
+func TestSpecsValidation(t *testing.T) {
+	if _, err := OptimalSpecs(nil, pure(1)); err == nil {
+		t.Error("empty specs accepted")
+	}
+	if _, err := OptimalSpecs([]Spec{{Count: 0, RowWeight: 1, C: 1}}, pure(1)); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := OptimalSpecs([]Spec{{Count: 1, RowWeight: -1, C: 1}}, pure(1)); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := OptimalSpecs([]Spec{{Count: 1, RowWeight: 1, C: 0}}, pure(1)); err == nil {
+		t.Error("zero magnitude accepted")
+	}
+	if _, err := UniformSpecs([]Spec{{Count: 1, RowWeight: 1, C: 1}}, pure(0)); err == nil {
+		t.Error("bad privacy accepted")
+	}
+}
+
+func TestSpecsAllZeroWeightsFallBack(t *testing.T) {
+	specs := []Spec{{Count: 2, RowWeight: 0, C: 1}}
+	a, err := OptimalSpecs(specs, pure(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Eta[0] <= 0 {
+		t.Fatal("zero-weight fallback should still produce positive budgets")
+	}
+}
+
+func TestSpecVariances(t *testing.T) {
+	p := pure(1)
+	v := SpecVariances([]float64{1, 0.5, 0}, p)
+	if math.Abs(v[0]-2) > 1e-12 || math.Abs(v[1]-8) > 1e-12 || !math.IsInf(v[2], 1) {
+		t.Fatalf("SpecVariances = %v", v)
+	}
+}

@@ -1,0 +1,250 @@
+// Package consistency implements the Fourier-coefficient consistency step of
+// Sections 3.3 and 4.3: given noisy (mutually inconsistent) marginal tables,
+// it finds the consistent set of marginals closest to them in L2 (closed
+// form), or in L1/L∞ (linear programming), where "consistent" means all
+// tables are marginals of one common (unknown) data vector.
+//
+// The L2 program min ‖R·f̂ − ỹ‖₂ over the Fourier coefficients f̂ has a
+// remarkable structure: with R_{(i,γ),β} = 2^{d/2−‖α_i‖}·(−1)^{⟨β,γ⟩} for
+// β ⪯ α_i, the Gram matrix RᵀR is diagonal, because for β ≠ β' both
+// dominated by α_i, Σ_{γ⪯α_i}(−1)^{⟨β⊕β',γ⟩} = 0 (β⊕β' is a non-empty
+// subset of α_i). Hence
+//
+//	f̂_β = Σ_{i: β⪯α_i} 2^{d/2−‖α_i‖}·T_β^{(i)}  /  Σ_{i: β⪯α_i} 2^{d−‖α_i‖},
+//	T_β^{(i)} = Σ_{γ⪯α_i} (−1)^{⟨β,γ⟩}·ỹ_{(i,γ)}
+//
+// — a per-coefficient weighted average over every marginal that observes
+// the coefficient, computable with one small Walsh–Hadamard transform per
+// marginal. The derivation survives per-marginal weights (noise variances
+// differ across marginals but are constant within one), which keeps the
+// Gram matrix diagonal; L2Weighted implements that generalized version.
+package consistency
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/lp"
+	"repro/internal/marginal"
+	"repro/internal/transform"
+)
+
+// Result carries the consistent marginal answers and the underlying Fourier
+// coefficients.
+type Result struct {
+	// Coefficients maps β ∈ F to f̂_β, the estimated Fourier coefficient of
+	// the hidden data vector in the orthonormal basis.
+	Coefficients map[bits.Mask]float64
+	// Answers is the consistent concatenated answer vector R·f̂, aligned
+	// with the workload's marginal order.
+	Answers []float64
+}
+
+// L2 computes the unweighted least-squares consistent marginals.
+func L2(w *marginal.Workload, noisy []float64) (*Result, error) {
+	return L2Weighted(w, noisy, nil)
+}
+
+// L2Weighted computes weighted least-squares consistent marginals.
+// weight[i] applies to every cell of marginal i (use 1/variance for
+// GLS-style fusion); nil means all ones.
+func L2Weighted(w *marginal.Workload, noisy []float64, weight []float64) (*Result, error) {
+	if len(noisy) != w.TotalCells() {
+		return nil, fmt.Errorf("consistency: %d noisy values for %d cells", len(noisy), w.TotalCells())
+	}
+	if weight != nil && len(weight) != len(w.Marginals) {
+		return nil, fmt.Errorf("consistency: %d weights for %d marginals", len(weight), len(w.Marginals))
+	}
+	d := w.D
+	sqrtN := math.Sqrt(float64(int64(1) << uint(d)))
+	num := make(map[bits.Mask]float64)
+	den := make(map[bits.Mask]float64)
+
+	offsets := w.Offsets()
+	for i, m := range w.Marginals {
+		wi := 1.0
+		if weight != nil {
+			if weight[i] < 0 {
+				return nil, fmt.Errorf("consistency: negative weight %v for marginal %d", weight[i], i)
+			}
+			wi = weight[i]
+		}
+		if wi == 0 {
+			continue
+		}
+		k := m.Order()
+		cells := m.Cells()
+		block := make([]float64, cells)
+		copy(block, noisy[offsets[i]:offsets[i]+cells])
+		transform.WHT(block)
+		// block[packed β] = 2^{−k/2}·T_β, so T_β = 2^{k/2}·block.
+		twoK := float64(int64(1) << uint(k))
+		rCoef := sqrtN / twoK                    // 2^{d/2−k}
+		numScale := wi * rCoef * math.Sqrt(twoK) // w_i·2^{d/2−k}·2^{k/2}
+		denTerm := wi * (sqrtN * sqrtN) / twoK   // w_i·2^{d−k}
+		m.Alpha.VisitSubsets(func(beta bits.Mask) {
+			idx := bits.CellIndex(m.Alpha, beta)
+			num[beta] += numScale * block[idx]
+			den[beta] += denTerm
+		})
+	}
+
+	coeff := make(map[bits.Mask]float64, len(num))
+	for beta, n := range num {
+		coeff[beta] = n / den[beta]
+	}
+	answers, err := evalAnswers(w, coeff)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Coefficients: coeff, Answers: answers}, nil
+}
+
+// evalAnswers reconstructs every marginal from the coefficients.
+func evalAnswers(w *marginal.Workload, coeff map[bits.Mask]float64) ([]float64, error) {
+	answers := make([]float64, 0, w.TotalCells())
+	for _, m := range w.Marginals {
+		// Guard against a workload marginal that shares no coefficients
+		// (cannot happen when coeff came from the same workload).
+		missing := false
+		m.Alpha.VisitSubsets(func(beta bits.Mask) {
+			if _, ok := coeff[beta]; !ok {
+				missing = true
+			}
+		})
+		if missing {
+			return nil, fmt.Errorf("consistency: coefficients missing for marginal %v", m.Alpha)
+		}
+		answers = append(answers, m.EvalFromFourier(w.D, coeff)...)
+	}
+	return answers, nil
+}
+
+// RecoveryRows materialises the explicit K×|F| recovery matrix R of
+// Section 4.3 (rows ordered like the concatenated answers, columns ordered
+// like support), used by the LP formulations and available for tests.
+func RecoveryRows(w *marginal.Workload, support []bits.Mask) [][]float64 {
+	colOf := make(map[bits.Mask]int, len(support))
+	for c, b := range support {
+		colOf[b] = c
+	}
+	d := w.D
+	sqrtN := math.Sqrt(float64(int64(1) << uint(d)))
+	rows := make([][]float64, 0, w.TotalCells())
+	for _, m := range w.Marginals {
+		k := m.Order()
+		rCoef := sqrtN / float64(int64(1)<<uint(k))
+		for idx := 0; idx < m.Cells(); idx++ {
+			gamma := bits.CellMask(m.Alpha, idx)
+			row := make([]float64, len(support))
+			m.Alpha.VisitSubsets(func(beta bits.Mask) {
+				col, ok := colOf[beta]
+				if !ok {
+					panic(fmt.Sprintf("consistency: support misses β=%v", beta))
+				}
+				row[col] = rCoef * beta.Sign(gamma)
+			})
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// L1 computes the consistent marginals minimising ‖R·f̂ − ỹ‖₁ via the LP of
+// Section 4.3. Exact but cubic-ish in the workload size; prefer L2 at scale.
+func L1(w *marginal.Workload, noisy []float64) (*Result, error) {
+	return lpConsistency(w, noisy, false)
+}
+
+// LInf computes the consistent marginals minimising ‖R·f̂ − ỹ‖∞.
+func LInf(w *marginal.Workload, noisy []float64) (*Result, error) {
+	return lpConsistency(w, noisy, true)
+}
+
+func lpConsistency(w *marginal.Workload, noisy []float64, inf bool) (*Result, error) {
+	if len(noisy) != w.TotalCells() {
+		return nil, fmt.Errorf("consistency: %d noisy values for %d cells", len(noisy), w.TotalCells())
+	}
+	support := w.FourierSupport()
+	rows := RecoveryRows(w, support)
+	var (
+		fhat []float64
+		err  error
+	)
+	if inf {
+		fhat, _, err = lp.MinimizeLInf(rows, noisy)
+	} else {
+		fhat, _, err = lp.MinimizeL1(rows, noisy)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("consistency: LP failed: %w", err)
+	}
+	coeff := make(map[bits.Mask]float64, len(support))
+	for c, b := range support {
+		coeff[b] = fhat[c]
+	}
+	answers, err := evalAnswers(w, coeff)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Coefficients: coeff, Answers: answers}, nil
+}
+
+// IsConsistent verifies that the concatenated answers are mutually
+// consistent: every Fourier coefficient observed by several marginals must
+// agree across them within tol. (Theorem 4.1 makes this equivalent to the
+// existence of a common data vector when the total-count coefficient also
+// agrees, which it is part of.)
+func IsConsistent(w *marginal.Workload, answers []float64, tol float64) bool {
+	if len(answers) != w.TotalCells() {
+		return false
+	}
+	d := w.D
+	sqrtN := math.Sqrt(float64(int64(1) << uint(d)))
+	seen := make(map[bits.Mask]float64)
+	offsets := w.Offsets()
+	for i, m := range w.Marginals {
+		k := m.Order()
+		cells := m.Cells()
+		block := make([]float64, cells)
+		copy(block, answers[offsets[i]:offsets[i]+cells])
+		transform.WHT(block)
+		twoK := float64(int64(1) << uint(k))
+		// Invert the marginal→coefficient map: θ_β = 2^{k/2}·block/2^{d−k}
+		// · 2^{d/2-k} … plainly: T_β = 2^{k/2}·block, θ_β = T_β/2^{d−k}·…
+		// From (Cα)_γ = 2^{d/2−k} Σ_β (−1)^{⟨β,γ⟩}θ_β and WHT inversion:
+		// θ_β = T_β / (2^k·2^{d/2−k}) = 2^{k/2}·block_β·2^{k−d/2}/2^k.
+		coefScale := math.Sqrt(twoK) / (twoK * (sqrtN / twoK))
+		m.Alpha.VisitSubsets(func(beta bits.Mask) {
+			theta := coefScale * block[bits.CellIndex(m.Alpha, beta)]
+			if prev, ok := seen[beta]; ok {
+				if math.Abs(prev-theta) > tol {
+					seen[beta] = math.Inf(1)
+				}
+			} else {
+				seen[beta] = theta
+			}
+		})
+	}
+	for _, v := range seen {
+		if math.IsInf(v, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// RoundNonNegativeInts clamps negative entries to zero and rounds to the
+// nearest integer — the post-processing of the concluding remarks for
+// materialised base counts. Returns a new slice.
+func RoundNonNegativeInts(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v < 0 {
+			v = 0
+		}
+		out[i] = math.Round(v)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// ReadCSV loads a table from CSV. The first record is a header naming the
+// attributes; every distinct value of a column becomes one categorical code
+// (assigned in sorted order so the encoding is deterministic). Returns the
+// table together with the per-attribute value dictionaries.
+func ReadCSV(r io.Reader) (*Table, [][]string, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, nil, fmt.Errorf("dataset: csv needs a header and at least one row")
+	}
+	header := records[0]
+	ncol := len(header)
+
+	// Build per-column dictionaries.
+	valueSets := make([]map[string]struct{}, ncol)
+	for j := range valueSets {
+		valueSets[j] = make(map[string]struct{})
+	}
+	for i, rec := range records[1:] {
+		if len(rec) != ncol {
+			return nil, nil, fmt.Errorf("dataset: row %d has %d fields, want %d", i+1, len(rec), ncol)
+		}
+		for j, v := range rec {
+			valueSets[j][v] = struct{}{}
+		}
+	}
+	dicts := make([][]string, ncol)
+	codes := make([]map[string]int, ncol)
+	attrs := make([]Attribute, ncol)
+	for j := range valueSets {
+		vals := make([]string, 0, len(valueSets[j]))
+		for v := range valueSets[j] {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		dicts[j] = vals
+		codes[j] = make(map[string]int, len(vals))
+		for c, v := range vals {
+			codes[j][v] = c
+		}
+		attrs[j] = Attribute{Name: header[j], Cardinality: len(vals)}
+	}
+	schema, err := NewSchema(attrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([][]int, 0, len(records)-1)
+	for _, rec := range records[1:] {
+		row := make([]int, ncol)
+		for j, v := range rec {
+			row[j] = codes[j][v]
+		}
+		rows = append(rows, row)
+	}
+	return &Table{Schema: schema, Rows: rows}, dicts, nil
+}
+
+// WriteCSV writes the table with a header row; values are written as their
+// integer codes unless dictionaries are supplied.
+func WriteCSV(w io.Writer, t *Table, dicts [][]string) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Schema.Attrs))
+	for i, a := range t.Schema.Attrs {
+		header[i] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for _, row := range t.Rows {
+		for j, v := range row {
+			if dicts != nil && j < len(dicts) && v < len(dicts[j]) {
+				rec[j] = dicts[j][v]
+			} else {
+				rec[j] = strconv.Itoa(v)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,367 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 5, 5)
+	if !a.Mul(Identity(5)).Equal(a, tol) || !Identity(5).Mul(a).Equal(a, tol) {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !a.Mul(b).Equal(want, tol) {
+		t.Fatalf("Mul = %v, want %v", a.Mul(b), want)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 4, 6)
+	v := make([]float64, 6)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	vm := NewMatrix(6, 1)
+	copy(vm.Data, v)
+	got := a.MulVec(v)
+	want := a.Mul(vm)
+	for i := range got {
+		if math.Abs(got[i]-want.At(i, 0)) > tol {
+			t.Fatalf("MulVec mismatch at %d", i)
+		}
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 4, 6)
+	v := make([]float64, 4)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	got := a.MulVecT(v)
+	want := a.T().MulVec(v)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("MulVecT mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomMatrix(rng, 3, 7)
+	if !a.T().T().Equal(a, 0) {
+		t.Fatal("transpose is not an involution")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if !a.Add(b).Equal(FromRows([][]float64{{5, 5}, {5, 5}}), tol) {
+		t.Fatal("Add wrong")
+	}
+	if !a.Sub(a).Equal(NewMatrix(2, 2), tol) {
+		t.Fatal("Sub wrong")
+	}
+	if !a.Scale(2).Equal(FromRows([][]float64{{2, 4}, {6, 8}}), tol) {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestColSums(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}, {-3, 4}})
+	abs := a.ColAbsSums()
+	if abs[0] != 4 || abs[1] != 6 {
+		t.Fatalf("ColAbsSums = %v", abs)
+	}
+	sq := a.ColSquareSums()
+	if sq[0] != 10 || sq[1] != 20 {
+		t.Fatalf("ColSquareSums = %v", sq)
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1, 1}, {1, 3, 2}, {1, 0, 0}})
+	b := []float64{4, 5, 6}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a·x should reproduce b
+	got := a.MulVec(x)
+	for i := range b {
+		if math.Abs(got[i]-b[i]) > tol {
+			t.Fatalf("residual at %d: %v vs %v", i, got[i], b[i])
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := LUFactor(a); err != ErrSingular {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := FromRows([][]float64{{4, 3}, {6, 3}})
+	f, err := LUFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-(-6)) > tol {
+		t.Fatalf("Det = %v, want -6", f.Det())
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomMatrix(rng, 6, 6)
+	// Diagonal dominance guarantees invertibility.
+	for i := 0; i < 6; i++ {
+		a.Set(i, i, a.At(i, i)+10)
+	}
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).Equal(Identity(6), 1e-8) {
+		t.Fatal("A·A⁻¹ != I")
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	c, err := CholeskyFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := c.Solve([]float64{2, 1})
+	got := a.MulVec(x)
+	if math.Abs(got[0]-2) > tol || math.Abs(got[1]-1) > tol {
+		t.Fatalf("Cholesky solve residual: %v", got)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := CholeskyFactor(a); err != ErrNotSPD {
+		t.Fatalf("expected ErrNotSPD, got %v", err)
+	}
+}
+
+func TestCholeskyMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomMatrix(rng, 8, 5)
+	a := g.T().Mul(g) // SPD with prob. 1
+	for i := 0; i < 5; i++ {
+		a.Set(i, i, a.At(i, i)+1)
+	}
+	b := make([]float64, 5)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	c, err := CholeskyFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := c.Solve(b)
+	x2, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-8 {
+			t.Fatalf("Cholesky vs LU mismatch at %d: %v vs %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent system recovers the generator exactly.
+	rng := rand.New(rand.NewSource(7))
+	a := randomMatrix(rng, 10, 4)
+	xTrue := []float64{1, -2, 3, 0.5}
+	b := a.MulVec(xTrue)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xTrue {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("LS mismatch at %d: %v vs %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestLeastSquaresResidualOrthogonal(t *testing.T) {
+	// The LS residual must be orthogonal to the column space of A.
+	rng := rand.New(rand.NewSource(8))
+	a := randomMatrix(rng, 12, 5)
+	b := make([]float64, 12)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.MulVec(x)
+	for i := range res {
+		res[i] -= b[i]
+	}
+	proj := a.MulVecT(res)
+	for i, v := range proj {
+		if math.Abs(v) > 1e-7 {
+			t.Fatalf("residual not orthogonal: Aᵀr[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestWeightedLeastSquaresReducesToOLS(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomMatrix(rng, 9, 3)
+	b := make([]float64, 9)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	w := make([]float64, 9)
+	for i := range w {
+		w[i] = 1
+	}
+	x1, err := WeightedLeastSquares(a, b, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-8 {
+			t.Fatalf("WLS(1) != OLS at %d", i)
+		}
+	}
+}
+
+func TestWeightedLeastSquaresFavorsLowVarianceRows(t *testing.T) {
+	// Two conflicting measurements of a scalar; the high-weight one wins.
+	a := FromRows([][]float64{{1}, {1}})
+	b := []float64{0, 10}
+	x, err := WeightedLeastSquares(a, b, []float64{9, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (9*0.0 + 1*10.0) / 10.0
+	if math.Abs(x[0]-want) > tol {
+		t.Fatalf("WLS = %v, want %v", x[0], want)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := []float64{3, -4}
+	if Norm2(v) != 5 || Norm1(v) != 7 || NormInf(v) != 4 {
+		t.Fatalf("norms wrong: %v %v %v", Norm2(v), Norm1(v), NormInf(v))
+	}
+	if Dot(v, []float64{1, 1}) != -1 {
+		t.Fatal("Dot wrong")
+	}
+}
+
+func TestDiag(t *testing.T) {
+	d := Diag([]float64{1, 2, 3})
+	if d.At(0, 0) != 1 || d.At(1, 1) != 2 || d.At(2, 2) != 3 || d.At(0, 1) != 0 {
+		t.Fatal("Diag wrong")
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random small matrices.
+func TestQuickTransposeProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomMatrix(r, 3+rng.Intn(3), 4)
+		b := randomMatrix(r, 4, 2+rng.Intn(4))
+		return a.Mul(b).T().Equal(b.T().Mul(a.T()), 1e-9)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LU solve returns x with ‖Ax − b‖∞ small for well-conditioned A.
+func TestQuickLUResidual(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		a := randomMatrix(r, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonally dominant
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		got := a.MulVec(x)
+		for i := range b {
+			if math.Abs(got[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomMatrix(rng, 64, 64)
+	c := randomMatrix(rng, 64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.Mul(c)
+	}
+}
+
+func BenchmarkCholesky128(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	g := randomMatrix(rng, 160, 128)
+	a := g.T().Mul(g)
+	for i := 0; i < 128; i++ {
+		a.Set(i, i, a.At(i, i)+1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CholeskyFactor(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package linalg implements the dense linear algebra the release framework
+// needs: matrix products, LU and Cholesky factorisations, linear solves and
+// (generalized) least squares. It is written against the standard library
+// only, deliberately small, and tuned for the moderate matrix sizes that
+// appear in Step 3 of the framework (recovery matrices over the Fourier
+// coefficient set, typically at most a few thousand rows/columns).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorisation meets an (effectively)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// ErrNotSPD is returned by Cholesky when the matrix is not symmetric
+// positive definite.
+var ErrNotSPD = errors.New("linalg: matrix is not symmetric positive definite")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[i*Cols+j]
+}
+
+// NewMatrix allocates a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (all must share one length).
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("linalg: ragged row %d: %d != %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns a square matrix with the given diagonal.
+func Diag(d []float64) *Matrix {
+	m := NewMatrix(len(d), len(d))
+	for i, v := range d {
+		m.Data[i*len(d)+i] = v
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Mul returns m · other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k, mv := range mi {
+			if mv == 0 {
+				continue
+			}
+			ok := other.Row(k)
+			for j, ov := range ok {
+				oi[j] += mv * ov
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m · v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d · %d-vector", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVecT returns mᵀ · v without materialising the transpose.
+func (m *Matrix) MulVecT(v []float64) []float64 {
+	if m.Rows != len(v) {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d ᵀ· %d-vector", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]float64, m.Cols)
+	for i, vi := range v {
+		if vi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, rv := range row {
+			out[j] += vi * rv
+		}
+	}
+	return out
+}
+
+// Add returns m + other.
+func (m *Matrix) Add(other *Matrix) *Matrix {
+	m.mustSameShape(other)
+	out := m.Clone()
+	for i, v := range other.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// Sub returns m − other.
+func (m *Matrix) Sub(other *Matrix) *Matrix {
+	m.mustSameShape(other)
+	out := m.Clone()
+	for i, v := range other.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Scale returns s·m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// ScaleRows multiplies row i by w[i] in place and returns m.
+func (m *Matrix) ScaleRows(w []float64) *Matrix {
+	if len(w) != m.Rows {
+		panic("linalg: ScaleRows weight length mismatch")
+	}
+	for i, wi := range w {
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= wi
+		}
+	}
+	return m
+}
+
+// MaxAbs returns max |m_ij|, 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	mx := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// ColAbsSums returns the vector of L1 column norms Σ_i |m_ij| — the
+// per-column sensitivity of the linear map x ↦ m·x.
+func (m *Matrix) ColAbsSums() []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += math.Abs(v)
+		}
+	}
+	return out
+}
+
+// ColSquareSums returns Σ_i m_ij² per column (squared L2 column norms).
+func (m *Matrix) ColSquareSums() []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v * v
+		}
+	}
+	return out
+}
+
+// Equal reports element-wise equality within tol.
+func (m *Matrix) Equal(other *Matrix, tol float64) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-other.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Matrix) mustSameShape(other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("linalg: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix %dx%d", m.Rows, m.Cols)
+	if m.Rows*m.Cols <= 64 {
+		for i := 0; i < m.Rows; i++ {
+			s += fmt.Sprintf("\n%v", m.Row(i))
+		}
+	}
+	return s
+}

@@ -1,0 +1,113 @@
+package linalg
+
+import "math"
+
+// QR is a Householder QR factorisation A = Q·R with A m×n, m ≥ n,
+// Q m×n orthonormal columns (thin form) and R n×n upper triangular.
+// It backs the numerically stable least-squares path: unlike the normal
+// equations, QR does not square the condition number.
+type QR struct {
+	m, n int
+	// qr holds R in its upper triangle and the Householder vectors below
+	// the diagonal (LAPACK-style compact storage).
+	qr   *Matrix
+	rdia []float64
+}
+
+// QRFactor computes the factorisation. It returns ErrSingular when A is
+// rank deficient to working precision.
+func QRFactor(a *Matrix) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("linalg: QRFactor requires rows ≥ cols")
+	}
+	qr := a.Clone()
+	rdia := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			return nil, ErrSingular
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdia[k] = -norm
+	}
+	for _, d := range rdia {
+		if math.Abs(d) < 1e-13 {
+			return nil, ErrSingular
+		}
+	}
+	return &QR{m: m, n: n, qr: qr, rdia: rdia}, nil
+}
+
+// Solve returns the least-squares solution of A·x ≈ b.
+func (f *QR) Solve(b []float64) []float64 {
+	if len(b) != f.m {
+		panic("linalg: QR.Solve dimension mismatch")
+	}
+	y := make([]float64, f.m)
+	copy(y, b)
+	// Apply Qᵀ to b.
+	for k := 0; k < f.n; k++ {
+		s := 0.0
+		for i := k; i < f.m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < f.m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back-substitute R·x = (Qᵀb)[:n].
+	x := make([]float64, f.n)
+	for i := f.n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.rdia[i]
+	}
+	return x
+}
+
+// R returns the upper-triangular factor.
+func (f *QR) R() *Matrix {
+	r := NewMatrix(f.n, f.n)
+	for i := 0; i < f.n; i++ {
+		r.Set(i, i, f.rdia[i])
+		for j := i + 1; j < f.n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// LeastSquaresQR solves min‖A·x − b‖₂ via Householder QR — preferred over
+// LeastSquares (normal equations) for ill-conditioned systems.
+func LeastSquaresQR(a *Matrix, b []float64) ([]float64, error) {
+	f, err := QRFactor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

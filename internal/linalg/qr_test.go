@@ -1,0 +1,122 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQRReproducesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 8, 5)
+	f, err := QRFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify R is upper triangular with the recorded diagonal.
+	r := f.R()
+	for i := 0; i < r.Rows; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("R not upper triangular at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Verify the solve against a consistent system.
+	xTrue := []float64{1, -2, 0.5, 3, -1}
+	b := a.MulVec(xTrue)
+	x := f.Solve(b)
+	for i := range xTrue {
+		if math.Abs(x[i]-xTrue[i]) > 1e-9 {
+			t.Fatalf("QR solve mismatch at %d: %v vs %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestQRMatchesNormalEquations(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 12, 4)
+	b := make([]float64, 12)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x1, err := LeastSquaresQR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-8 {
+			t.Fatalf("QR vs normal equations at %d: %v vs %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestQRBetterOnIllConditioned(t *testing.T) {
+	// A Vandermonde-ish ill-conditioned system: QR must stay accurate.
+	n, p := 12, 5
+	a := NewMatrix(n, p)
+	for i := 0; i < n; i++ {
+		ti := float64(i) / float64(n-1)
+		v := 1.0
+		for j := 0; j < p; j++ {
+			a.Set(i, j, v)
+			v *= ti
+		}
+	}
+	xTrue := []float64{1, -1, 2, -2, 1}
+	b := a.MulVec(xTrue)
+	x, err := LeastSquaresQR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xTrue {
+		if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+			t.Fatalf("ill-conditioned solve off at %d: %v vs %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestQRRejectsRankDeficient(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	if _, err := QRFactor(a); err != ErrSingular {
+		t.Fatalf("rank-deficient matrix accepted: %v", err)
+	}
+}
+
+func TestQRResidualOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 10, 3)
+	b := make([]float64, 10)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := LeastSquaresQR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.MulVec(x)
+	for i := range res {
+		res[i] -= b[i]
+	}
+	proj := a.MulVecT(res)
+	for i, v := range proj {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("residual not orthogonal to columns: Aᵀr[%d] = %v", i, v)
+		}
+	}
+}
+
+func BenchmarkQRFactor64x32(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomMatrix(rng, 64, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := QRFactor(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

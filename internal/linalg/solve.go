@@ -1,0 +1,294 @@
+package linalg
+
+import "math"
+
+// LU is an LU factorisation with partial pivoting: P·A = L·U, stored packed
+// in lu with the unit diagonal of L implicit.
+type LU struct {
+	lu   *Matrix
+	piv  []int
+	sign int
+}
+
+// LUFactor factors a square matrix. It returns ErrSingular when a pivot is
+// (effectively) zero.
+func LUFactor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: LUFactor requires a square matrix")
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		p := col
+		max := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > max {
+				max, p = v, r
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			ri, rp := lu.Row(col), lu.Row(p)
+			for j := range ri {
+				ri[j], rp[j] = rp[j], ri[j]
+			}
+			piv[col], piv[p] = piv[p], piv[col]
+			sign = -sign
+		}
+		pivVal := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / pivVal
+			lu.Set(r, col, f)
+			if f == 0 {
+				continue
+			}
+			rr, rc := lu.Row(r), lu.Row(col)
+			for j := col + 1; j < n; j++ {
+				rr[j] -= f * rc[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves A·x = b for one right-hand side.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("linalg: LU.Solve dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// SolveMatrix solves A·X = B column by column.
+func (f *LU) SolveMatrix(b *Matrix) *Matrix {
+	n := f.lu.Rows
+	if b.Rows != n {
+		panic("linalg: LU.SolveMatrix dimension mismatch")
+	}
+	out := NewMatrix(n, b.Cols)
+	col := make([]float64, n)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := f.Solve(col)
+		for i := 0; i < n; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out
+}
+
+// Det returns the determinant from the factorisation.
+func (f *LU) Det() float64 {
+	det := float64(f.sign)
+	n := f.lu.Rows
+	for i := 0; i < n; i++ {
+		det *= f.lu.At(i, i)
+	}
+	return det
+}
+
+// Solve solves A·x = b by LU factorisation.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := LUFactor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Inverse returns A⁻¹.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := LUFactor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMatrix(Identity(a.Rows)), nil
+}
+
+// Cholesky holds the lower-triangular factor L with A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix
+}
+
+// CholeskyFactor factors a symmetric positive definite matrix.
+func CholeskyFactor(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: CholeskyFactor requires a square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			li, lj := l.Row(i), l.Row(j)
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, ErrNotSPD
+				}
+				li[j] = math.Sqrt(s)
+			} else {
+				li[j] = s / lj[j]
+			}
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve solves A·x = b using the factorisation.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	n := c.l.Rows
+	if len(b) != n {
+		panic("linalg: Cholesky.Solve dimension mismatch")
+	}
+	// L·y = b
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := c.l.Row(i)
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * y[j]
+		}
+		y[i] = s / row[i]
+	}
+	// Lᵀ·x = y
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.l.At(j, i) * x[j]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}
+
+// SolveMatrix solves A·X = B column by column.
+func (c *Cholesky) SolveMatrix(b *Matrix) *Matrix {
+	n := c.l.Rows
+	out := NewMatrix(n, b.Cols)
+	col := make([]float64, n)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := c.Solve(col)
+		for i := 0; i < n; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out
+}
+
+// LeastSquares solves min_x ‖A·x − b‖₂ via the normal equations
+// AᵀA·x = Aᵀb (Cholesky, falling back to LU with a tiny ridge when AᵀA is
+// numerically semi-definite). A must have full column rank for a meaningful
+// answer.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	at := a.T()
+	ata := at.Mul(a)
+	atb := at.MulVec(b)
+	if ch, err := CholeskyFactor(ata); err == nil {
+		return ch.Solve(atb), nil
+	}
+	// Ridge fallback keeps the solve well posed on rank-deficient inputs;
+	// the perturbation is far below the noise scales used by the mechanisms.
+	ridge := 1e-12 * (1 + ata.MaxAbs())
+	for i := 0; i < ata.Rows; i++ {
+		ata.Data[i*ata.Cols+i] += ridge
+	}
+	return Solve(ata, atb)
+}
+
+// WeightedLeastSquares solves min_x Σ_i w_i (A·x − b)_i² for positive
+// weights w (generalized least squares with diagonal covariance Σ = W⁻¹).
+func WeightedLeastSquares(a *Matrix, b, w []float64) ([]float64, error) {
+	if len(w) != a.Rows || len(b) != a.Rows {
+		panic("linalg: WeightedLeastSquares dimension mismatch")
+	}
+	sw := make([]float64, len(w))
+	for i, wi := range w {
+		if wi < 0 {
+			panic("linalg: negative weight")
+		}
+		sw[i] = math.Sqrt(wi)
+	}
+	aw := a.Clone().ScaleRows(sw)
+	bw := make([]float64, len(b))
+	for i, bi := range b {
+		bw[i] = bi * sw[i]
+	}
+	return LeastSquares(aw, bw)
+}
+
+// Dot returns ⟨a, b⟩.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns ‖v‖₂.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Norm1 returns ‖v‖₁.
+func Norm1(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// NormInf returns ‖v‖∞.
+func NormInf(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > s {
+			s = a
+		}
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzL1OptimumNotImprovable: random small L1 fitting problems; the LP's
+// optimum must be feasible (objective consistent) and not improvable by
+// coordinate perturbations.
+func FuzzL1OptimumNotImprovable(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(2))
+	f.Add(int64(42), uint8(8), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, rowsRaw, colsRaw uint8) {
+		rows := 2 + int(rowsRaw%8)
+		cols := 1 + int(colsRaw%3)
+		rng := rand.New(rand.NewSource(seed))
+		m := make([][]float64, rows)
+		target := make([]float64, rows)
+		for i := range m {
+			m[i] = make([]float64, cols)
+			for j := range m[i] {
+				m[i][j] = math.Round(rng.NormFloat64()*4) / 2 // keep numbers tame
+			}
+			target[i] = math.Round(rng.NormFloat64()*10) / 2
+		}
+		y, obj, err := MinimizeL1(m, target)
+		if err != nil {
+			// Unbounded/infeasible cannot happen for L1 fitting; degenerate
+			// all-zero rows keep it bounded too.
+			t.Fatalf("MinimizeL1: %v", err)
+		}
+		l1 := func(yy []float64) float64 {
+			s := 0.0
+			for i := range m {
+				r := -target[i]
+				for j := range yy {
+					r += m[i][j] * yy[j]
+				}
+				s += math.Abs(r)
+			}
+			return s
+		}
+		if math.Abs(l1(y)-obj) > 1e-5*(1+math.Abs(obj)) {
+			t.Fatalf("objective mismatch: %v vs %v", l1(y), obj)
+		}
+		for j := 0; j < cols; j++ {
+			for _, d := range []float64{0.1, -0.1} {
+				yy := append([]float64(nil), y...)
+				yy[j] += d
+				if l1(yy) < obj-1e-6 {
+					t.Fatalf("perturbation improved optimum: %v < %v", l1(yy), obj)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,394 @@
+// Package lp implements a dense two-phase primal simplex solver. It exists
+// to support the L1 and L∞ consistency programs of Sections 3.3 and 4.3 of
+// the paper: those LPs have one variable per Fourier coefficient (plus
+// auxiliary error variables), i.e. tens to a few thousands of variables, for
+// which a dense tableau simplex with Bland's anti-cycling rule is entirely
+// adequate and dependency-free.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Solver failure modes.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+)
+
+const eps = 1e-9
+
+// ConstraintKind distinguishes ≤, =, ≥ rows in a general-form problem.
+type ConstraintKind int
+
+// Constraint kinds.
+const (
+	LE ConstraintKind = iota // a·x ≤ b
+	EQ                       // a·x = b
+	GE                       // a·x ≥ b
+)
+
+// Problem is a general-form linear program:
+//
+//	minimize   c·x
+//	subject to A_i·x  (≤ | = | ≥)  b_i
+//	           x_j ≥ 0 for j ∉ Free
+//
+// Free variables are handled by the standard x = x⁺ − x⁻ split.
+type Problem struct {
+	C    []float64
+	A    [][]float64
+	B    []float64
+	Kind []ConstraintKind
+	Free []bool // len(C); true means variable unrestricted in sign
+}
+
+// NewProblem allocates an empty problem over n variables, all free.
+func NewProblem(n int) *Problem {
+	free := make([]bool, n)
+	for i := range free {
+		free[i] = true
+	}
+	return &Problem{C: make([]float64, n), Free: free}
+}
+
+// AddConstraint appends a row. The coefficient slice is copied.
+func (p *Problem) AddConstraint(coef []float64, kind ConstraintKind, rhs float64) {
+	if len(coef) != len(p.C) {
+		panic(fmt.Sprintf("lp: constraint width %d != %d variables", len(coef), len(p.C)))
+	}
+	row := make([]float64, len(coef))
+	copy(row, coef)
+	p.A = append(p.A, row)
+	p.B = append(p.B, rhs)
+	p.Kind = append(p.Kind, kind)
+}
+
+// Solve converts to standard form and runs two-phase simplex. It returns the
+// optimal x (length len(C)) and objective value.
+func (p *Problem) Solve() ([]float64, float64, error) {
+	n := len(p.C)
+	m := len(p.A)
+
+	// Column mapping: each original variable becomes one (x ≥ 0) or two
+	// (x⁺, x⁻) standard-form columns.
+	type colMap struct{ plus, minus int }
+	maps := make([]colMap, n)
+	cols := 0
+	for j := 0; j < n; j++ {
+		maps[j].plus = cols
+		cols++
+		if p.Free[j] {
+			maps[j].minus = cols
+			cols++
+		} else {
+			maps[j].minus = -1
+		}
+	}
+	// Slack/surplus columns.
+	slackOf := make([]int, m)
+	for i, k := range p.Kind {
+		if k == EQ {
+			slackOf[i] = -1
+			continue
+		}
+		slackOf[i] = cols
+		cols++
+	}
+
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		row := make([]float64, cols)
+		for j := 0; j < n; j++ {
+			v := p.A[i][j]
+			row[maps[j].plus] += v
+			if maps[j].minus >= 0 {
+				row[maps[j].minus] -= v
+			}
+		}
+		switch p.Kind[i] {
+		case LE:
+			row[slackOf[i]] = 1
+		case GE:
+			row[slackOf[i]] = -1
+		}
+		a[i] = row
+		b[i] = p.B[i]
+	}
+	c := make([]float64, cols)
+	for j := 0; j < n; j++ {
+		c[maps[j].plus] += p.C[j]
+		if maps[j].minus >= 0 {
+			c[maps[j].minus] -= p.C[j]
+		}
+	}
+
+	x, obj, err := solveStandard(c, a, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]float64, n)
+	for j := 0; j < n; j++ {
+		out[j] = x[maps[j].plus]
+		if maps[j].minus >= 0 {
+			out[j] -= x[maps[j].minus]
+		}
+	}
+	return out, obj, nil
+}
+
+// solveStandard solves min c·x s.t. a·x = b, x ≥ 0 by two-phase simplex.
+func solveStandard(c []float64, a [][]float64, b []float64) ([]float64, float64, error) {
+	m := len(a)
+	if m == 0 {
+		// Unconstrained: optimum is 0 when c ≥ 0 (x = 0), else unbounded.
+		for _, cj := range c {
+			if cj < -eps {
+				return nil, 0, ErrUnbounded
+			}
+		}
+		return make([]float64, len(c)), 0, nil
+	}
+	n := len(c)
+
+	// Normalise b ≥ 0.
+	for i := 0; i < m; i++ {
+		if b[i] < 0 {
+			b[i] = -b[i]
+			for j := range a[i] {
+				a[i][j] = -a[i][j]
+			}
+		}
+	}
+
+	// Phase 1 tableau: columns = original n + m artificials.
+	t := newTableau(m, n+m)
+	for i := 0; i < m; i++ {
+		copy(t.a[i], a[i])
+		t.a[i][n+i] = 1
+		t.b[i] = b[i]
+		t.basis[i] = n + i
+	}
+	phase1 := make([]float64, n+m)
+	for j := n; j < n+m; j++ {
+		phase1[j] = 1
+	}
+	if err := t.optimize(phase1, n+m); err != nil {
+		return nil, 0, err
+	}
+	if t.objective(phase1) > 1e-7 {
+		return nil, 0, ErrInfeasible
+	}
+	// Drive any artificial variables out of the basis.
+	for i := 0; i < m; i++ {
+		if t.basis[i] < n {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row; mark the artificial as staying at zero. The
+			// simplex below never increases it because its phase-2 cost is
+			// forced prohibitive.
+			continue
+		}
+	}
+
+	// Phase 2 over original columns only. Artificial columns are excluded
+	// from entering; any artificial still basic sits on a redundant
+	// (all-zero) row at value 0 and never moves.
+	phase2 := make([]float64, n+m)
+	copy(phase2, c)
+	if err := t.optimize(phase2, n); err != nil {
+		return nil, 0, err
+	}
+	x := make([]float64, n)
+	for i, bi := range t.basis {
+		if bi < n {
+			x[bi] = t.b[i]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += c[j] * x[j]
+	}
+	return x, obj, nil
+}
+
+type tableau struct {
+	m, n  int
+	a     [][]float64
+	b     []float64
+	basis []int
+}
+
+func newTableau(m, n int) *tableau {
+	t := &tableau{m: m, n: n, b: make([]float64, m), basis: make([]int, m)}
+	t.a = make([][]float64, m)
+	for i := range t.a {
+		t.a[i] = make([]float64, n)
+	}
+	return t
+}
+
+func (t *tableau) objective(c []float64) float64 {
+	obj := 0.0
+	for i, bi := range t.basis {
+		obj += c[bi] * t.b[i]
+	}
+	return obj
+}
+
+// reducedCost computes c_j − c_B·B⁻¹·A_j for column j given the current
+// tableau (which already stores B⁻¹·A).
+func (t *tableau) reducedCost(c []float64, j int) float64 {
+	r := c[j]
+	for i, bi := range t.basis {
+		r -= c[bi] * t.a[i][j]
+	}
+	return r
+}
+
+// optimize runs primal simplex with Bland's rule until optimality,
+// considering only the first ncols columns as entering candidates.
+func (t *tableau) optimize(c []float64, ncols int) error {
+	maxIter := 50 * (t.m + t.n) * (t.m + 2) // generous anti-stall bound
+	for iter := 0; iter < maxIter; iter++ {
+		// Bland: entering column = smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < ncols; j++ {
+			if t.reducedCost(c, j) < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Ratio test; Bland tie-break on smallest basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > eps {
+				ratio := t.b[i] / t.a[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return errors.New("lp: simplex iteration limit exceeded")
+}
+
+func (t *tableau) pivot(row, col int) {
+	p := t.a[row][col]
+	inv := 1 / p
+	for j := 0; j < t.n; j++ {
+		t.a[row][j] *= inv
+	}
+	t.b[row] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.b[i] -= f * t.b[row]
+		if t.b[i] < 0 && t.b[i] > -1e-11 {
+			t.b[i] = 0 // clamp tiny negative drift
+		}
+	}
+	t.basis[row] = col
+}
+
+// MinimizeLInf solves min_y ‖M·y − target‖∞ and returns the minimiser y and
+// the optimum value. M is given as dense rows. This is the p=∞ consistency
+// program from Section 3.3.
+func MinimizeLInf(m [][]float64, target []float64) ([]float64, float64, error) {
+	if len(m) != len(target) {
+		panic("lp: MinimizeLInf dimension mismatch")
+	}
+	if len(m) == 0 {
+		return nil, 0, nil
+	}
+	nvar := len(m[0])
+	// Variables: y (free) then t ≥ 0.
+	p := NewProblem(nvar + 1)
+	p.Free[nvar] = false
+	p.C[nvar] = 1
+	row := make([]float64, nvar+1)
+	for i := range m {
+		copy(row, m[i])
+		row[nvar] = -1 // M·y − t ≤ target
+		p.AddConstraint(row, LE, target[i])
+		for j := 0; j < nvar; j++ {
+			row[j] = -m[i][j] // −M·y − t ≤ −target
+		}
+		row[nvar] = -1
+		p.AddConstraint(row, LE, -target[i])
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	x, obj, err := p.Solve()
+	if err != nil {
+		return nil, 0, err
+	}
+	return x[:nvar], obj, nil
+}
+
+// MinimizeL1 solves min_y ‖M·y − target‖₁ and returns the minimiser y and
+// the optimum value. This is the p=1 consistency program from Section 3.3.
+func MinimizeL1(m [][]float64, target []float64) ([]float64, float64, error) {
+	if len(m) != len(target) {
+		panic("lp: MinimizeL1 dimension mismatch")
+	}
+	if len(m) == 0 {
+		return nil, 0, nil
+	}
+	nvar := len(m[0])
+	k := len(m)
+	// Variables: y (free) then u_i ≥ 0, one per row.
+	p := NewProblem(nvar + k)
+	for i := 0; i < k; i++ {
+		p.Free[nvar+i] = false
+		p.C[nvar+i] = 1
+	}
+	row := make([]float64, nvar+k)
+	for i := range m {
+		copy(row, m[i])
+		row[nvar+i] = -1 // M_i·y − u_i ≤ target_i
+		p.AddConstraint(row, LE, target[i])
+		for j := 0; j < nvar; j++ {
+			row[j] = -m[i][j]
+		}
+		p.AddConstraint(row, LE, -target[i]) // −M_i·y − u_i ≤ −target_i
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	x, obj, err := p.Solve()
+	if err != nil {
+		return nil, 0, err
+	}
+	return x[:nvar], obj, nil
+}

@@ -1,0 +1,257 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+const tol = 1e-6
+
+func TestSimpleLE(t *testing.T) {
+	// max x+y s.t. x+2y ≤ 4, 3x+y ≤ 6, x,y ≥ 0 → min −x−y, optimum at
+	// intersection (8/5, 6/5), objective −14/5.
+	p := NewProblem(2)
+	p.Free[0], p.Free[1] = false, false
+	p.C[0], p.C[1] = -1, -1
+	p.AddConstraint([]float64{1, 2}, LE, 4)
+	p.AddConstraint([]float64{3, 1}, LE, 6)
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1.6) > tol || math.Abs(x[1]-1.2) > tol || math.Abs(obj+2.8) > tol {
+		t.Fatalf("got x=%v obj=%v", x, obj)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x+y s.t. x+y = 3, x−y = 1, x,y ≥ 0 → x=2, y=1.
+	p := NewProblem(2)
+	p.Free[0], p.Free[1] = false, false
+	p.C[0], p.C[1] = 1, 1
+	p.AddConstraint([]float64{1, 1}, EQ, 3)
+	p.AddConstraint([]float64{1, -1}, EQ, 1)
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > tol || math.Abs(x[1]-1) > tol || math.Abs(obj-3) > tol {
+		t.Fatalf("got x=%v obj=%v", x, obj)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// min 2x+3y s.t. x+y ≥ 4, x ≥ 0, y ≥ 0 → x=4, y=0, obj=8.
+	p := NewProblem(2)
+	p.Free[0], p.Free[1] = false, false
+	p.C[0], p.C[1] = 2, 3
+	p.AddConstraint([]float64{1, 1}, GE, 4)
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-8) > tol || math.Abs(x[0]-4) > tol {
+		t.Fatalf("got x=%v obj=%v", x, obj)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min |free structure|: min y s.t. y ≥ x − 2, y ≥ −x + 2 with x free and
+	// y ≥ 0: optimum y = 0 at x = 2.
+	p := NewProblem(2) // x free, y
+	p.Free[1] = false
+	p.C[1] = 1
+	p.AddConstraint([]float64{1, -1}, LE, 2)   // x − y ≤ 2
+	p.AddConstraint([]float64{-1, -1}, LE, -2) // −x − y ≤ −2
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj) > tol || math.Abs(x[0]-2) > tol {
+		t.Fatalf("got x=%v obj=%v", x, obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.Free[0] = false
+	p.AddConstraint([]float64{1}, LE, 1)
+	p.AddConstraint([]float64{1}, GE, 2)
+	if _, _, err := p.Solve(); err != ErrInfeasible {
+		t.Fatalf("expected ErrInfeasible, got %v", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.Free[0] = false
+	p.C[0] = -1
+	p.AddConstraint([]float64{-1}, LE, 0) // x ≥ 0, minimize −x
+	if _, _, err := p.Solve(); err != ErrUnbounded {
+		t.Fatalf("expected ErrUnbounded, got %v", err)
+	}
+}
+
+func TestDegeneratePivoting(t *testing.T) {
+	// Classic degenerate example (Beale-like); Bland's rule must terminate.
+	p := NewProblem(4)
+	for i := range p.Free {
+		p.Free[i] = false
+	}
+	p.C = []float64{-0.75, 150, -0.02, 6}
+	p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj+0.05) > tol {
+		t.Fatalf("Beale optimum = %v (x=%v), want -0.05", obj, x)
+	}
+}
+
+func TestMinimizeLInfScalar(t *testing.T) {
+	// One free variable y, rows y and y: min max(|y−1|, |y−3|) → y=2, obj 1.
+	m := [][]float64{{1}, {1}}
+	target := []float64{1, 3}
+	y, obj, err := MinimizeLInf(m, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-2) > tol || math.Abs(obj-1) > tol {
+		t.Fatalf("got y=%v obj=%v", y, obj)
+	}
+}
+
+func TestMinimizeL1IsMedian(t *testing.T) {
+	// min Σ|y − t_i| is minimised by the median of t.
+	targets := []float64{1, 5, 2, 9, 4}
+	m := make([][]float64, len(targets))
+	for i := range m {
+		m[i] = []float64{1}
+	}
+	y, _, err := MinimizeL1(m, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), targets...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	if math.Abs(y[0]-median) > tol {
+		t.Fatalf("L1 minimiser = %v, want median %v", y[0], median)
+	}
+}
+
+func TestMinimizeLInfIsMidrange(t *testing.T) {
+	targets := []float64{1, 5, 2, 9, 4}
+	m := make([][]float64, len(targets))
+	for i := range m {
+		m[i] = []float64{1}
+	}
+	y, obj, err := MinimizeLInf(m, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-5) > tol || math.Abs(obj-4) > tol {
+		t.Fatalf("L∞ minimiser = %v obj=%v, want midrange 5 obj 4", y[0], obj)
+	}
+}
+
+func TestMinimizeL1TwoVars(t *testing.T) {
+	// Consistent system: exact fit must give objective 0.
+	m := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	target := []float64{2, 3, 5}
+	y, obj, err := MinimizeL1(m, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj) > tol || math.Abs(y[0]-2) > tol || math.Abs(y[1]-3) > tol {
+		t.Fatalf("got y=%v obj=%v", y, obj)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if _, _, err := MinimizeL1(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MinimizeLInf(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(2)
+	p.C = []float64{1, 1}
+	p.Free = []bool{false, false}
+	x, obj, err := p.Solve()
+	if err != nil || obj != 0 || x[0] != 0 {
+		t.Fatalf("unconstrained min of nonneg cost should be 0: %v %v %v", x, obj, err)
+	}
+}
+
+// Randomised cross-check: L1 optimum from the LP can never exceed the L1
+// error of the least-squares-style average fit, and the optimum must have
+// zero subgradient structure (checked via small perturbations).
+func TestRandomL1Optimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 6+rng.Intn(5), 2+rng.Intn(2)
+		m := make([][]float64, rows)
+		target := make([]float64, rows)
+		for i := range m {
+			m[i] = make([]float64, cols)
+			for j := range m[i] {
+				m[i][j] = rng.NormFloat64()
+			}
+			target[i] = rng.NormFloat64() * 3
+		}
+		y, obj, err := MinimizeL1(m, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1 := func(yy []float64) float64 {
+			s := 0.0
+			for i := range m {
+				r := -target[i]
+				for j := range yy {
+					r += m[i][j] * yy[j]
+				}
+				s += math.Abs(r)
+			}
+			return s
+		}
+		if math.Abs(l1(y)-obj) > 1e-5 {
+			t.Fatalf("objective mismatch: %v vs %v", l1(y), obj)
+		}
+		// No small perturbation may improve the optimum.
+		for j := 0; j < cols; j++ {
+			for _, dlt := range []float64{0.05, -0.05} {
+				yy := append([]float64(nil), y...)
+				yy[j] += dlt
+				if l1(yy) < obj-1e-6 {
+					t.Fatalf("perturbation improved L1 optimum: %v < %v", l1(yy), obj)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkL1Consistency50x10(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	rows, cols := 50, 10
+	m := make([][]float64, rows)
+	target := make([]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64()
+		}
+		target[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MinimizeL1(m, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

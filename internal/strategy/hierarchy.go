@@ -1,0 +1,117 @@
+package strategy
+
+import (
+	"fmt"
+	mathbits "math/bits"
+
+	"repro/internal/bits"
+	"repro/internal/budget"
+	"repro/internal/marginal"
+	"repro/internal/transform"
+)
+
+// HierarchyMarginal answers marginal workloads through the binary-tree
+// strategy of Hay et al. [14] built over the linearised domain: every tree
+// node holds the sum of a dyadic block of contingency cells, one group per
+// level (Definition 3.1 with C = 1).
+//
+// A marginal cell (Cα)_γ sums the domain cells {idx : idx∧α = γ}. That set
+// decomposes into dyadic blocks of size 2^t, where t is the number of
+// trailing free (non-α) bits of the domain: the recovery reads
+// 2^{d−‖α‖−t} nodes at depth d−t. When α touches the low-order bits the
+// recovery degenerates to reading leaves while the budget is still split
+// across all levels — the structural reason the paper (citing [16]) notes
+// hierarchical strategies are "not particularly accurate" for marginals.
+// The strategy exists to make that comparison measurable (see the ablation
+// benchmarks); prefer Fourier for marginal workloads.
+type HierarchyMarginal struct{}
+
+// Name implements Strategy.
+func (HierarchyMarginal) Name() string { return "H" }
+
+// Plan implements Strategy.
+func (HierarchyMarginal) Plan(w *marginal.Workload) (*Plan, error) {
+	d := w.D
+	n := 1 << uint(d)
+	h := transform.NewHierarchy(n)
+	levels := h.Levels // d+1
+
+	// For each marginal, the recovery depth is d−t with t = trailing free
+	// bits; count node usage per level for the budgeting weights.
+	type recInfo struct {
+		depth  int // tree level whose nodes are summed
+		blocks int // nodes per marginal cell
+	}
+	rec := make([]recInfo, len(w.Marginals))
+	useCount := make([]float64, levels)
+	for i, m := range w.Marginals {
+		t := trailingFreeBits(m.Alpha, d)
+		depth := d - t
+		blocks := 1 << uint(d-m.Order()-t)
+		rec[i] = recInfo{depth: depth, blocks: blocks}
+		useCount[depth] += float64(blocks * m.Cells())
+	}
+	specs := make([]budget.Spec, levels)
+	for l := 0; l < levels; l++ {
+		count := 1 << uint(l)
+		rw := useCount[l] / float64(count)
+		specs[l] = budget.Spec{Count: count, RowWeight: rw, C: 1}
+	}
+	// Levels never read by any recovery would get zero budget and fail the
+	// engine's guard; give them the minimal useful weight instead (they
+	// still cost privacy — the authentic inefficiency of this strategy).
+	for l := range specs {
+		if specs[l].RowWeight == 0 {
+			specs[l].RowWeight = 1e-9
+		}
+	}
+
+	return &Plan{
+		Strategy: "H",
+		Specs:    specs,
+		TrueAnswers: func(x []float64) []float64 {
+			if len(x) != n {
+				panic(fmt.Sprintf("strategy: hierarchy expects %d cells, got %d", n, len(x)))
+			}
+			// Heap layout is level-major from the root, matching the
+			// group-major spec layout.
+			return h.Answer(x)
+		},
+		Recover: func(z []float64, groupVar []float64) ([]float64, []float64, error) {
+			if len(z) != h.Rows() || len(groupVar) != levels {
+				return nil, nil, fmt.Errorf("strategy: hierarchy recover got %d answers, %d variances", len(z), len(groupVar))
+			}
+			answers := make([]float64, 0, w.TotalCells())
+			cellVar := make([]float64, len(w.Marginals))
+			for i, m := range w.Marginals {
+				depth := rec[i].depth
+				levelStart := (1 << uint(depth)) - 1 // heap index of level's first node
+				blockBits := d - depth               // each node covers 2^{d−depth} leaves
+				out := make([]float64, m.Cells())
+				// Enumerate the nodes of the level; node j covers leaves
+				// [j·2^{blockBits}, …), all of which share the same values
+				// on bits ≥ blockBits. The covered leaves' α-bits are those
+				// of the block start (trailing-free-bit construction).
+				for j := 0; j < 1<<uint(depth); j++ {
+					start := bits.Mask(j << uint(blockBits))
+					out[bits.CellIndex(m.Alpha, start&m.Alpha)] += z[levelStart+j]
+				}
+				answers = append(answers, out...)
+				cellVar[i] = float64(rec[i].blocks) * groupVar[depth]
+			}
+			return answers, cellVar, nil
+		},
+	}, nil
+}
+
+// trailingFreeBits counts how many of the lowest domain bits are outside α.
+func trailingFreeBits(alpha bits.Mask, d int) int {
+	if alpha == 0 {
+		return d
+	}
+	t := mathbits.TrailingZeros32(uint32(alpha))
+	if t > d {
+		t = d
+	}
+	return t
+}

@@ -1,0 +1,197 @@
+package strategy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/budget"
+	"repro/internal/marginal"
+	"repro/internal/noise"
+)
+
+func TestHierarchyMarginalNoiselessRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := 6
+	x := testX(rng, d)
+	for _, w := range []*marginal.Workload{
+		marginal.AllKWay(d, 1),
+		marginal.AllKWay(d, 2),
+		marginal.MustWorkload(d, []bits.Mask{0, 0b111111, 0b101010, 0b000001, 0b100000}),
+	} {
+		noiselessRoundTrip(t, HierarchyMarginal{}, w, x)
+	}
+}
+
+func TestTrailingFreeBits(t *testing.T) {
+	cases := []struct {
+		alpha bits.Mask
+		d     int
+		want  int
+	}{
+		{0, 5, 5}, {1, 5, 0}, {0b100, 5, 2}, {0b10000, 5, 4}, {0b110, 5, 1},
+	}
+	for _, c := range cases {
+		if got := trailingFreeBits(c.alpha, c.d); got != c.want {
+			t.Errorf("trailingFreeBits(%v, %d) = %d, want %d", c.alpha, c.d, got, c.want)
+		}
+	}
+}
+
+func TestHierarchySpecsShape(t *testing.T) {
+	d := 4
+	w := marginal.AllKWay(d, 1)
+	plan, err := HierarchyMarginal{}.Plan(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Specs) != d+1 {
+		t.Fatalf("%d levels, want %d", len(plan.Specs), d+1)
+	}
+	total := 0
+	for l, s := range plan.Specs {
+		if s.Count != 1<<uint(l) {
+			t.Fatalf("level %d has %d nodes, want %d", l, s.Count, 1<<uint(l))
+		}
+		total += s.Count
+	}
+	if total != 2*(1<<uint(d))-1 {
+		t.Fatalf("total rows %d, want %d", total, 2*(1<<uint(d))-1)
+	}
+}
+
+// TestHierarchyLosesToFourierOnMarginals pins down the paper's claim (via
+// [16]) that range-query strategies are inaccurate for marginal workloads:
+// the hierarchy's analytic variance must exceed the Fourier strategy's by a
+// wide margin on all-1-way marginals touching low-order bits.
+func TestHierarchyLosesToFourierOnMarginals(t *testing.T) {
+	d := 8
+	w := marginal.AllKWay(d, 1)
+	p := noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.AddRemove}
+	variance := func(s Strategy) float64 {
+		plan, err := s.Plan(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc, err := budget.OptimalSpecs(plan.Specs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groupVar := budget.SpecVariances(alloc.Eta, p)
+		_, cellVar, err := plan.Recover(plan.TrueAnswers(make([]float64, 1<<uint(d))), groupVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for i, m := range w.Marginals {
+			total += float64(m.Cells()) * cellVar[i]
+		}
+		return total
+	}
+	hier := variance(HierarchyMarginal{})
+	four := variance(Fourier{})
+	if hier < 3*four {
+		t.Fatalf("hierarchy variance %v should be far above Fourier %v on marginals", hier, four)
+	}
+}
+
+func TestHierarchyEmpiricalVariance(t *testing.T) {
+	// Empirical variance matches the analytic cellVar.
+	rng := rand.New(rand.NewSource(2))
+	d := 4
+	x := testX(rng, d)
+	w := marginal.MustWorkload(d, []bits.Mask{0b1100})
+	plan, err := HierarchyMarginal{}.Plan(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.AddRemove}
+	alloc, err := budget.OptimalSpecs(plan.Specs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupVar := budget.SpecVariances(alloc.Eta, p)
+	truth := w.Eval(x)
+	src := noise.NewSource(3)
+	offsets := plan.GroupOffsets()
+	const trials = 20000
+	sumSq := make([]float64, len(truth))
+	var cellVar []float64
+	for tr := 0; tr < trials; tr++ {
+		z := plan.TrueAnswers(x)
+		for g, spec := range plan.Specs {
+			for r := 0; r < spec.Count; r++ {
+				z[offsets[g]+r] += p.RowNoise(src, alloc.Eta[g])
+			}
+		}
+		var answers []float64
+		answers, cellVar, err = plan.Recover(z, groupVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range answers {
+			dd := answers[i] - truth[i]
+			sumSq[i] += dd * dd
+		}
+	}
+	for i := range sumSq {
+		got := sumSq[i] / trials
+		want := cellVar[0]
+		if math.Abs(got-want)/want > 0.1 {
+			t.Fatalf("cell %d: empirical %v vs analytic %v", i, got, want)
+		}
+	}
+}
+
+func TestWaveletMarginalNoiselessRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := 6
+	x := testX(rng, d)
+	for _, w := range []*marginal.Workload{
+		marginal.AllKWay(d, 1),
+		marginal.MustWorkload(d, []bits.Mask{0, 0b111111, 0b100001}),
+	} {
+		noiselessRoundTrip(t, WaveletMarginal{}, w, x)
+	}
+}
+
+func TestWaveletMarginalRejectsHugeDomains(t *testing.T) {
+	w := marginal.AllKWay(20, 1)
+	if _, err := (WaveletMarginal{}).Plan(w); err == nil {
+		t.Fatal("d=20 accepted")
+	}
+}
+
+func TestWaveletLosesToFourierOnMarginals(t *testing.T) {
+	// Same claim as for the hierarchy: the wavelet strategy's variance on
+	// all-1-way marginals is far above Fourier's.
+	d := 8
+	w := marginal.AllKWay(d, 1)
+	p := noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.AddRemove}
+	variance := func(s Strategy) float64 {
+		plan, err := s.Plan(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc, err := budget.OptimalSpecs(plan.Specs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groupVar := budget.SpecVariances(alloc.Eta, p)
+		_, cellVar, err := plan.Recover(plan.TrueAnswers(make([]float64, 1<<uint(d))), groupVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for i, m := range w.Marginals {
+			total += float64(m.Cells()) * cellVar[i]
+		}
+		return total
+	}
+	wav := variance(WaveletMarginal{})
+	four := variance(Fourier{})
+	if wav < 3*four {
+		t.Fatalf("wavelet variance %v should be far above Fourier %v on marginals", wav, four)
+	}
+}

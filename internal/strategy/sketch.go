@@ -1,0 +1,113 @@
+package strategy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/budget"
+	"repro/internal/marginal"
+)
+
+// Sketch is the sparse-random-projection strategy of [5]: t independent
+// repetitions, each hashing the N domain cells into b buckets with random
+// ±1 signs. Each repetition is one group (rows are support-disjoint and all
+// entries have magnitude 1, so Definition 3.1 holds with C = 1 and g = t).
+//
+// Marginal cells are estimated linearly: the unbiased single-repetition
+// estimate of x_j is sign_j·z_{bucket(j)}, and a marginal cell sums those
+// estimates over its domain cells; repetitions are averaged. The estimator
+// suits sparse data (its variance grows with the mass colliding into the
+// cell's buckets), which is why the paper positions sketches for sparse
+// release rather than dense marginal workloads.
+type Sketch struct {
+	Reps    int   // t, number of repetitions (default 5)
+	Buckets int   // b, buckets per repetition (default 256)
+	Seed    int64 // hash seed (deterministic plans)
+}
+
+// Name implements Strategy.
+func (Sketch) Name() string { return "S" }
+
+// Plan implements Strategy.
+func (s Sketch) Plan(w *marginal.Workload) (*Plan, error) {
+	t, b := s.Reps, s.Buckets
+	if t <= 0 {
+		t = 5
+	}
+	if b <= 0 {
+		b = 256
+	}
+	n := 1 << uint(w.D)
+	rng := rand.New(rand.NewSource(s.Seed + 1))
+	bucket := make([][]int32, t)
+	sign := make([][]int8, t)
+	for r := 0; r < t; r++ {
+		bucket[r] = make([]int32, n)
+		sign[r] = make([]int8, n)
+		for j := 0; j < n; j++ {
+			bucket[r][j] = int32(rng.Intn(b))
+			if rng.Intn(2) == 0 {
+				sign[r][j] = 1
+			} else {
+				sign[r][j] = -1
+			}
+		}
+	}
+	specs := make([]budget.Spec, t)
+	for r := 0; r < t; r++ {
+		// Recovery weight per sketch row: each bucket is read by the cells
+		// hashing to it, averaged over t; weight ≈ (coverage)/t² per query.
+		// Use the aggregate count of (query cell, domain cell) pairs landing
+		// in the repetition as a proxy; uniform across repetitions.
+		specs[r] = budget.Spec{Count: b, RowWeight: float64(w.TotalCells()) / float64(t), C: 1}
+	}
+	return &Plan{
+		Strategy: "S",
+		Specs:    specs,
+		TrueAnswers: func(x []float64) []float64 {
+			if len(x) != n {
+				panic(fmt.Sprintf("strategy: sketch expects %d cells, got %d", n, len(x)))
+			}
+			out := make([]float64, t*b)
+			for r := 0; r < t; r++ {
+				base := r * b
+				for j, v := range x {
+					if v == 0 {
+						continue
+					}
+					out[base+int(bucket[r][j])] += float64(sign[r][j]) * v
+				}
+			}
+			return out
+		},
+		Recover: func(z []float64, groupVar []float64) ([]float64, []float64, error) {
+			if len(z) != t*b || len(groupVar) != t {
+				return nil, nil, fmt.Errorf("strategy: sketch recover got %d answers, %d variances", len(z), len(groupVar))
+			}
+			// Per-cell estimates averaged over repetitions, then aggregated
+			// into the requested marginals.
+			xhat := make([]float64, n)
+			for j := 0; j < n; j++ {
+				est := 0.0
+				for r := 0; r < t; r++ {
+					est += float64(sign[r][j]) * z[r*b+int(bucket[r][j])]
+				}
+				xhat[j] = est / float64(t)
+			}
+			answers := w.EvalSinglePass(xhat)
+			cellVar := make([]float64, len(w.Marginals))
+			meanVar := 0.0
+			for _, v := range groupVar {
+				meanVar += v
+			}
+			meanVar /= float64(t)
+			for i, m := range w.Marginals {
+				// Noise variance only (collision error excluded): each cell
+				// of the marginal touches 2^{d−k} domain cells, each reading
+				// t buckets with weight 1/t.
+				cellVar[i] = float64(int64(1)<<uint(w.D-m.Order())) * meanVar / float64(t)
+			}
+			return answers, cellVar, nil
+		},
+	}, nil
+}

@@ -1,0 +1,223 @@
+// Package strategy implements Step 1 of the framework: the strategy
+// matrices S whose noisy answers z = Sx + ν are recombined into marginal
+// answers. Each strategy exposes a Plan — a group-structured description of
+// S (feeding Step 2's budgeting), the exact strategy answers S·x, and the
+// initial recovery from noisy answers to marginal tables together with the
+// per-marginal cell variances (feeding the consistency step and the error
+// accounting).
+//
+// Implemented strategies, mirroring Section 5:
+//
+//	Identity — S = I, materialise noisy base counts and aggregate ("I").
+//	Workload — S = Q, perturb every queried marginal directly ("Q"/"Q+").
+//	Fourier  — S = the Fourier coefficients F of the workload ("F"/"F+"),
+//	           the strategy of Barak et al. [1].
+//	Cluster  — greedy clustered marginals of Ding et al. [6] ("C"/"C+").
+//	Sketch   — sparse random projections [5] (point-query demo strategy).
+//
+// All strategies satisfy the grouping property (Definition 3.1); their
+// groups are laid out group-major so the strategy answers can be addressed
+// per group without per-row bookkeeping.
+package strategy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/budget"
+	"repro/internal/marginal"
+	"repro/internal/transform"
+)
+
+// Plan is the structured description a strategy produces for one workload.
+type Plan struct {
+	// Strategy is the short name used in the experiment tables (I, Q, F, C).
+	Strategy string
+	// Specs describe the groups of S in row-major order: group g occupies
+	// rows [Σ_{h<g} Count_h, …).
+	Specs []budget.Spec
+	// TrueAnswers computes S·x, laid out group-major.
+	TrueAnswers func(x []float64) []float64
+	// Recover maps noisy strategy answers (group-major, with per-group noise
+	// variances) to the concatenated workload answers and the per-marginal
+	// cell variance (constant within a marginal for every strategy here).
+	Recover func(z []float64, groupVar []float64) (answers []float64, cellVar []float64, err error)
+}
+
+// Rows returns the total number of strategy rows.
+func (p *Plan) Rows() int {
+	n := 0
+	for _, s := range p.Specs {
+		n += s.Count
+	}
+	return n
+}
+
+// GroupOffsets returns the first row index of every group.
+func (p *Plan) GroupOffsets() []int {
+	out := make([]int, len(p.Specs))
+	acc := 0
+	for i, s := range p.Specs {
+		out[i] = acc
+		acc += s.Count
+	}
+	return out
+}
+
+// Strategy plans a workload.
+type Strategy interface {
+	Name() string
+	Plan(w *marginal.Workload) (*Plan, error)
+}
+
+// ---------------------------------------------------------------------------
+// Identity strategy: S = I.
+
+// Identity materialises noisy base counts (S = I) and aggregates them into
+// the requested marginals. Its single group makes uniform budgeting optimal,
+// as the paper notes.
+type Identity struct{}
+
+// Name implements Strategy.
+func (Identity) Name() string { return "I" }
+
+// Plan implements Strategy.
+func (Identity) Plan(w *marginal.Workload) (*Plan, error) {
+	n := 1 << uint(w.D)
+	ell := float64(len(w.Marginals))
+	specs := []budget.Spec{{Count: n, RowWeight: ell, C: 1}}
+	return &Plan{
+		Strategy: "I",
+		Specs:    specs,
+		TrueAnswers: func(x []float64) []float64 {
+			if len(x) != n {
+				panic(fmt.Sprintf("strategy: identity expects %d cells, got %d", n, len(x)))
+			}
+			out := make([]float64, n)
+			copy(out, x)
+			return out
+		},
+		Recover: func(z []float64, groupVar []float64) ([]float64, []float64, error) {
+			if len(z) != n || len(groupVar) != 1 {
+				return nil, nil, fmt.Errorf("strategy: identity recover got %d answers, %d variances", len(z), len(groupVar))
+			}
+			answers := w.EvalSinglePass(z)
+			cellVar := make([]float64, len(w.Marginals))
+			for i, m := range w.Marginals {
+				// Each marginal cell sums 2^{d−k} independent noisy counts.
+				cellVar[i] = float64(int64(1)<<uint(w.D-m.Order())) * groupVar[0]
+			}
+			return answers, cellVar, nil
+		},
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Workload strategy: S = Q.
+
+// Workload answers every queried marginal directly (S = Q): one group per
+// marginal with unit magnitudes, so non-uniform budgeting splits ε by
+// marginal size (the Section 1 worked example).
+type Workload struct{}
+
+// Name implements Strategy.
+func (Workload) Name() string { return "Q" }
+
+// Plan implements Strategy.
+func (Workload) Plan(w *marginal.Workload) (*Plan, error) {
+	specs := make([]budget.Spec, len(w.Marginals))
+	for i, m := range w.Marginals {
+		specs[i] = budget.Spec{Count: m.Cells(), RowWeight: 1, C: 1}
+	}
+	return &Plan{
+		Strategy:    "Q",
+		Specs:       specs,
+		TrueAnswers: w.EvalSinglePass,
+		Recover: func(z []float64, groupVar []float64) ([]float64, []float64, error) {
+			if len(z) != w.TotalCells() || len(groupVar) != len(w.Marginals) {
+				return nil, nil, fmt.Errorf("strategy: workload recover got %d answers, %d variances", len(z), len(groupVar))
+			}
+			answers := make([]float64, len(z))
+			copy(answers, z)
+			cellVar := make([]float64, len(groupVar))
+			copy(cellVar, groupVar)
+			return answers, cellVar, nil
+		},
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fourier strategy.
+
+// Fourier answers the Fourier coefficients F = ∪{β ⪯ α_i} of the workload
+// (Barak et al. [1]) and reconstructs marginals by Theorem 4.1. Every
+// coefficient is its own group (the Hadamard rows are dense), with
+// C = 2^{−d/2} and recovery weight w_β = Σ_{i: β⪯α_i} 2^{d−‖α_i‖}
+// (Lemma 4.2's b_i = 2·w_β).
+type Fourier struct{}
+
+// Name implements Strategy.
+func (Fourier) Name() string { return "F" }
+
+// Plan implements Strategy.
+func (Fourier) Plan(w *marginal.Workload) (*Plan, error) {
+	support := w.FourierSupport()
+	d := w.D
+	n := 1 << uint(d)
+	cInv := 1 / math.Sqrt(float64(n))
+
+	// Recovery weight per coefficient.
+	weights := make([]float64, len(support))
+	colOf := make(map[bits.Mask]int, len(support))
+	for c, b := range support {
+		colOf[b] = c
+	}
+	for _, m := range w.Marginals {
+		contrib := float64(int64(1) << uint(d-m.Order()))
+		m.Alpha.VisitSubsets(func(beta bits.Mask) {
+			weights[colOf[beta]] += contrib
+		})
+	}
+	specs := make([]budget.Spec, len(support))
+	for i := range support {
+		specs[i] = budget.Spec{Count: 1, RowWeight: weights[i], C: cInv}
+	}
+	return &Plan{
+		Strategy: "F",
+		Specs:    specs,
+		TrueAnswers: func(x []float64) []float64 {
+			if len(x) != n {
+				panic(fmt.Sprintf("strategy: fourier expects %d cells, got %d", n, len(x)))
+			}
+			theta := transform.WHTCopy(x)
+			out := make([]float64, len(support))
+			for i, b := range support {
+				out[i] = theta[b]
+			}
+			return out
+		},
+		Recover: func(z []float64, groupVar []float64) ([]float64, []float64, error) {
+			if len(z) != len(support) || len(groupVar) != len(support) {
+				return nil, nil, fmt.Errorf("strategy: fourier recover got %d answers, %d variances", len(z), len(groupVar))
+			}
+			coeff := make(map[bits.Mask]float64, len(support))
+			for i, b := range support {
+				coeff[b] = z[i]
+			}
+			answers := make([]float64, 0, w.TotalCells())
+			cellVar := make([]float64, len(w.Marginals))
+			for i, m := range w.Marginals {
+				answers = append(answers, m.EvalFromFourier(d, coeff)...)
+				// Var((Cα)_γ) = Σ_{β⪯α} (2^{d/2−k})²·Var(z_β) = 2^{d−2k}·Σ Var.
+				rCoefSq := math.Pow(2, float64(d-2*m.Order()))
+				sum := 0.0
+				m.Alpha.VisitSubsets(func(beta bits.Mask) {
+					sum += groupVar[colOf[beta]]
+				})
+				cellVar[i] = rCoefSq * sum
+			}
+			return answers, cellVar, nil
+		},
+	}, nil
+}

@@ -1,0 +1,138 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/budget"
+	"repro/internal/marginal"
+	"repro/internal/transform"
+)
+
+// WaveletMarginal answers marginal workloads through the 1-D Haar wavelet
+// strategy of Xiao et al. [23] applied to the linearised domain — the last
+// entry in Section 3.1's list of groupable strategies (one group per
+// wavelet level, per-level magnitudes C_l read off the orthonormal Haar
+// matrix).
+//
+// A marginal cell is ⟨indicator, x⟩ = ⟨Haar(indicator), Haar(x)⟩, so the
+// recovery weights are the Haar transforms of the cell indicators. Like
+// HierarchyMarginal, this strategy exists to quantify the paper's point
+// that range-query strategies fit marginals poorly: indicators of scattered
+// cell sets spread energy across many fine wavelet coefficients. Planning
+// materialises one indicator transform per released cell, so it suits
+// moderate domains (d ≲ 14).
+type WaveletMarginal struct{}
+
+// Name implements Strategy.
+func (WaveletMarginal) Name() string { return "W" }
+
+// Plan implements Strategy.
+func (WaveletMarginal) Plan(w *marginal.Workload) (*Plan, error) {
+	d := w.D
+	if d > 16 {
+		return nil, fmt.Errorf("strategy: wavelet marginal planning is O(cells·2^d); d=%d too large", d)
+	}
+	n := 1 << uint(d)
+	levels := d + 1
+
+	// Haar transform of every workload cell's indicator.
+	totalCells := w.TotalCells()
+	weightsRows := make([][]float64, totalCells)
+	row := 0
+	for _, m := range w.Marginals {
+		for idx := 0; idx < m.Cells(); idx++ {
+			ind := make([]float64, n)
+			want := bits.CellMask(m.Alpha, idx)
+			for gamma := 0; gamma < n; gamma++ {
+				if bits.Mask(gamma)&m.Alpha == want {
+					ind[gamma] = 1
+				}
+			}
+			transform.Haar(ind)
+			weightsRows[row] = ind
+			row++
+		}
+	}
+	// Per-level recovery weight = mean Σ_cells weight² over the level's
+	// coefficients; per-level magnitude from the Haar matrix structure.
+	counts := make([]int, levels)
+	sums := make([]float64, levels)
+	for c := 0; c < n; c++ {
+		l := transform.HaarLevel(c)
+		counts[l]++
+		for _, wr := range weightsRows {
+			sums[l] += wr[c] * wr[c]
+		}
+	}
+	specs := make([]budget.Spec, levels)
+	for l := 0; l < levels; l++ {
+		mag := haarLevelMagnitude(l, n)
+		rw := sums[l] / float64(counts[l])
+		if rw == 0 {
+			rw = 1e-9 // release everything; unused levels still cost budget
+		}
+		specs[l] = budget.Spec{Count: counts[l], RowWeight: rw, C: mag}
+	}
+
+	return &Plan{
+		Strategy: "W",
+		Specs:    specs,
+		TrueAnswers: func(x []float64) []float64 {
+			if len(x) != n {
+				panic(fmt.Sprintf("strategy: wavelet expects %d cells, got %d", n, len(x)))
+			}
+			// Haar coefficients in natural order, which is level-major:
+			// level 0 = {0}, level l ≥ 1 = [2^{l−1}, 2^l) — matching the
+			// group-major spec layout the engine assumes.
+			out := make([]float64, n)
+			copy(out, x)
+			transform.Haar(out)
+			return out
+		},
+		Recover: func(z []float64, groupVar []float64) ([]float64, []float64, error) {
+			if len(z) != n || len(groupVar) != levels {
+				return nil, nil, fmt.Errorf("strategy: wavelet recover got %d answers, %d variances", len(z), len(groupVar))
+			}
+			answers := make([]float64, totalCells)
+			cellVarByRow := make([]float64, totalCells)
+			for r, wr := range weightsRows {
+				s, v := 0.0, 0.0
+				for c, wgt := range wr {
+					if wgt == 0 {
+						continue
+					}
+					s += wgt * z[c]
+					v += wgt * wgt * groupVar[transform.HaarLevel(c)]
+				}
+				answers[r] = s
+				cellVarByRow[r] = v
+			}
+			// The engine wants one variance per marginal; wavelet cell
+			// variances vary slightly within a marginal, so report the mean
+			// (exactly constant for the strategies of the paper; here the
+			// approximation only affects the consistency weighting).
+			cellVar := make([]float64, len(w.Marginals))
+			row := 0
+			for i, m := range w.Marginals {
+				s := 0.0
+				for c := 0; c < m.Cells(); c++ {
+					s += cellVarByRow[row]
+					row++
+				}
+				cellVar[i] = s / float64(m.Cells())
+			}
+			return answers, cellVar, nil
+		},
+	}, nil
+}
+
+// haarLevelMagnitude is the non-zero entry magnitude of a level-l row of
+// the n-point orthonormal Haar matrix.
+func haarLevelMagnitude(l, n int) float64 {
+	if l == 0 {
+		return 1 / math.Sqrt(float64(n))
+	}
+	return math.Sqrt(float64(int64(1)<<uint(l-1)) / float64(n))
+}

@@ -1,0 +1,130 @@
+package strategy
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/marginal"
+)
+
+// WeightedPlanner is implemented by strategies that support the paper's
+// general objective aᵀ·Var(y) (Section 2): a[i] is the importance weight of
+// marginal i, scaling its contribution to the variance the Step-2 budgeting
+// minimises. Plan(w) is equivalent to PlanWeighted(w, nil) (a = 1).
+type WeightedPlanner interface {
+	Strategy
+	PlanWeighted(w *marginal.Workload, a []float64) (*Plan, error)
+}
+
+// checkWeights validates a per-marginal weight vector.
+func checkWeights(w *marginal.Workload, a []float64) error {
+	if a == nil {
+		return nil
+	}
+	if len(a) != len(w.Marginals) {
+		return fmt.Errorf("strategy: %d query weights for %d marginals", len(a), len(w.Marginals))
+	}
+	for i, v := range a {
+		if v < 0 {
+			return fmt.Errorf("strategy: negative query weight %v for marginal %d", v, i)
+		}
+	}
+	return nil
+}
+
+func weightAt(a []float64, i int) float64 {
+	if a == nil {
+		return 1
+	}
+	return a[i]
+}
+
+// PlanWeighted implements WeightedPlanner: the identity strategy's single
+// group carries weight Σ_i a_i per row (every base cell feeds one cell of
+// every queried marginal).
+func (s Identity) PlanWeighted(w *marginal.Workload, a []float64) (*Plan, error) {
+	if err := checkWeights(w, a); err != nil {
+		return nil, err
+	}
+	plan, err := s.Plan(w)
+	if err != nil {
+		return nil, err
+	}
+	if a != nil {
+		total := 0.0
+		for _, v := range a {
+			total += v
+		}
+		plan.Specs[0].RowWeight = total
+	}
+	return plan, nil
+}
+
+// PlanWeighted implements WeightedPlanner: each marginal's group carries
+// its own importance weight (R = I, so w_row = a_i).
+func (s Workload) PlanWeighted(w *marginal.Workload, a []float64) (*Plan, error) {
+	if err := checkWeights(w, a); err != nil {
+		return nil, err
+	}
+	plan, err := s.Plan(w)
+	if err != nil {
+		return nil, err
+	}
+	for i := range plan.Specs {
+		plan.Specs[i].RowWeight = weightAt(a, i)
+	}
+	return plan, nil
+}
+
+// PlanWeighted implements WeightedPlanner: coefficient β carries
+// w_β = Σ_{i: β⪯α_i} a_i·2^{d−‖α_i‖}.
+func (s Fourier) PlanWeighted(w *marginal.Workload, a []float64) (*Plan, error) {
+	if err := checkWeights(w, a); err != nil {
+		return nil, err
+	}
+	plan, err := s.Plan(w)
+	if err != nil {
+		return nil, err
+	}
+	if a == nil {
+		return plan, nil
+	}
+	support := w.FourierSupport()
+	colOf := make(map[bits.Mask]int, len(support))
+	for c, b := range support {
+		colOf[b] = c
+	}
+	weights := make([]float64, len(support))
+	for i, m := range w.Marginals {
+		contrib := weightAt(a, i) * float64(int64(1)<<uint(w.D-m.Order()))
+		m.Alpha.VisitSubsets(func(beta bits.Mask) {
+			weights[colOf[beta]] += contrib
+		})
+	}
+	for i := range plan.Specs {
+		plan.Specs[i].RowWeight = weights[i]
+	}
+	return plan, nil
+}
+
+// PlanWeighted implements WeightedPlanner: a material marginal's rows carry
+// the summed importance of the queries its cluster answers. The clustering
+// search itself stays weight-agnostic (as in [6]); only the budgeting
+// weights change.
+func (s Cluster) PlanWeighted(w *marginal.Workload, a []float64) (*Plan, error) {
+	if err := checkWeights(w, a); err != nil {
+		return nil, err
+	}
+	if len(w.Marginals) == 0 {
+		return nil, fmt.Errorf("strategy: cluster needs a non-empty workload")
+	}
+	return s.planFrom(w, greedyCluster(w, s.MaxMerges), a)
+}
+
+// Compile-time interface checks.
+var (
+	_ WeightedPlanner = Identity{}
+	_ WeightedPlanner = Workload{}
+	_ WeightedPlanner = Fourier{}
+	_ WeightedPlanner = Cluster{}
+)

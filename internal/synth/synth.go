@@ -1,0 +1,129 @@
+// Package synth materialises a consistent private release as synthetic
+// microdata — the extension sketched in the paper's concluding remarks:
+// "it is sometimes required that the query answers correspond to a data set
+// in which all counts are integral and non-negative."
+//
+// Given the consistent Fourier coefficients f̂ produced by the consistency
+// step, the estimated contingency vector is x̂ = Σ_β f̂_β·f^β (inverse
+// Walsh–Hadamard over the released support). Clamping x̂ to non-negative
+// values and apportioning the target total over the largest remainders
+// yields an integral, non-negative table whose marginals approximate the
+// released ones; SampleTuples turns it back into row-level synthetic data.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bits"
+	"repro/internal/dataset"
+	"repro/internal/transform"
+)
+
+// MaterializeVector reconstructs the estimated contingency vector from
+// Fourier coefficients over a d-bit domain: x̂ = H·θ with the unreleased
+// coefficients set to zero (their least-squares estimate given no
+// observation).
+func MaterializeVector(d int, coeff map[bits.Mask]float64) ([]float64, error) {
+	if err := bits.CheckDim(d); err != nil {
+		return nil, err
+	}
+	n := 1 << uint(d)
+	x := make([]float64, n)
+	for beta, v := range coeff {
+		if !bits.Full(d).Dominates(beta) {
+			return nil, fmt.Errorf("synth: coefficient %v outside dimension %d", beta, d)
+		}
+		x[beta] = v
+	}
+	// The Hadamard transform is an involution: applying it to the
+	// coefficient vector returns the spatial-domain estimate.
+	transform.WHT(x)
+	return x, nil
+}
+
+// RoundToCounts converts a real-valued estimated vector into non-negative
+// integer counts that sum to the nearest integer of the vector's total
+// (largest-remainder apportionment after clamping). The result is a valid
+// contingency table.
+func RoundToCounts(x []float64) []int64 {
+	clamped := make([]float64, len(x))
+	total := 0.0
+	for i, v := range x {
+		if v > 0 {
+			clamped[i] = v
+			total += v
+		}
+	}
+	target := int64(math.Round(total))
+	if target < 0 {
+		target = 0
+	}
+	out := make([]int64, len(x))
+	var assigned int64
+	type frac struct {
+		idx int
+		f   float64
+	}
+	fracs := make([]frac, 0, len(x))
+	for i, v := range clamped {
+		fl := math.Floor(v)
+		out[i] = int64(fl)
+		assigned += int64(fl)
+		if v > fl {
+			fracs = append(fracs, frac{i, v - fl})
+		}
+	}
+	sort.Slice(fracs, func(a, b int) bool { return fracs[a].f > fracs[b].f })
+	for i := 0; assigned < target && i < len(fracs); i++ {
+		out[fracs[i].idx]++
+		assigned++
+	}
+	// If clamping removed too much mass relative to the rounded target,
+	// top up the largest cells (keeps totals exact).
+	for i := 0; assigned < target && len(out) > 0; i = (i + 1) % len(out) {
+		out[i]++
+		assigned++
+	}
+	return out
+}
+
+// SampleTuples draws row-level synthetic data from integer counts under a
+// schema: every unit of count becomes one tuple, emitted in random order.
+// Counts on invalid (padding) cells are skipped and reported.
+func SampleTuples(s *dataset.Schema, counts []int64, seed int64) (*dataset.Table, int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var rows [][]int
+	var skipped int64
+	for idx, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		if !s.IsValid(idx) {
+			skipped += c
+			continue
+		}
+		tuple := s.Decode(idx)
+		for k := int64(0); k < c; k++ {
+			rows = append(rows, append([]int(nil), tuple...))
+		}
+	}
+	rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+	return &dataset.Table{Schema: s, Rows: rows}, skipped
+}
+
+// MarginalL1 computes the L1 distance between a marginal of the synthetic
+// counts and a target table — the fidelity metric for synthetic data.
+func MarginalL1(d int, alpha bits.Mask, counts []int64, target []float64) float64 {
+	got := make([]float64, 1<<uint(alpha.Count()))
+	for idx, c := range counts {
+		got[bits.CellIndex(alpha, bits.Mask(idx)&alpha)] += float64(c)
+	}
+	s := 0.0
+	for i := range got {
+		s += math.Abs(got[i] - target[i])
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func FuzzWHTInvolutionAndNorm(f *testing.F) {
+	f.Add(int64(1), uint8(4))
+	f.Add(int64(99), uint8(0))
+	f.Add(int64(-7), uint8(10))
+	f.Fuzz(func(t *testing.T, seed int64, logN uint8) {
+		n := 1 << uint(logN%12)
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		norm := 0.0
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+			norm += x[i] * x[i]
+		}
+		orig := append([]float64(nil), x...)
+		WHT(x)
+		after := 0.0
+		for _, v := range x {
+			after += v * v
+		}
+		if math.Abs(norm-after) > 1e-6*(1+norm) {
+			t.Fatalf("WHT changed the norm: %v vs %v", norm, after)
+		}
+		WHT(x)
+		for i := range x {
+			if math.Abs(x[i]-orig[i]) > 1e-8*(1+math.Abs(orig[i])) {
+				t.Fatalf("WHT not an involution at %d", i)
+			}
+		}
+	})
+}
+
+func FuzzHaarRoundTrip(f *testing.F) {
+	f.Add(int64(3), uint8(6))
+	f.Fuzz(func(t *testing.T, seed int64, logN uint8) {
+		n := 1 << uint(logN%10)
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		orig := append([]float64(nil), x...)
+		Haar(x)
+		HaarInverse(x)
+		for i := range x {
+			if math.Abs(x[i]-orig[i]) > 1e-8 {
+				t.Fatalf("Haar round trip failed at %d: %v vs %v", i, x[i], orig[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/consistency"
+)
+
+func smallTable() *Table {
+	s := MustSchema([]Attribute{
+		{Name: "color", Cardinality: 3},
+		{Name: "size", Cardinality: 2},
+		{Name: "grade", Cardinality: 4},
+	})
+	rows := [][]int{}
+	for i := 0; i < 300; i++ {
+		rows = append(rows, []int{i % 3, (i / 3) % 2, (i / 7) % 4})
+	}
+	return &Table{Schema: s, Rows: rows}
+}
+
+func TestReleaseEndToEnd(t *testing.T) {
+	tab := smallTable()
+	w := AllKWayMarginals(tab.Schema, 1)
+	res, err := Release(tab, w, Options{Epsilon: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 3 {
+		t.Fatalf("%d tables, want 3", len(res.Tables))
+	}
+	// Attribute indices recorded.
+	if len(res.Tables[0].Attrs) != 1 || res.Tables[0].Attrs[0] != 0 {
+		t.Fatalf("table 0 attrs = %v", res.Tables[0].Attrs)
+	}
+	// Cell counts should roughly match the uniform-ish generator (100 per
+	// color) at ε=2.
+	for c := 0; c < 3; c++ {
+		if math.Abs(res.Tables[0].Cells[c]-100) > 50 {
+			t.Fatalf("color %d count %v far from 100", c, res.Tables[0].Cells[c])
+		}
+	}
+}
+
+func TestReleaseAllStrategies(t *testing.T) {
+	tab := smallTable()
+	w := AllKWayMarginals(tab.Schema, 2)
+	for _, k := range []StrategyKind{StrategyFourier, StrategyWorkload, StrategyIdentity, StrategyCluster} {
+		res, err := Release(tab, w, Options{Epsilon: 1, Strategy: k, Seed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if len(res.Answers) != w.TotalCells() {
+			t.Fatalf("%v: wrong answer count", k)
+		}
+	}
+}
+
+func TestReleaseConsistentByDefault(t *testing.T) {
+	tab := smallTable()
+	w := KWayPlusHalf(tab.Schema, 1)
+	res, err := Release(tab, w, Options{Epsilon: 0.5, Strategy: StrategyWorkload, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consistency.IsConsistent(w, res.Answers, 1e-6) {
+		t.Fatal("default release must be consistent")
+	}
+	raw, err := Release(tab, w, Options{Epsilon: 0.5, Strategy: StrategyWorkload, Seed: 3, SkipConsistency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consistency.IsConsistent(w, raw.Answers, 1e-6) {
+		t.Fatal("raw workload-strategy release should generally be inconsistent")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	tab := smallTable()
+	w := AllKWayMarginals(tab.Schema, 1)
+	if _, err := Release(tab, w, Options{}); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+	if _, err := Release(nil, w, Options{Epsilon: 1}); err == nil {
+		t.Error("nil table accepted")
+	}
+	other := MustSchema([]Attribute{{Name: "x", Cardinality: 2}})
+	if _, err := Release(tab, AllKWayMarginals(other, 1), Options{Epsilon: 1}); err == nil {
+		t.Error("schema/workload mismatch accepted")
+	}
+}
+
+func TestUniformVsOptimalTotalVariance(t *testing.T) {
+	tab := smallTable()
+	w := KWayPlusHalf(tab.Schema, 1)
+	uni, err := Release(tab, w, Options{Epsilon: 1, Strategy: StrategyWorkload, UniformBudget: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Release(tab, w, Options{Epsilon: 1, Strategy: StrategyWorkload, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.TotalVariance > uni.TotalVariance*(1+1e-9) {
+		t.Fatalf("optimal %v worse than uniform %v", opt.TotalVariance, uni.TotalVariance)
+	}
+}
+
+func TestApproxDPOption(t *testing.T) {
+	tab := smallTable()
+	w := AllKWayMarginals(tab.Schema, 1)
+	if _, err := Release(tab, w, Options{Epsilon: 1, Delta: 1e-6, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarginalsOver(t *testing.T) {
+	tab := smallTable()
+	w, err := MarginalsOver(tab.Schema, [][]int{{0}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Marginals) != 2 {
+		t.Fatalf("%d marginals, want 2", len(w.Marginals))
+	}
+	if _, err := MarginalsOver(tab.Schema, [][]int{{9}}); err == nil {
+		t.Error("bad attribute index accepted")
+	}
+}
+
+func TestSyntheticReexports(t *testing.T) {
+	if AdultSchema().Dim() != 23 || NLTCSSchema().Dim() != 16 {
+		t.Fatal("schema re-exports broken")
+	}
+	if SyntheticAdult(1, 10).Count() != 10 || SyntheticNLTCS(1, 10).Count() != 10 {
+		t.Fatal("generator re-exports broken")
+	}
+}
+
+func TestModifyNeighborsDoublesNoise(t *testing.T) {
+	tab := smallTable()
+	w := AllKWayMarginals(tab.Schema, 1)
+	std, err := Release(tab, w, Options{Epsilon: 1, Strategy: StrategyWorkload, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Release(tab, w, Options{Epsilon: 1, Strategy: StrategyWorkload, Seed: 6, ModifyNeighbors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mod.TotalVariance/std.TotalVariance-4) > 1e-6 {
+		t.Fatalf("modify-neighbour variance ratio %v, want 4", mod.TotalVariance/std.TotalVariance)
+	}
+}
