@@ -13,6 +13,7 @@ import (
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/marginal"
 	"repro/internal/noise"
@@ -332,3 +333,74 @@ func BenchmarkAblationRangeStrategies(b *testing.B) {
 		}
 	}
 }
+
+// --- Engine: serial vs parallel release, plan-cache hit vs miss ---
+//
+// The staged engine's determinism contract (internal/engine) means the
+// serial and parallel releases below compute identical outputs; the
+// benchmarks measure the wall-clock gap. The identity strategy on a 16-
+// attribute cube makes measurement (2^16 noise draws) and per-marginal
+// recovery (120 marginals × 2^16 accumulations) the dominant stages — the
+// shape a serving deployment sees on wide schemas. The parallel variant
+// sizes its pool to GOMAXPROCS, so the gap over serial scales with the
+// machine's core count (on a single-core box the two paths coincide).
+
+func engineReleaseBench(b *testing.B, workers int) {
+	b.Helper()
+	tab := dataset.SyntheticBinary(3, 16, 30000)
+	x := vectorOf(b, tab)
+	w := marginal.SchemaKWay(tab.Schema, 2)
+	eng := engine.New(engine.Options{Workers: workers})
+	cfg := engine.Config{
+		Strategy: strategy.Identity{}, Budgeting: core.UniformBudget,
+		Consistency: core.NoConsistency, Privacy: pureParams(1),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := eng.Run(w, x, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineReleaseD16Q2Serial(b *testing.B)   { engineReleaseBench(b, 1) }
+func BenchmarkEngineReleaseD16Q2Parallel(b *testing.B) { engineReleaseBench(b, 0) }
+
+// Plan caching isolates Step 1 — for the cluster strategy the greedy search
+// dominates the whole release (Figure 6), so a cache hit removes almost all
+// of the cost. Miss rebuilds the plan every iteration (fresh cache); hit
+// reuses one warm entry.
+
+func planCacheBench(b *testing.B, warm bool) {
+	b.Helper()
+	tab := dataset.SyntheticBinary(4, 10, 4000)
+	x := vectorOf(b, tab)
+	w := marginal.SchemaKWay(tab.Schema, 2)
+	cfg := engine.Config{
+		Strategy: strategy.Cluster{}, Budgeting: core.OptimalBudget,
+		Consistency: core.WeightedL2Consistency, Privacy: pureParams(1),
+	}
+	var eng *engine.Engine
+	if warm {
+		eng = engine.New(engine.Options{Workers: 1, Cache: engine.NewPlanCache(0)})
+		if _, err := eng.Run(w, x, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !warm {
+			eng = engine.New(engine.Options{Workers: 1, Cache: engine.NewPlanCache(0)})
+		}
+		cfg.Seed = int64(i)
+		if _, err := eng.Run(w, x, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanCacheMissClusterD10Q2(b *testing.B) { planCacheBench(b, false) }
+func BenchmarkPlanCacheHitClusterD10Q2(b *testing.B)  { planCacheBench(b, true) }

@@ -11,6 +11,7 @@
 //	dpcube -in people.csv -epsilon 0.5 -k 2          # all 2-way marginals
 //	dpcube -in people.csv -epsilon 1 -marginals age,sex+income
 //	dpcube -in people.csv -epsilon 1 -k 1 -strategy cluster -format csv
+//	dpcube -in people.csv -epsilon 1 -k 2 -workers 8 # parallel engine, same output
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 		strat     = flag.String("strategy", "fourier", "strategy: fourier|workload|identity|cluster")
 		uniform   = flag.Bool("uniform", false, "use uniform budgeting instead of the optimal non-uniform allocation")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "release-engine worker pool size; 0 = all CPUs, 1 = serial (output is identical at any setting)")
 		format    = flag.String("format", "table", "output format: table|csv")
 		preview   = flag.Bool("preview", false, "print the analytic error forecast per strategy and exit without spending any privacy budget")
 	)
@@ -99,6 +101,7 @@ func main() {
 		Strategy:      kind,
 		UniformBudget: *uniform,
 		Seed:          *seed,
+		Workers:       *workers,
 	})
 	if err != nil {
 		fatal(err)

@@ -35,6 +35,8 @@ func ReleaseCube(t *Table, maxOrder int, o Options) (*CubeRelease, error) {
 		UniformBudget: o.UniformBudget,
 		Seed:          o.Seed,
 		Strategy:      strat,
+		Workers:       o.Workers,
+		Cache:         o.Cache,
 	})
 }
 

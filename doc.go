@@ -21,12 +21,32 @@
 // The release holds one noisy table per requested marginal, consistent with
 // a common (unknown) dataset, under ε-differential privacy.
 //
+// # The staged release engine
+//
+// Under the hood every release runs through the staged pipeline of
+// internal/engine, mirroring the paper's three-step framework (Figure 3):
+//
+//	Plan → Allocate → Measure → Recover → Consist
+//
+// Plan builds (or fetches from a cache) the grouped strategy matrix;
+// Allocate computes the Step-2 noise budgets; Measure perturbs the strategy
+// answers; Recover reconstructs the marginals; Consist projects them onto a
+// mutually consistent set. Measurement and recovery fan out over a bounded
+// worker pool (Options.Workers), and noise is drawn from per-group seed
+// substreams, so a release is a pure function of (data, workload, options):
+// the same Seed yields a bit-identical release at any worker count.
+//
+// For serving scenarios — many releases over the same schema — pass a
+// shared Options.Cache (see NewPlanCache) to skip Step 1 entirely on
+// repeated workloads; for the cluster strategy that step dominates the
+// whole run.
+//
 // The internal packages follow the paper's structure: internal/strategy
 // (Step 1), internal/budget (Step 2, Section 3.1), internal/recovery and
-// internal/consistency (Step 3, Sections 3.2–3.3 and 4.3), internal/core
-// (the assembled mechanism), with internal/linalg, internal/lp,
-// internal/transform, internal/noise, internal/bits and internal/dataset as
-// self-contained substrates. See DESIGN.md for the full inventory and
-// EXPERIMENTS.md for the reproduction of every table and figure in the
-// paper's evaluation.
+// internal/consistency (Step 3, Sections 3.2–3.3 and 4.3), internal/engine
+// (the staged mechanism) with internal/core as its stable facade, and
+// internal/linalg, internal/lp, internal/transform, internal/noise,
+// internal/bits and internal/dataset as self-contained substrates. See
+// DESIGN.md for the full inventory and EXPERIMENTS.md for the reproduction
+// of every table and figure in the paper's evaluation.
 package repro

@@ -1,5 +1,6 @@
-// Package core ties the three steps of the paper's framework (Figure 3)
-// into one differentially private release mechanism:
+// Package core is the compatibility facade over the staged release engine
+// (internal/engine), preserving the original single-call API that ties the
+// three steps of the paper's framework (Figure 3) together:
 //
 //  1. a Strategy provides the grouped strategy matrix S (Step 1),
 //  2. budgeting computes uniform or optimal non-uniform per-group noise
@@ -8,231 +9,67 @@
 //     an optional consistency pass (Step 3 / Section 4.3) projects them onto
 //     the closest mutually consistent set.
 //
-// Run is the single entry point; the root package repro re-exports it as the
-// public API.
+// Run executes the pipeline serially with no plan cache; RunWith exposes the
+// engine options (bounded worker pool, plan caching) without changing a bit
+// of the output — see internal/engine for the determinism contract. The
+// mechanism types (Config, Release, the budgeting and consistency enums) are
+// aliases of the engine's, so the two packages are interchangeable for
+// callers.
 package core
 
 import (
-	"fmt"
 	"math"
-	"time"
 
-	"repro/internal/bits"
-	"repro/internal/budget"
-	"repro/internal/consistency"
+	"repro/internal/engine"
 	"repro/internal/marginal"
-	"repro/internal/noise"
-	"repro/internal/strategy"
 )
 
 // Budgeting selects the Step-2 allocation rule.
-type Budgeting int
+type Budgeting = engine.Budgeting
 
 const (
 	// UniformBudget reproduces prior work: every strategy group receives
 	// the same per-row budget.
-	UniformBudget Budgeting = iota
+	UniformBudget = engine.UniformBudget
 	// OptimalBudget is the paper's contribution: the closed-form non-uniform
 	// allocation of Corollary 3.3 (the "+" variants F+, Q+, C+).
-	OptimalBudget
+	OptimalBudget = engine.OptimalBudget
 )
 
-func (b Budgeting) String() string {
-	if b == OptimalBudget {
-		return "optimal"
-	}
-	return "uniform"
-}
-
 // Consistency selects the post-processing of Sections 3.3/4.3.
-type Consistency int
+type Consistency = engine.Consistency
 
 const (
 	// NoConsistency returns the raw recovered answers.
-	NoConsistency Consistency = iota
+	NoConsistency = engine.NoConsistency
 	// L2Consistency projects onto consistent marginals in least squares.
-	L2Consistency
+	L2Consistency = engine.L2Consistency
 	// WeightedL2Consistency weights each marginal by its inverse noise
 	// variance — the GLS fusion, optimal among linear consistent estimators.
-	WeightedL2Consistency
+	WeightedL2Consistency = engine.WeightedL2Consistency
 	// L1Consistency minimises the L1 distance via the Section-4.3 LP.
-	L1Consistency
+	L1Consistency = engine.L1Consistency
 	// LInfConsistency minimises the L∞ distance via the Section-4.3 LP.
-	LInfConsistency
+	LInfConsistency = engine.LInfConsistency
 )
 
-func (c Consistency) String() string {
-	switch c {
-	case L2Consistency:
-		return "L2"
-	case WeightedL2Consistency:
-		return "weighted-L2"
-	case L1Consistency:
-		return "L1"
-	case LInfConsistency:
-		return "Linf"
-	default:
-		return "none"
-	}
-}
-
 // Config assembles one mechanism run.
-type Config struct {
-	Strategy    strategy.Strategy
-	Budgeting   Budgeting
-	Consistency Consistency
-	Privacy     noise.Params
-	Seed        int64
-	// QueryWeights optionally sets the paper's general objective aᵀ·Var(y)
-	// (Section 2): QueryWeights[i] is the importance of marginal i in the
-	// Step-2 budgeting. nil means a = 1. Requires a strategy implementing
-	// strategy.WeightedPlanner (all built-in marginal strategies do).
-	QueryWeights []float64
-}
+type Config = engine.Config
 
 // Release is the output of one mechanism run.
-type Release struct {
-	// Answers is the concatenated noisy (and, if requested, consistent)
-	// marginal tables in workload order.
-	Answers []float64
-	// CellVariances[i] is the analytic noise variance of each cell of
-	// marginal i before the consistency step.
-	CellVariances []float64
-	// GroupBudgets are the per-group ε_i chosen by Step 2.
-	GroupBudgets []float64
-	// GroupVariances are the per-row noise variances implied by the budgets.
-	GroupVariances []float64
-	// TotalVariance is the analytic Σ_i Var(y_i) over all released cells
-	// under the initial recovery (the paper's optimisation objective).
-	TotalVariance float64
-	// Coefficients holds the consistent Fourier coefficients when a
-	// consistency pass ran (nil otherwise).
-	Coefficients map[bits.Mask]float64
-	// Elapsed is the wall-clock cost of the full run.
-	Elapsed time.Duration
-	// StrategyName is the short experiment-table name of the strategy.
-	StrategyName string
+type Release = engine.Release
+
+// Run executes the mechanism on contingency vector x for the workload,
+// serially and without plan caching — the historical entry point, now a
+// wrapper over the staged engine.
+func Run(w *marginal.Workload, x []float64, cfg Config) (*Release, error) {
+	return RunWith(w, x, cfg, engine.Options{Workers: 1})
 }
 
-// Run executes the mechanism on contingency vector x for the workload.
-func Run(w *marginal.Workload, x []float64, cfg Config) (*Release, error) {
-	start := time.Now()
-	if cfg.Strategy == nil {
-		return nil, fmt.Errorf("core: no strategy configured")
-	}
-	if err := cfg.Privacy.Validate(); err != nil {
-		return nil, err
-	}
-	if len(x) != 1<<uint(w.D) {
-		return nil, fmt.Errorf("core: data vector has %d entries, domain needs %d", len(x), 1<<uint(w.D))
-	}
-
-	var (
-		plan *strategy.Plan
-		err  error
-	)
-	if cfg.QueryWeights != nil {
-		wp, ok := cfg.Strategy.(strategy.WeightedPlanner)
-		if !ok {
-			return nil, fmt.Errorf("core: strategy %s does not support query weights", cfg.Strategy.Name())
-		}
-		plan, err = wp.PlanWeighted(w, cfg.QueryWeights)
-	} else {
-		plan, err = cfg.Strategy.Plan(w)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: planning strategy %s: %w", cfg.Strategy.Name(), err)
-	}
-
-	var alloc *budget.SpecAllocation
-	switch cfg.Budgeting {
-	case OptimalBudget:
-		alloc, err = budget.OptimalSpecs(plan.Specs, cfg.Privacy)
-	default:
-		alloc, err = budget.UniformSpecs(plan.Specs, cfg.Privacy)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: budgeting: %w", err)
-	}
-	for g, eta := range alloc.Eta {
-		if eta <= 0 {
-			return nil, fmt.Errorf("core: group %d received no budget; strategy row unused by recovery", g)
-		}
-	}
-	if err := verifyPrivacy(plan.Specs, alloc.Eta, cfg.Privacy); err != nil {
-		return nil, err
-	}
-
-	groupVar := budget.SpecVariances(alloc.Eta, cfg.Privacy)
-
-	// Step 1 answers + noise.
-	src := noise.NewSource(cfg.Seed)
-	z := plan.TrueAnswers(x)
-	offsets := plan.GroupOffsets()
-	for g, spec := range plan.Specs {
-		eta := alloc.Eta[g]
-		base := offsets[g]
-		for r := 0; r < spec.Count; r++ {
-			z[base+r] += cfg.Privacy.RowNoise(src, eta)
-		}
-	}
-
-	// Initial recovery.
-	answers, cellVar, err := plan.Recover(z, groupVar)
-	if err != nil {
-		return nil, fmt.Errorf("core: recovery: %w", err)
-	}
-
-	rel := &Release{
-		Answers:        answers,
-		CellVariances:  cellVar,
-		GroupBudgets:   alloc.Eta,
-		GroupVariances: groupVar,
-		TotalVariance:  totalCellVariance(w, cellVar),
-		StrategyName:   plan.Strategy,
-	}
-
-	// Consistency pass.
-	switch cfg.Consistency {
-	case NoConsistency:
-	case L2Consistency:
-		res, err := consistency.L2(w, answers)
-		if err != nil {
-			return nil, fmt.Errorf("core: consistency: %w", err)
-		}
-		rel.Answers, rel.Coefficients = res.Answers, res.Coefficients
-	case WeightedL2Consistency:
-		weights := make([]float64, len(cellVar))
-		for i, v := range cellVar {
-			if v <= 0 || math.IsInf(v, 1) {
-				weights[i] = 0
-			} else {
-				weights[i] = 1 / v
-			}
-		}
-		res, err := consistency.L2Weighted(w, answers, weights)
-		if err != nil {
-			return nil, fmt.Errorf("core: consistency: %w", err)
-		}
-		rel.Answers, rel.Coefficients = res.Answers, res.Coefficients
-	case L1Consistency:
-		res, err := consistency.L1(w, answers)
-		if err != nil {
-			return nil, fmt.Errorf("core: consistency: %w", err)
-		}
-		rel.Answers, rel.Coefficients = res.Answers, res.Coefficients
-	case LInfConsistency:
-		res, err := consistency.LInf(w, answers)
-		if err != nil {
-			return nil, fmt.Errorf("core: consistency: %w", err)
-		}
-		rel.Answers, rel.Coefficients = res.Answers, res.Coefficients
-	default:
-		return nil, fmt.Errorf("core: unknown consistency mode %d", cfg.Consistency)
-	}
-
-	rel.Elapsed = time.Since(start)
-	return rel, nil
+// RunWith is Run with explicit engine options (worker-pool size, plan
+// cache). The release is bit-identical to Run for every option combination.
+func RunWith(w *marginal.Workload, x []float64, cfg Config, opts engine.Options) (*Release, error) {
+	return engine.New(opts).Run(w, x, cfg)
 }
 
 // PerMarginal splits the concatenated answers into per-marginal tables.
@@ -245,36 +82,6 @@ func PerMarginal(w *marginal.Workload, answers []float64) [][]float64 {
 		out[i] = block
 	}
 	return out
-}
-
-// totalCellVariance sums cellVar over all released cells.
-func totalCellVariance(w *marginal.Workload, cellVar []float64) float64 {
-	total := 0.0
-	for i, m := range w.Marginals {
-		total += float64(m.Cells()) * cellVar[i]
-	}
-	return total
-}
-
-// verifyPrivacy re-checks the Proposition 3.1 constraint at group
-// granularity — an internal guard against budgeting bugs.
-func verifyPrivacy(specs []budget.Spec, eta []float64, p noise.Params) error {
-	epsEff := p.EffectiveEpsilon()
-	var load float64
-	if p.Type == noise.ApproxDP {
-		for g, spec := range specs {
-			load += spec.C * spec.C * eta[g] * eta[g]
-		}
-		load = math.Sqrt(load)
-	} else {
-		for g, spec := range specs {
-			load += spec.C * eta[g]
-		}
-	}
-	if load > epsEff*(1+1e-9) {
-		return fmt.Errorf("core: privacy constraint violated: load %v > %v", load, epsEff)
-	}
-	return nil
 }
 
 // ExpectedAbsError returns the analytic expected L1 error per marginal,

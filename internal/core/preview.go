@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/budget"
+	"repro/internal/engine"
 	"repro/internal/marginal"
 	"repro/internal/strategy"
 )
@@ -73,7 +74,7 @@ func Preview(w *marginal.Workload, cfg Config) (*Forecast, error) {
 		GroupBudgets:     alloc.Eta,
 		CellStdDev:       make([]float64, len(cellVar)),
 		ExpectedAbsError: ExpectedAbsError(w, cellVar),
-		TotalVariance:    totalCellVariance(w, cellVar),
+		TotalVariance:    engine.TotalCellVariance(w, cellVar),
 	}
 	for i, v := range cellVar {
 		f.CellStdDev[i] = math.Sqrt(v)

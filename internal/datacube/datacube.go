@@ -17,6 +17,7 @@ import (
 	"repro/internal/bits"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/marginal"
 	"repro/internal/noise"
 	"repro/internal/strategy"
@@ -153,6 +154,12 @@ type Options struct {
 	// Strategy defaults to Fourier (the scalable choice for a cube of
 	// overlapping cuboids); strategy.Workload reproduces the S = Q baseline.
 	Strategy strategy.Strategy
+	// Workers bounds the engine's worker pool (0 = all CPUs); the released
+	// cube is bit-identical at every setting.
+	Workers int
+	// Cache optionally reuses the lattice workload's strategy plan across
+	// repeated cube releases over the same schema.
+	Cache *engine.PlanCache
 }
 
 // Released is a private datacube: noisy, mutually consistent cuboids.
@@ -190,13 +197,13 @@ func Release(t *dataset.Table, maxOrder int, o Options) (*Released, error) {
 	if strat == nil {
 		strat = strategy.Fourier{}
 	}
-	rel, err := core.Run(w, x, core.Config{
+	rel, err := core.RunWith(w, x, core.Config{
 		Strategy:    strat,
 		Budgeting:   budgeting,
 		Consistency: core.WeightedL2Consistency,
 		Privacy:     p,
 		Seed:        o.Seed,
-	})
+	}, engine.Options{Workers: o.Workers, Cache: o.Cache})
 	if err != nil {
 		return nil, err
 	}
@@ -218,14 +225,12 @@ func (r *Released) Cuboid(attrs ...int) ([]float64, error) {
 	return r.Tables[i], nil
 }
 
-// Total returns the (noisy) grand total — the apex cuboid.
+// Total returns the (noisy) grand total — the apex cuboid. The order-0
+// cuboid is always enumerated first by NewLattice, so the apex is read
+// directly rather than through a lookup whose error path would silently
+// report 0.
 func (r *Released) Total() float64 {
-	apex, err := r.Cuboid()
-	if err != nil || len(apex) != 1 {
-		// The apex always exists (order 0 is always included).
-		return 0
-	}
-	return apex[0]
+	return r.Tables[0][0]
 }
 
 // RollUp aggregates a released cuboid down to a sub-attribute-set, the OLAP
@@ -267,13 +272,14 @@ func (r *Released) Slice(attrs []int, fixAttr, fixValue int) ([]float64, []int, 
 		return nil, nil, fmt.Errorf("datacube: cuboid over %v not released", attrs)
 	}
 	c := r.Lattice.Cuboids[fi]
-	pos := -1
+	found := false
 	for _, a := range c.Attrs {
 		if a == fixAttr {
-			pos = a
+			found = true
+			break
 		}
 	}
-	if pos < 0 {
+	if !found {
 		return nil, nil, fmt.Errorf("datacube: attribute %d not in cuboid %v", fixAttr, attrs)
 	}
 	s := r.Lattice.Schema

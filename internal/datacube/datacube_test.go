@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/strategy"
 )
 
@@ -253,5 +254,85 @@ func BenchmarkCubeReleaseOrder2(b *testing.B) {
 		if _, err := Release(tab, 2, Options{Epsilon: 1, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestSliceOnAttributeZero is the regression test for the found-flag
+// confusion in Slice (the attribute index doubled as the flag): fixing
+// attribute 0 must be accepted and produce the right reduced table. Each
+// (a, b) cell of the test table holds 100 rows, so every slice on a should
+// read ≈100 per remaining b value.
+func TestSliceOnAttributeZero(t *testing.T) {
+	tab := testTable()
+	rel, err := Release(tab, 2, Options{Epsilon: 10, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 3; v++ {
+		slice, rest, err := rel.Slice([]int{0, 1}, 0, v)
+		if err != nil {
+			t.Fatalf("slice fixing attribute 0 at %d: %v", v, err)
+		}
+		if len(rest) != 1 || rest[0] != 1 {
+			t.Fatalf("rest attrs = %v, want [1]", rest)
+		}
+		if len(slice) != 2 {
+			t.Fatalf("slice has %d cells, want 2", len(slice))
+		}
+		for j, got := range slice {
+			if math.Abs(got-100) > 30 {
+				t.Fatalf("slice a=%d, b=%d = %v, want ≈100", v, j, got)
+			}
+		}
+	}
+	if _, _, err := rel.Slice([]int{0, 1}, 0, 3); err == nil {
+		t.Fatal("value beyond attribute-0 cardinality accepted")
+	}
+}
+
+// TestTotalReadsApexDirectly: Total must return the released apex cell, not
+// a silent 0 — asserted against the apex cuboid lookup and plausibility.
+func TestTotalReadsApexDirectly(t *testing.T) {
+	tab := testTable()
+	rel, err := Release(tab, 1, Options{Epsilon: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apex, err := rel.Cuboid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Total() != apex[0] {
+		t.Fatalf("Total %v != apex cell %v", rel.Total(), apex[0])
+	}
+	if rel.Total() == 0 || math.Abs(rel.Total()-600) > 60 {
+		t.Fatalf("total %v implausible for 600 rows", rel.Total())
+	}
+}
+
+// TestCubeParallelDeterminism: the public cube path is bit-identical across
+// worker counts and unaffected by a plan cache.
+func TestCubeParallelDeterminism(t *testing.T) {
+	tab := testTable()
+	ref, err := Release(tab, 2, Options{Epsilon: 1, Seed: 14, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := engine.NewPlanCache(0)
+	for _, workers := range []int{2, 4} {
+		got, err := Release(tab, 2, Options{Epsilon: 1, Seed: 14, Workers: workers, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range ref.Tables {
+			for i := range ref.Tables[ci] {
+				if math.Float64bits(ref.Tables[ci][i]) != math.Float64bits(got.Tables[ci][i]) {
+					t.Fatalf("cuboid %d cell %d differs at %d workers", ci, i, workers)
+				}
+			}
+		}
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats %+v, want 1 miss then 1 hit", st)
 	}
 }

@@ -1,0 +1,54 @@
+// Package engine is the staged, parallel release engine behind the paper's
+// three-step mechanism. It decomposes what used to be a monolithic run into
+// five explicit pipeline stages, each behind a small interface so they are
+// individually constructible, testable and replaceable:
+//
+//	Plan     — Step 1: build (or fetch from the PlanCache) the grouped
+//	           strategy matrix description for the workload.
+//	Allocate — Step 2: closed-form uniform or optimal non-uniform per-group
+//	           noise budgets, plus the Proposition 3.1 privacy re-check.
+//	Measure  — noisy strategy answers z = Sx + ν, fanned out over a bounded
+//	           worker pool.
+//	Recover  — initial per-marginal recovery from z, also fanned out.
+//	Consist  — Step 3: the optional consistency projection.
+//
+// Engine.Run wires the stages together; internal/core re-exports it under
+// the historical Run signature.
+//
+// # Determinism contract
+//
+// A release is a pure function of (workload, data, Config). The worker
+// count, the plan cache, and goroutine scheduling never change a single
+// bit of the output:
+//
+//   - Noise substreams. The noise added to row r of strategy group g is
+//     drawn from a PRNG substream derived by hashing (master seed, g,
+//     ⌊r/noiseBlock⌋) — see noise.NewSubstream. No draw depends on any
+//     other group's stream, so groups (and fixed-size blocks within a
+//     group) can be perturbed concurrently in any order, and the same seed
+//     yields a bit-identical release at any worker count.
+//   - Per-marginal recovery. strategy.Plan.RecoverMarginal must be bitwise
+//     equivalent to the corresponding block of Plan.Recover (same
+//     floating-point additions in the same per-cell order). The engine
+//     therefore recovers marginals concurrently whenever a plan provides
+//     RecoverMarginal, falling back to the serial Recover otherwise. The
+//     engine test suite asserts bit-identity across worker counts for
+//     every built-in strategy.
+//   - Plan purity. Cached plans are shared read-only across goroutines and
+//     runs; every built-in strategy's plan closures are pure functions of
+//     their captured inputs.
+//
+// # Cache semantics
+//
+// PlanCache memoises Step-1 plans under a key covering everything a plan
+// can depend on: strategy identity (Name, or PlanCacheKey for configurable
+// strategies), domain dimension, the exact workload mask sequence and query
+// weights. Privacy parameters and the budgeting mode stay out of the key —
+// planning never sees them — so one cached plan serves a whole ε sweep.
+// Step 1 is the only stage whose cost does not depend on the data — and for
+// the cluster strategy it dominates the entire run — so repeated releases
+// over the same schema (the serving scenario: fresh data or fresh seed,
+// same cube) skip planning entirely.
+// The cache is a bounded LRU and safe for concurrent use; hits return the
+// identical plan the first run used, so caching never changes output.
+package engine

@@ -1,0 +1,540 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bits"
+	"repro/internal/budget"
+	"repro/internal/consistency"
+	"repro/internal/marginal"
+	"repro/internal/noise"
+	"repro/internal/strategy"
+)
+
+// Budgeting selects the Step-2 allocation rule.
+type Budgeting int
+
+const (
+	// UniformBudget reproduces prior work: every strategy group receives
+	// the same per-row budget.
+	UniformBudget Budgeting = iota
+	// OptimalBudget is the paper's contribution: the closed-form non-uniform
+	// allocation of Corollary 3.3 (the "+" variants F+, Q+, C+).
+	OptimalBudget
+)
+
+func (b Budgeting) String() string {
+	if b == OptimalBudget {
+		return "optimal"
+	}
+	return "uniform"
+}
+
+// Consistency selects the post-processing of Sections 3.3/4.3.
+type Consistency int
+
+const (
+	// NoConsistency returns the raw recovered answers.
+	NoConsistency Consistency = iota
+	// L2Consistency projects onto consistent marginals in least squares.
+	L2Consistency
+	// WeightedL2Consistency weights each marginal by its inverse noise
+	// variance — the GLS fusion, optimal among linear consistent estimators.
+	WeightedL2Consistency
+	// L1Consistency minimises the L1 distance via the Section-4.3 LP.
+	L1Consistency
+	// LInfConsistency minimises the L∞ distance via the Section-4.3 LP.
+	LInfConsistency
+)
+
+func (c Consistency) String() string {
+	switch c {
+	case L2Consistency:
+		return "L2"
+	case WeightedL2Consistency:
+		return "weighted-L2"
+	case L1Consistency:
+		return "L1"
+	case LInfConsistency:
+		return "Linf"
+	default:
+		return "none"
+	}
+}
+
+// Config assembles one mechanism run.
+type Config struct {
+	Strategy    strategy.Strategy
+	Budgeting   Budgeting
+	Consistency Consistency
+	Privacy     noise.Params
+	Seed        int64
+	// QueryWeights optionally sets the paper's general objective aᵀ·Var(y)
+	// (Section 2): QueryWeights[i] is the importance of marginal i in the
+	// Step-2 budgeting. nil means a = 1. Requires a strategy implementing
+	// strategy.WeightedPlanner (all built-in marginal strategies do).
+	QueryWeights []float64
+}
+
+// Release is the output of one mechanism run.
+type Release struct {
+	// Answers is the concatenated noisy (and, if requested, consistent)
+	// marginal tables in workload order.
+	Answers []float64
+	// CellVariances[i] is the analytic noise variance of each cell of
+	// marginal i before the consistency step.
+	CellVariances []float64
+	// GroupBudgets are the per-group ε_i chosen by Step 2.
+	GroupBudgets []float64
+	// GroupVariances are the per-row noise variances implied by the budgets.
+	GroupVariances []float64
+	// TotalVariance is the analytic Σ_i Var(y_i) over all released cells
+	// under the initial recovery (the paper's optimisation objective).
+	TotalVariance float64
+	// Coefficients holds the consistent Fourier coefficients when a
+	// consistency pass ran (nil otherwise).
+	Coefficients map[bits.Mask]float64
+	// Elapsed is the wall-clock cost of the full run.
+	Elapsed time.Duration
+	// StrategyName is the short experiment-table name of the strategy.
+	StrategyName string
+}
+
+// Options tunes the engine without changing what it computes: every option
+// combination yields a bit-identical Release for the same Config.
+type Options struct {
+	// Workers bounds the measurement/recovery worker pool. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces fully serial execution.
+	Workers int
+	// Cache, when non-nil, memoises Step-1 plans across runs (see PlanCache).
+	Cache *PlanCache
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ---------------------------------------------------------------------------
+// Stage interfaces. Each pipeline step is a small interface so callers can
+// substitute instrumented or alternative implementations stage by stage;
+// Stages zero-values fall back to the defaults.
+
+// PlanStage produces the Step-1 strategy plan for a workload.
+type PlanStage interface {
+	Plan(w *marginal.Workload, cfg Config) (*strategy.Plan, error)
+}
+
+// AllocateStage performs Step-2 budgeting over the plan's group specs and is
+// responsible for rejecting allocations that would break the privacy
+// constraint.
+type AllocateStage interface {
+	Allocate(specs []budget.Spec, cfg Config) (*budget.SpecAllocation, error)
+}
+
+// MeasureStage computes the noisy strategy answers z = Sx + ν.
+type MeasureStage interface {
+	Measure(plan *strategy.Plan, x []float64, eta []float64, cfg Config, workers int) ([]float64, error)
+}
+
+// RecoverStage turns noisy strategy answers into concatenated marginal
+// answers plus per-marginal cell variances.
+type RecoverStage interface {
+	Recover(w *marginal.Workload, plan *strategy.Plan, z, groupVar []float64, workers int) (answers, cellVar []float64, err error)
+}
+
+// ConsistStage applies the Step-3 consistency projection (possibly a no-op).
+type ConsistStage interface {
+	Consist(w *marginal.Workload, answers, cellVar []float64, cfg Config) ([]float64, map[bits.Mask]float64, error)
+}
+
+// Stages bundles one implementation per pipeline step. A nil field selects
+// the default implementation.
+type Stages struct {
+	Plan     PlanStage
+	Allocate AllocateStage
+	Measure  MeasureStage
+	Recover  RecoverStage
+	Consist  ConsistStage
+}
+
+// Engine executes the staged release pipeline.
+type Engine struct {
+	opts   Options
+	stages Stages
+}
+
+// New returns an engine with the default stage implementations.
+func New(opts Options) *Engine {
+	return NewWithStages(opts, Stages{})
+}
+
+// NewWithStages returns an engine with caller-supplied stages; nil fields
+// use the defaults (the plan stage default consults opts.Cache).
+func NewWithStages(opts Options, st Stages) *Engine {
+	if st.Plan == nil {
+		st.Plan = Planner{Cache: opts.Cache}
+	}
+	if st.Allocate == nil {
+		st.Allocate = Allocator{}
+	}
+	if st.Measure == nil {
+		st.Measure = Measurer{}
+	}
+	if st.Recover == nil {
+		st.Recover = Recoverer{}
+	}
+	if st.Consist == nil {
+		st.Consist = Consister{}
+	}
+	return &Engine{opts: opts, stages: st}
+}
+
+// Options returns the engine's options (workers resolved lazily).
+func (e *Engine) Options() Options { return e.opts }
+
+// Run executes the mechanism on contingency vector x for the workload. The
+// output is a pure function of (w, x, cfg): the worker count and plan cache
+// never change a single bit of the release.
+func (e *Engine) Run(w *marginal.Workload, x []float64, cfg Config) (*Release, error) {
+	start := time.Now()
+	if cfg.Strategy == nil {
+		return nil, fmt.Errorf("engine: no strategy configured")
+	}
+	if err := cfg.Privacy.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) != 1<<uint(w.D) {
+		return nil, fmt.Errorf("engine: data vector has %d entries, domain needs %d", len(x), 1<<uint(w.D))
+	}
+	workers := e.opts.workers()
+
+	plan, err := e.stages.Plan.Plan(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := e.stages.Allocate.Allocate(plan.Specs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	groupVar := budget.SpecVariances(alloc.Eta, cfg.Privacy)
+
+	z, err := e.stages.Measure.Measure(plan, x, alloc.Eta, cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	answers, cellVar, err := e.stages.Recover.Recover(w, plan, z, groupVar, workers)
+	if err != nil {
+		return nil, fmt.Errorf("engine: recovery: %w", err)
+	}
+
+	rel := &Release{
+		Answers:        answers,
+		CellVariances:  cellVar,
+		GroupBudgets:   alloc.Eta,
+		GroupVariances: groupVar,
+		TotalVariance:  TotalCellVariance(w, cellVar),
+		StrategyName:   plan.Strategy,
+	}
+	consistent, coeffs, err := e.stages.Consist.Consist(w, answers, cellVar, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rel.Answers, rel.Coefficients = consistent, coeffs
+	rel.Elapsed = time.Since(start)
+	return rel, nil
+}
+
+// TotalCellVariance sums cellVar over all released cells.
+func TotalCellVariance(w *marginal.Workload, cellVar []float64) float64 {
+	total := 0.0
+	for i, m := range w.Marginals {
+		total += float64(m.Cells()) * cellVar[i]
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------------
+// Default stage implementations.
+
+// Planner is the default PlanStage: it plans through the strategy (weighted
+// when QueryWeights are set) and memoises the result in Cache when present.
+type Planner struct {
+	Cache *PlanCache
+}
+
+// Plan implements PlanStage.
+func (p Planner) Plan(w *marginal.Workload, cfg Config) (*strategy.Plan, error) {
+	if p.Cache != nil {
+		key := planKey(w, cfg)
+		if plan, ok := p.Cache.get(key); ok {
+			return plan, nil
+		}
+		plan, err := planOnce(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Cache.put(key, plan)
+		return plan, nil
+	}
+	return planOnce(w, cfg)
+}
+
+func planOnce(w *marginal.Workload, cfg Config) (*strategy.Plan, error) {
+	var (
+		plan *strategy.Plan
+		err  error
+	)
+	if cfg.QueryWeights != nil {
+		wp, ok := cfg.Strategy.(strategy.WeightedPlanner)
+		if !ok {
+			return nil, fmt.Errorf("engine: strategy %s does not support query weights", cfg.Strategy.Name())
+		}
+		plan, err = wp.PlanWeighted(w, cfg.QueryWeights)
+	} else {
+		plan, err = cfg.Strategy.Plan(w)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("engine: planning strategy %s: %w", cfg.Strategy.Name(), err)
+	}
+	return plan, nil
+}
+
+// Allocator is the default AllocateStage: the closed-form Step-2 budgets of
+// Corollary 3.3 (optimal) or the uniform baseline, followed by the
+// Proposition 3.1 privacy re-check.
+type Allocator struct{}
+
+// Allocate implements AllocateStage.
+func (Allocator) Allocate(specs []budget.Spec, cfg Config) (*budget.SpecAllocation, error) {
+	var (
+		alloc *budget.SpecAllocation
+		err   error
+	)
+	switch cfg.Budgeting {
+	case OptimalBudget:
+		alloc, err = budget.OptimalSpecs(specs, cfg.Privacy)
+	default:
+		alloc, err = budget.UniformSpecs(specs, cfg.Privacy)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("engine: budgeting: %w", err)
+	}
+	for g, eta := range alloc.Eta {
+		if eta <= 0 {
+			return nil, fmt.Errorf("engine: group %d received no budget; strategy row unused by recovery", g)
+		}
+	}
+	if err := verifyPrivacy(specs, alloc.Eta, cfg.Privacy); err != nil {
+		return nil, err
+	}
+	return alloc, nil
+}
+
+// verifyPrivacy re-checks the Proposition 3.1 constraint at group
+// granularity — an internal guard against budgeting bugs.
+func verifyPrivacy(specs []budget.Spec, eta []float64, p noise.Params) error {
+	epsEff := p.EffectiveEpsilon()
+	var load float64
+	if p.Type == noise.ApproxDP {
+		for g, spec := range specs {
+			load += spec.C * spec.C * eta[g] * eta[g]
+		}
+		load = math.Sqrt(load)
+	} else {
+		for g, spec := range specs {
+			load += spec.C * eta[g]
+		}
+	}
+	if load > epsEff*(1+1e-9) {
+		return fmt.Errorf("engine: privacy constraint violated: load %v > %v", load, epsEff)
+	}
+	return nil
+}
+
+// Measurer is the default MeasureStage: exact strategy answers plus
+// substream-seeded per-group noise, fanned out over the worker pool.
+type Measurer struct{}
+
+// Measure implements MeasureStage.
+func (Measurer) Measure(plan *strategy.Plan, x []float64, eta []float64, cfg Config, workers int) ([]float64, error) {
+	z := plan.TrueAnswers(x)
+	offsets := plan.GroupOffsets()
+	groups := make([]NoiseGroup, len(plan.Specs))
+	for g, spec := range plan.Specs {
+		groups[g] = NoiseGroup{Start: offsets[g], Count: spec.Count, Eta: eta[g]}
+	}
+	Perturb(z, groups, cfg.Privacy, cfg.Seed, workers)
+	return z, nil
+}
+
+// NoiseGroup describes one contiguous run of strategy rows sharing a budget.
+type NoiseGroup struct {
+	Start, Count int
+	Eta          float64
+}
+
+// noiseBlock subdivides groups into fixed-size row blocks so that even a
+// single large group (the identity strategy has 2^d rows in one group)
+// spreads across the pool. The size is a constant, never derived from the
+// worker count — block boundaries are part of the determinism contract.
+const noiseBlock = 4096
+
+// Perturb adds one noise draw per strategy row: row r of the group at
+// position g in groups reads the substream derived from (seed, g,
+// ⌊r/noiseBlock⌋), so the value depends only on (seed, g, r) — never on the
+// worker count, scheduling, or the sizes of other groups. A caller that
+// perturbs only a subset of groups (a shard) reproduces the full release's
+// noise exactly by keeping each group at its original position index —
+// zero-Count placeholders hold the positions of groups a shard doesn't own.
+// Groups must cover disjoint ranges of z.
+func Perturb(z []float64, groups []NoiseGroup, p noise.Params, seed int64, workers int) {
+	type block struct {
+		off, n int
+		eta    float64
+		sub    uint64
+	}
+	var blocks []block
+	for g, grp := range groups {
+		for b := 0; b < grp.Count; b += noiseBlock {
+			n := noiseBlock
+			if grp.Count-b < n {
+				n = grp.Count - b
+			}
+			blocks = append(blocks, block{
+				off: grp.Start + b, n: n, eta: grp.Eta,
+				sub: uint64(g)<<32 | uint64(b/noiseBlock),
+			})
+		}
+	}
+	perturbBlock := func(bl block) {
+		src := noise.NewSubstream(seed, bl.sub)
+		for r := 0; r < bl.n; r++ {
+			z[bl.off+r] += p.RowNoise(src, bl.eta)
+		}
+	}
+	if workers <= 1 || len(blocks) <= 1 {
+		for _, bl := range blocks {
+			perturbBlock(bl)
+		}
+		return
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	var wg sync.WaitGroup
+	next := make(chan block)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bl := range next {
+				perturbBlock(bl)
+			}
+		}()
+	}
+	for _, bl := range blocks {
+		next <- bl
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Recoverer is the default RecoverStage. When the plan supports per-marginal
+// recovery and more than one worker is available, marginals recover
+// concurrently; the serial path and the parallel path are bit-identical
+// because strategy.Plan's contract requires Recover to equal the
+// concatenation of RecoverMarginal outputs (both accumulate in the same
+// order per output cell).
+type Recoverer struct{}
+
+// Recover implements RecoverStage.
+func (Recoverer) Recover(w *marginal.Workload, plan *strategy.Plan, z, groupVar []float64, workers int) ([]float64, []float64, error) {
+	if plan.RecoverMarginal == nil || workers <= 1 || len(w.Marginals) <= 1 {
+		return plan.Recover(z, groupVar)
+	}
+	nm := len(w.Marginals)
+	if workers > nm {
+		workers = nm
+	}
+	blocks := make([][]float64, nm)
+	cellVar := make([]float64, nm)
+	errs := make([]error, nm)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				blocks[i], cellVar[i], errs[i] = plan.RecoverMarginal(i, z, groupVar)
+			}
+		}()
+	}
+	for i := 0; i < nm; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	answers := make([]float64, 0, w.TotalCells())
+	for i := 0; i < nm; i++ {
+		answers = append(answers, blocks[i]...)
+	}
+	return answers, cellVar, nil
+}
+
+// Consister is the default ConsistStage: the Section 3.3/4.3 projections.
+type Consister struct{}
+
+// Consist implements ConsistStage.
+func (Consister) Consist(w *marginal.Workload, answers, cellVar []float64, cfg Config) ([]float64, map[bits.Mask]float64, error) {
+	switch cfg.Consistency {
+	case NoConsistency:
+		return answers, nil, nil
+	case L2Consistency:
+		res, err := consistency.L2(w, answers)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: consistency: %w", err)
+		}
+		return res.Answers, res.Coefficients, nil
+	case WeightedL2Consistency:
+		weights := make([]float64, len(cellVar))
+		for i, v := range cellVar {
+			if v <= 0 || math.IsInf(v, 1) {
+				weights[i] = 0
+			} else {
+				weights[i] = 1 / v
+			}
+		}
+		res, err := consistency.L2Weighted(w, answers, weights)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: consistency: %w", err)
+		}
+		return res.Answers, res.Coefficients, nil
+	case L1Consistency:
+		res, err := consistency.L1(w, answers)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: consistency: %w", err)
+		}
+		return res.Answers, res.Coefficients, nil
+	case LInfConsistency:
+		res, err := consistency.LInf(w, answers)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: consistency: %w", err)
+		}
+		return res.Answers, res.Coefficients, nil
+	default:
+		return nil, nil, fmt.Errorf("engine: unknown consistency mode %d", cfg.Consistency)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/marginal"
 	"repro/internal/noise"
 	"repro/internal/recovery"
@@ -122,6 +123,13 @@ func AccuracySweepParams(datasetName, workloadName string, w *marginal.Workload,
 	out := make([]Point, len(cells))
 	errs := make([]error, len(cells))
 
+	// One engine for the whole sweep: cells already saturate the CPU, so
+	// each run stays serial (Workers: 1), but the shared plan cache lets
+	// every trial and every ε of a method reuse one Step-1 plan (plans are
+	// privacy-independent) — the decisive amortisation for the cluster
+	// strategy's expensive search.
+	eng := engine.New(engine.Options{Workers: 1, Cache: engine.NewPlanCache(0)})
+
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(cells) {
 		workers = len(cells)
@@ -139,7 +147,7 @@ func AccuracySweepParams(datasetName, workloadName string, w *marginal.Workload,
 				p.Epsilon = eps
 				total := 0.0
 				for tr := 0; tr < trials; tr++ {
-					rel, err := core.Run(w, x, core.Config{
+					rel, err := eng.Run(w, x, core.Config{
 						Strategy:    m.Strategy,
 						Budgeting:   m.Budgeting,
 						Consistency: core.WeightedL2Consistency,
@@ -249,6 +257,9 @@ type BoundRow struct {
 // all-k-way workload over synthetic binary data.
 func Table1Rows(ds, ks []int, p noise.Params, trials int, seed int64) ([]BoundRow, error) {
 	var rows []BoundRow
+	// Plans depend on (d, k, strategy) only, so a shared cache amortises
+	// Step 1 across trials and across the uniform/optimal Fourier variants.
+	eng := engine.New(engine.Options{Workers: 1, Cache: engine.NewPlanCache(0)})
 	for _, d := range ds {
 		for _, k := range ks {
 			if k >= d {
@@ -273,7 +284,7 @@ func Table1Rows(ds, ks []int, p noise.Params, trials int, seed int64) ([]BoundRo
 				offsets := w.Offsets()
 				total := 0.0
 				for tr := 0; tr < trials; tr++ {
-					rel, err := core.Run(w, x, core.Config{
+					rel, err := eng.Run(w, x, core.Config{
 						Strategy: s, Budgeting: b, Privacy: p,
 						Seed: seed + int64(tr)*104729,
 					})

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/internal/budget"
+	"repro/internal/engine"
 	"repro/internal/noise"
 	"repro/internal/transform"
 )
@@ -100,8 +101,15 @@ func (m Method) String() string {
 }
 
 // Run answers the workload over data x (len ≥ Workload.Size) with the
-// chosen strategy and budgeting.
+// chosen strategy and budgeting, serially.
 func Run(w *Workload, x []float64, m Method, budgeting string, p noise.Params, seed int64) (*Release, error) {
+	return RunParallel(w, x, m, budgeting, p, seed, 1)
+}
+
+// RunParallel is Run with a bounded worker pool for the noisy measurement.
+// Noise is drawn from per-group seed substreams (the engine's determinism
+// contract), so the release is bit-identical at every worker count.
+func RunParallel(w *Workload, x []float64, m Method, budgeting string, p noise.Params, seed int64, workers int) (*Release, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -110,11 +118,11 @@ func Run(w *Workload, x []float64, m Method, budgeting string, p noise.Params, s
 	}
 	switch m {
 	case Hierarchy:
-		return runHierarchy(w, x, budgeting, p, seed)
+		return runHierarchy(w, x, budgeting, p, seed, workers)
 	case Wavelet:
-		return runWavelet(w, x, budgeting, p, seed)
+		return runWavelet(w, x, budgeting, p, seed, workers)
 	case Flat:
-		return runFlat(w, x, budgeting, p, seed)
+		return runFlat(w, x, budgeting, p, seed, workers)
 	default:
 		return nil, fmt.Errorf("rangequery: unknown method %d", m)
 	}
@@ -129,7 +137,7 @@ func allocate(specs []budget.Spec, budgeting string, p noise.Params) (*budget.Sp
 
 // runHierarchy answers every node of a binary tree over the padded domain,
 // one group per level (C = 1), recovery by dyadic range decomposition.
-func runHierarchy(w *Workload, x []float64, budgeting string, p noise.Params, seed int64) (*Release, error) {
+func runHierarchy(w *Workload, x []float64, budgeting string, p noise.Params, seed int64, workers int) (*Release, error) {
 	h := transform.NewHierarchy(w.Size)
 	// Recovery weight per node = number of workload ranges whose dyadic
 	// decomposition uses it.
@@ -179,7 +187,6 @@ func runHierarchy(w *Workload, x []float64, budgeting string, p noise.Params, se
 	}
 	groupVar := budget.SpecVariances(alloc.Eta, p)
 
-	src := noise.NewSource(seed)
 	z := h.Answer(x[:w.Size])
 	nodeVar := make([]float64, h.Rows())
 	for nd := range z {
@@ -189,9 +196,19 @@ func runHierarchy(w *Workload, x []float64, budgeting string, p noise.Params, se
 			nodeVar[nd] = 0
 			continue
 		}
-		z[nd] += p.RowNoise(src, alloc.Eta[si])
 		nodeVar[nd] = groupVar[si]
 	}
+	// Nodes are level-major in heap order, so each released level is one
+	// contiguous noise group.
+	var groups []engine.NoiseGroup
+	start := 0
+	for l := 0; l < h.Levels; l++ {
+		if si := specOf[l]; si >= 0 {
+			groups = append(groups, engine.NoiseGroup{Start: start, Count: levelCount[l], Eta: alloc.Eta[si]})
+		}
+		start += levelCount[l]
+	}
+	engine.Perturb(z, groups, p, seed, workers)
 	answers := make([]float64, len(w.Intervals))
 	qv := make([]float64, len(w.Intervals))
 	total := 0.0
@@ -208,7 +225,7 @@ func runHierarchy(w *Workload, x []float64, budgeting string, p noise.Params, se
 // runWavelet answers the Haar coefficients, one group per wavelet level.
 // A range query is a linear functional of the coefficients; its weights are
 // the Haar transform of the range's indicator vector.
-func runWavelet(w *Workload, x []float64, budgeting string, p noise.Params, seed int64) (*Release, error) {
+func runWavelet(w *Workload, x []float64, budgeting string, p noise.Params, seed int64, workers int) (*Release, error) {
 	n := 1
 	for n < w.Size {
 		n <<= 1
@@ -287,19 +304,31 @@ func runWavelet(w *Workload, x []float64, budgeting string, p noise.Params, seed
 	}
 	groupVar := budget.SpecVariances(alloc.Eta, p)
 
-	src := noise.NewSource(seed)
 	coefVar := make([]float64, n)
-	// Rows are grouped by level but laid out in coefficient order; noise is
-	// drawn per coefficient with its level's budget.
 	for c := 0; c < n; c++ {
 		si := specOf[levelOf(c)]
 		if si < 0 {
 			coeffs[c] = 0 // unreleased: zero query weight everywhere
 			continue
 		}
-		coeffs[c] += p.RowNoise(src, alloc.Eta[si])
 		coefVar[c] = groupVar[si]
 	}
+	// Coefficients are level-major (level 0 is the DC entry, level l ≥ 1
+	// occupies [2^{l−1}, 2^l)), so each released level is one contiguous
+	// noise group.
+	var groups []engine.NoiseGroup
+	for l := 0; l < levels; l++ {
+		si := specOf[l]
+		if si < 0 {
+			continue
+		}
+		start := 0
+		if l > 0 {
+			start = 1 << uint(l-1)
+		}
+		groups = append(groups, engine.NoiseGroup{Start: start, Count: counts[l], Eta: alloc.Eta[si]})
+	}
+	engine.Perturb(coeffs, groups, p, seed, workers)
 	answers := make([]float64, len(w.Intervals))
 	qv := make([]float64, len(w.Intervals))
 	total := 0.0
@@ -320,7 +349,7 @@ func runWavelet(w *Workload, x []float64, budgeting string, p noise.Params, seed
 }
 
 // runFlat perturbs each cell and sums.
-func runFlat(w *Workload, x []float64, budgeting string, p noise.Params, seed int64) (*Release, error) {
+func runFlat(w *Workload, x []float64, budgeting string, p noise.Params, seed int64, workers int) (*Release, error) {
 	meanLen := 0.0
 	for _, iv := range w.Intervals {
 		meanLen += float64(iv.Hi - iv.Lo)
@@ -334,11 +363,9 @@ func runFlat(w *Workload, x []float64, budgeting string, p noise.Params, seed in
 		return nil, err
 	}
 	groupVar := budget.SpecVariances(alloc.Eta, p)
-	src := noise.NewSource(seed)
 	noisy := make([]float64, w.Size)
-	for i := 0; i < w.Size; i++ {
-		noisy[i] = x[i] + p.RowNoise(src, alloc.Eta[0])
-	}
+	copy(noisy, x[:w.Size])
+	engine.Perturb(noisy, []engine.NoiseGroup{{Start: 0, Count: w.Size, Eta: alloc.Eta[0]}}, p, seed, workers)
 	answers := make([]float64, len(w.Intervals))
 	qv := make([]float64, len(w.Intervals))
 	total := 0.0

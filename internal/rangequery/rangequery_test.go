@@ -259,3 +259,36 @@ func TestEmptyRangesOnly(t *testing.T) {
 		}
 	}
 }
+
+// TestRunParallelBitIdentical: every method's release is a pure function of
+// the seed — the worker count changes nothing, per the engine's substream
+// determinism contract.
+func TestRunParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 256
+	x := testData(rng, n)
+	w, err := NewWorkload(n, []Interval{{0, 10}, {5, 200}, {100, 256}, {0, 256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pureParams(1)
+	for _, m := range []Method{Flat, Hierarchy, Wavelet} {
+		for _, budgets := range []string{"uniform", "optimal"} {
+			ref, err := Run(w, x, m, budgets, p, 17)
+			if err != nil {
+				t.Fatalf("%v/%s serial: %v", m, budgets, err)
+			}
+			for _, workers := range []int{2, 4} {
+				got, err := RunParallel(w, x, m, budgets, p, 17, workers)
+				if err != nil {
+					t.Fatalf("%v/%s workers=%d: %v", m, budgets, workers, err)
+				}
+				for i := range ref.Answers {
+					if math.Float64bits(ref.Answers[i]) != math.Float64bits(got.Answers[i]) {
+						t.Fatalf("%v/%s: answer %d differs at %d workers", m, budgets, i, workers)
+					}
+				}
+			}
+		}
+	}
+}

@@ -31,6 +31,10 @@ type Cluster struct {
 // Name implements Strategy.
 func (Cluster) Name() string { return "C" }
 
+// PlanCacheKey implements PlanKeyer: MaxMerges changes the clustering, so
+// differently capped instances must not share cached plans.
+func (c Cluster) PlanCacheKey() string { return fmt.Sprintf("C#%d", c.MaxMerges) }
+
 // clustering is the output of the greedy search.
 type clustering struct {
 	// materials are the cluster centroid masks, one per cluster.
@@ -163,30 +167,26 @@ func (c Cluster) planFrom(w *marginal.Workload, cl *clustering, queryWeights []f
 		}
 	}
 	matOffsets := matWorkload.Offsets()
-
+	rm := func(qi int, z []float64, groupVar []float64) ([]float64, float64, error) {
+		if len(z) != matWorkload.TotalCells() || len(groupVar) != len(cl.materials) {
+			return nil, 0, fmt.Errorf("strategy: cluster recover got %d answers, %d variances", len(z), len(groupVar))
+		}
+		m := w.Marginals[qi]
+		ci := cl.assign[qi]
+		mu := cl.materials[ci]
+		block := z[matOffsets[ci] : matOffsets[ci]+(1<<uint(mu.Count()))]
+		out := make([]float64, m.Cells())
+		mu.VisitSubsets(func(cell bits.Mask) {
+			out[bits.CellIndex(m.Alpha, cell&m.Alpha)] += block[bits.CellIndex(mu, cell)]
+		})
+		return out, float64(int64(1)<<uint(mu.Count()-m.Order())) * groupVar[ci], nil
+	}
 	return &Plan{
-		Strategy:    "C",
-		Specs:       specs,
-		TrueAnswers: matWorkload.EvalSinglePass,
-		Recover: func(z []float64, groupVar []float64) ([]float64, []float64, error) {
-			if len(z) != matWorkload.TotalCells() || len(groupVar) != len(cl.materials) {
-				return nil, nil, fmt.Errorf("strategy: cluster recover got %d answers, %d variances", len(z), len(groupVar))
-			}
-			answers := make([]float64, 0, w.TotalCells())
-			cellVar := make([]float64, len(w.Marginals))
-			for qi, m := range w.Marginals {
-				ci := cl.assign[qi]
-				mu := cl.materials[ci]
-				block := z[matOffsets[ci] : matOffsets[ci]+(1<<uint(mu.Count()))]
-				out := make([]float64, m.Cells())
-				mu.VisitSubsets(func(cell bits.Mask) {
-					out[bits.CellIndex(m.Alpha, cell&m.Alpha)] += block[bits.CellIndex(mu, cell)]
-				})
-				answers = append(answers, out...)
-				cellVar[qi] = float64(int64(1)<<uint(mu.Count()-m.Order())) * groupVar[ci]
-			}
-			return answers, cellVar, nil
-		},
+		Strategy:        "C",
+		Specs:           specs,
+		TrueAnswers:     matWorkload.EvalSinglePass,
+		Recover:         recoverFromMarginals(w, rm),
+		RecoverMarginal: rm,
 	}, nil
 }
 

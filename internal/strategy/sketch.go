@@ -28,6 +28,11 @@ type Sketch struct {
 // Name implements Strategy.
 func (Sketch) Name() string { return "S" }
 
+// PlanCacheKey implements PlanKeyer: the plan depends on every field.
+func (s Sketch) PlanCacheKey() string {
+	return fmt.Sprintf("S#%d:%d:%d", s.Reps, s.Buckets, s.Seed)
+}
+
 // Plan implements Strategy.
 func (s Sketch) Plan(w *marginal.Workload) (*Plan, error) {
 	t, b := s.Reps, s.Buckets

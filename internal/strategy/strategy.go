@@ -43,6 +43,14 @@ type Plan struct {
 	// variances) to the concatenated workload answers and the per-marginal
 	// cell variance (constant within a marginal for every strategy here).
 	Recover func(z []float64, groupVar []float64) (answers []float64, cellVar []float64, err error)
+	// RecoverMarginal, when non-nil, recovers workload marginal i alone:
+	// its cell block and per-cell variance. Contract (relied on by the
+	// engine's parallel recovery): concatenating RecoverMarginal(0..ℓ−1)
+	// must be bit-identical to Recover — same floating-point operations in
+	// the same per-cell order — so that the release does not depend on the
+	// worker count. Strategies with recovery that cannot be split per
+	// marginal leave this nil and recover serially.
+	RecoverMarginal func(i int, z []float64, groupVar []float64) (cells []float64, cellVar float64, err error)
 }
 
 // Rows returns the total number of strategy rows.
@@ -65,10 +73,39 @@ func (p *Plan) GroupOffsets() []int {
 	return out
 }
 
+// recoverFromMarginals builds a Plan.Recover as the concatenation of a
+// per-marginal recovery function, making the engine's bit-identity contract
+// (Recover ≡ concat(RecoverMarginal)) hold by construction. Strategies whose
+// full recovery has a faster fused form (identity's single pass) hand-write
+// Recover instead and carry the proof obligation themselves.
+func recoverFromMarginals(w *marginal.Workload, rm func(i int, z, groupVar []float64) ([]float64, float64, error)) func(z, groupVar []float64) ([]float64, []float64, error) {
+	return func(z []float64, groupVar []float64) ([]float64, []float64, error) {
+		answers := make([]float64, 0, w.TotalCells())
+		cellVar := make([]float64, len(w.Marginals))
+		for i := range w.Marginals {
+			cells, cv, err := rm(i, z, groupVar)
+			if err != nil {
+				return nil, nil, err
+			}
+			answers = append(answers, cells...)
+			cellVar[i] = cv
+		}
+		return answers, cellVar, nil
+	}
+}
+
 // Strategy plans a workload.
 type Strategy interface {
 	Name() string
 	Plan(w *marginal.Workload) (*Plan, error)
+}
+
+// PlanKeyer is implemented by strategies whose plan depends on configuration
+// beyond the short Name — the plan cache keys on PlanCacheKey instead so two
+// differently configured instances never alias. Strategies without
+// configurable planning need not implement it.
+type PlanKeyer interface {
+	PlanCacheKey() string
 }
 
 // ---------------------------------------------------------------------------
@@ -110,6 +147,20 @@ func (Identity) Plan(w *marginal.Workload) (*Plan, error) {
 			}
 			return answers, cellVar, nil
 		},
+		// Identity keeps the fused single-pass Recover above instead of
+		// recoverFromMarginals — one sweep over 2^d cells beats ℓ sweeps
+		// serially (see BenchmarkAblationSinglePassEval) — so it carries the
+		// bit-identity proof itself: Marginal.Eval and EvalSinglePass both
+		// accumulate each output cell over ascending domain indices, making
+		// the two paths bit-identical (pinned by the engine's
+		// TestParallelDeterminism).
+		RecoverMarginal: func(i int, z []float64, groupVar []float64) ([]float64, float64, error) {
+			if len(z) != n || len(groupVar) != 1 {
+				return nil, 0, fmt.Errorf("strategy: identity recover got %d answers, %d variances", len(z), len(groupVar))
+			}
+			m := w.Marginals[i]
+			return m.Eval(z), float64(int64(1)<<uint(w.D-m.Order())) * groupVar[0], nil
+		},
 	}, nil
 }
 
@@ -130,20 +181,22 @@ func (Workload) Plan(w *marginal.Workload) (*Plan, error) {
 	for i, m := range w.Marginals {
 		specs[i] = budget.Spec{Count: m.Cells(), RowWeight: 1, C: 1}
 	}
+	offsets := w.Offsets()
+	rm := func(i int, z []float64, groupVar []float64) ([]float64, float64, error) {
+		if len(z) != w.TotalCells() || len(groupVar) != len(w.Marginals) {
+			return nil, 0, fmt.Errorf("strategy: workload recover got %d answers, %d variances", len(z), len(groupVar))
+		}
+		m := w.Marginals[i]
+		cells := make([]float64, m.Cells())
+		copy(cells, z[offsets[i]:offsets[i]+m.Cells()])
+		return cells, groupVar[i], nil
+	}
 	return &Plan{
-		Strategy:    "Q",
-		Specs:       specs,
-		TrueAnswers: w.EvalSinglePass,
-		Recover: func(z []float64, groupVar []float64) ([]float64, []float64, error) {
-			if len(z) != w.TotalCells() || len(groupVar) != len(w.Marginals) {
-				return nil, nil, fmt.Errorf("strategy: workload recover got %d answers, %d variances", len(z), len(groupVar))
-			}
-			answers := make([]float64, len(z))
-			copy(answers, z)
-			cellVar := make([]float64, len(groupVar))
-			copy(cellVar, groupVar)
-			return answers, cellVar, nil
-		},
+		Strategy:        "Q",
+		Specs:           specs,
+		TrueAnswers:     w.EvalSinglePass,
+		Recover:         recoverFromMarginals(w, rm),
+		RecoverMarginal: rm,
 	}, nil
 }
 
@@ -183,6 +236,24 @@ func (Fourier) Plan(w *marginal.Workload) (*Plan, error) {
 	for i := range support {
 		specs[i] = budget.Spec{Count: 1, RowWeight: weights[i], C: cInv}
 	}
+	// Theorem 4.1 reconstruction reads only the coefficients β ⪯ α_i, so
+	// each marginal builds its own subset map; MarginalFromCoefficients
+	// visits subsets in a fixed order, and the per-marginal cell variance is
+	// Var((Cα)_γ) = Σ_{β⪯α} (2^{d/2−k})²·Var(z_β) = 2^{d−2k}·Σ Var.
+	rm := func(i int, z []float64, groupVar []float64) ([]float64, float64, error) {
+		if len(z) != len(support) || len(groupVar) != len(support) {
+			return nil, 0, fmt.Errorf("strategy: fourier recover got %d answers, %d variances", len(z), len(groupVar))
+		}
+		m := w.Marginals[i]
+		coeff := make(map[bits.Mask]float64, 1<<uint(m.Order()))
+		sum := 0.0
+		m.Alpha.VisitSubsets(func(beta bits.Mask) {
+			coeff[beta] = z[colOf[beta]]
+			sum += groupVar[colOf[beta]]
+		})
+		rCoefSq := math.Pow(2, float64(d-2*m.Order()))
+		return m.EvalFromFourier(d, coeff), rCoefSq * sum, nil
+	}
 	return &Plan{
 		Strategy: "F",
 		Specs:    specs,
@@ -197,27 +268,7 @@ func (Fourier) Plan(w *marginal.Workload) (*Plan, error) {
 			}
 			return out
 		},
-		Recover: func(z []float64, groupVar []float64) ([]float64, []float64, error) {
-			if len(z) != len(support) || len(groupVar) != len(support) {
-				return nil, nil, fmt.Errorf("strategy: fourier recover got %d answers, %d variances", len(z), len(groupVar))
-			}
-			coeff := make(map[bits.Mask]float64, len(support))
-			for i, b := range support {
-				coeff[b] = z[i]
-			}
-			answers := make([]float64, 0, w.TotalCells())
-			cellVar := make([]float64, len(w.Marginals))
-			for i, m := range w.Marginals {
-				answers = append(answers, m.EvalFromFourier(d, coeff)...)
-				// Var((Cα)_γ) = Σ_{β⪯α} (2^{d/2−k})²·Var(z_β) = 2^{d−2k}·Σ Var.
-				rCoefSq := math.Pow(2, float64(d-2*m.Order()))
-				sum := 0.0
-				m.Alpha.VisitSubsets(func(beta bits.Mask) {
-					sum += groupVar[colOf[beta]]
-				})
-				cellVar[i] = rCoefSq * sum
-			}
-			return answers, cellVar, nil
-		},
+		Recover:         recoverFromMarginals(w, rm),
+		RecoverMarginal: rm,
 	}, nil
 }

@@ -7,10 +7,20 @@ import (
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/marginal"
 	"repro/internal/noise"
 	"repro/internal/strategy"
 )
+
+// PlanCache memoises Step-1 strategy plans across releases over the same
+// schema and workload — the serving scenario, where repeated releases skip
+// the (for some strategies very expensive) planning step entirely. A cache
+// is safe for concurrent use and never changes released values.
+type PlanCache = engine.PlanCache
+
+// NewPlanCache returns a bounded LRU plan cache to share across releases.
+func NewPlanCache() *PlanCache { return engine.NewPlanCache(0) }
 
 // Re-exported data-model types. The public API works in terms of schemas,
 // tables and marginal workloads; the contingency-vector plumbing stays
@@ -102,6 +112,12 @@ type Options struct {
 	// noise budgeting (the paper's aᵀ·Var(y) objective); QueryWeights[i]
 	// applies to workload marginal i. nil means equal importance.
 	QueryWeights []float64
+	// Workers bounds the release engine's worker pool for noisy measurement
+	// and per-marginal recovery. 0 uses all available CPUs; 1 forces serial
+	// execution. The released values are bit-identical at every setting.
+	Workers int
+	// Cache optionally reuses Step-1 plans across releases (see PlanCache).
+	Cache *PlanCache
 }
 
 func (o Options) params() noise.Params {
@@ -197,14 +213,14 @@ func ReleaseVector(x []float64, w *Workload, o Options, schema *Schema) (*Result
 	if o.UniformBudget {
 		budgeting = core.UniformBudget
 	}
-	rel, err := core.Run(w, x, core.Config{
+	rel, err := core.RunWith(w, x, core.Config{
 		Strategy:     o.Strategy.impl(),
 		Budgeting:    budgeting,
 		Consistency:  cons,
 		Privacy:      o.params(),
 		Seed:         o.Seed,
 		QueryWeights: o.QueryWeights,
-	})
+	}, engine.Options{Workers: o.Workers, Cache: o.Cache})
 	if err != nil {
 		return nil, err
 	}

@@ -153,3 +153,28 @@ func TestModifyNeighborsDoublesNoise(t *testing.T) {
 		t.Fatalf("modify-neighbour variance ratio %v, want 4", mod.TotalVariance/std.TotalVariance)
 	}
 }
+
+// TestReleaseWorkersAndCacheBitIdentical: the public Options.Workers and
+// Options.Cache knobs are pure performance tuning — the release is
+// bit-identical at every worker count, with or without a shared plan cache.
+func TestReleaseWorkersAndCacheBitIdentical(t *testing.T) {
+	tab := smallTable()
+	w := AllKWayMarginals(tab.Schema, 2)
+	ref, err := Release(tab, w, Options{Epsilon: 1, Seed: 21, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewPlanCache()
+	for _, workers := range []int{0, 2, 4} {
+		got, err := Release(tab, w, Options{Epsilon: 1, Seed: 21, Workers: workers, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Answers {
+			if math.Float64bits(ref.Answers[i]) != math.Float64bits(got.Answers[i]) {
+				t.Fatalf("answer %d differs at workers=%d: %v vs %v",
+					i, workers, ref.Answers[i], got.Answers[i])
+			}
+		}
+	}
+}
