@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/budget"
@@ -72,7 +73,7 @@ func accuracyBench(b *testing.B, name string, tab *dataset.Table, workload strin
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AccuracySweep(name, workload, w, x,
+		if _, err := experiments.AccuracySweep(context.Background(), name, workload, w, x,
 			experiments.Methods(cluster), []float64{0.5}, 1, int64(i)); err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +153,7 @@ func BenchmarkTable1Bounds(b *testing.B) {
 	p := pureParams(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table1Rows([]int{10, 12}, []int{1, 2}, p, 1, int64(i)); err != nil {
+		if _, err := experiments.Table1Rows(context.Background(), []int{10, 12}, []int{1, 2}, p, 1, int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

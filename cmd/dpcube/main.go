@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro"
 	"repro/internal/core"
@@ -95,13 +98,23 @@ func main() {
 		return
 	}
 
-	res, err := repro.Release(tab, w, repro.Options{
-		Epsilon:       *epsilon,
-		Delta:         *delta,
-		Strategy:      kind,
-		UniformBudget: *uniform,
-		Seed:          *seed,
-		Workers:       *workers,
+	// Ctrl-C aborts the in-flight release (the engine stops mid-stage)
+	// instead of leaving the process burning CPU.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := []repro.ReleaserOption{repro.WithStrategy(kind), repro.WithWorkers(*workers)}
+	if *uniform {
+		opts = append(opts, repro.WithUniformBudget())
+	}
+	rel, err := repro.NewReleaserContext(ctx, tab.Schema, w, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := rel.Release(ctx, tab, repro.ReleaseSpec{
+		Epsilon: *epsilon,
+		Delta:   *delta,
+		Seed:    *seed,
 	})
 	if err != nil {
 		fatal(err)

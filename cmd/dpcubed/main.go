@@ -1,0 +1,95 @@
+// Command dpcubed serves differentially private marginal, datacube and
+// synthetic-data releases over JSON/HTTP — the long-lived deployment shape
+// of the paper's mechanisms, where the expensive strategy planning is done
+// once per (schema, workload) and amortised across requests through a
+// shared plan cache, while a budget ledger enforces a global (ε, δ) cap
+// across everything the process ever releases.
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/release    — private marginals of an inline table
+//	POST /v1/cube       — private datacube up to max_order
+//	POST /v1/synthetic  — release + row-level synthetic microdata
+//	GET  /v1/budget     — cumulative privacy spend vs. the cap
+//
+// Usage:
+//
+//	dpcubed -addr :8080 -epsilon-cap 10
+//	curl -s localhost:8080/v1/budget
+//	curl -s -X POST localhost:8080/v1/release -d @request.json
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get -drain to finish, new connections are refused, and the final budget
+// ledger is printed to stderr so the spend survives in the logs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		epsCap     = flag.Float64("epsilon-cap", 10, "total privacy budget ε the process may ever spend")
+		deltaCap   = flag.Float64("delta-cap", 1e-3, "total δ the process may ever spend (0 admits only pure-DP requests)")
+		maxWorkers = flag.Int("max-workers", 0, "per-request engine worker bound (0 = all CPUs)")
+		cacheSize  = flag.Int("cache-size", 0, "shared plan cache entries (0 = default)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		EpsilonCap: *epsCap,
+		DeltaCap:   *deltaCap,
+		MaxWorkers: *maxWorkers,
+		CacheSize:  *cacheSize,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpcubed:", err)
+		os.Exit(2)
+	}
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// BaseContext is the default (request contexts cancel on client
+		// disconnect), which is what threads cancellation into the engine.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "dpcubed: serving on %s (ε cap %g, δ cap %g)\n", *addr, *epsCap, *deltaCap)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "dpcubed: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "dpcubed: drain:", err)
+		}
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "dpcubed:", err)
+			os.Exit(1)
+		}
+	}
+	// The spend is the one thing that must not vanish with the process.
+	fmt.Fprint(os.Stderr, srv.Ledger().Summary())
+}

@@ -16,12 +16,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -41,6 +44,11 @@ func main() {
 		delta     = flag.Float64("delta", 0, "run the accuracy sweeps under (ε,δ)-DP with this δ (0 = pure ε-DP)")
 	)
 	flag.Parse()
+
+	// Ctrl-C aborts the in-flight sweep instead of leaving worker
+	// goroutines burning CPU until process exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	run := func(name string, fn func(io.Writer) error) {
 		var w io.Writer = os.Stdout
@@ -103,7 +111,7 @@ func main() {
 					continue
 				}
 				fmt.Fprintf(os.Stderr, "[%s] workload %s (%d marginals)\n", datasetName, name, len(ws.ByName[name].Marginals))
-				pts, err := experiments.AccuracySweepParams(datasetName, name, ws.ByName[name], x,
+				pts, err := experiments.AccuracySweepParams(ctx, datasetName, name, ws.ByName[name], x,
 					experiments.Methods(*cluster), base, eps, *trials, *seed)
 				if err != nil {
 					return err
@@ -143,7 +151,7 @@ func main() {
 				return err
 			}
 			ws := experiments.SchemaWorkloads(tab.Schema)
-			times, err := experiments.TimingSweep("nltcs", ws, x, experiments.Methods(*cluster), *seed)
+			times, err := experiments.TimingSweep(ctx, "nltcs", ws, x, experiments.Methods(*cluster), *seed)
 			if err != nil {
 				return err
 			}
@@ -153,7 +161,7 @@ func main() {
 	if want("table1") {
 		run("table1_bounds", func(out io.Writer) error {
 			p := noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.AddRemove}
-			rows, err := experiments.Table1Rows([]int{8, 10, 12, 14}, []int{1, 2, 3}, p, *trials, *seed)
+			rows, err := experiments.Table1Rows(ctx, []int{8, 10, 12, 14}, []int{1, 2, 3}, p, *trials, *seed)
 			if err != nil {
 				return err
 			}

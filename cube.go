@@ -1,8 +1,9 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/datacube"
-	"repro/internal/strategy"
 	"repro/internal/synth"
 )
 
@@ -18,23 +19,22 @@ type CubeLattice = datacube.Lattice
 // consistent: rolling a child cuboid up always reproduces its released
 // ancestor exactly, so the cube behaves like a real OLAP cube downstream.
 func ReleaseCube(t *Table, maxOrder int, o Options) (*CubeRelease, error) {
-	var strat strategy.Strategy
-	switch o.Strategy {
-	case StrategyWorkload:
-		strat = strategy.Workload{}
-	case StrategyIdentity:
-		strat = strategy.Identity{}
-	case StrategyCluster:
-		strat = strategy.Cluster{}
-	default:
-		strat = strategy.Fourier{}
+	return ReleaseCubeContext(context.Background(), t, maxOrder, o)
+}
+
+// ReleaseCubeContext is ReleaseCube under a context: cancellation aborts
+// the release engine mid-run (see Releaser.Release for the service-oriented
+// marginal API; cube releases share its engine and plan cache plumbing).
+func ReleaseCubeContext(ctx context.Context, t *Table, maxOrder int, o Options) (*CubeRelease, error) {
+	if err := validatePrivacy(o.Epsilon, o.Delta); err != nil {
+		return nil, err
 	}
-	return datacube.Release(t, maxOrder, datacube.Options{
+	return datacube.ReleaseContext(ctx, t, maxOrder, datacube.Options{
 		Epsilon:       o.Epsilon,
 		Delta:         o.Delta,
 		UniformBudget: o.UniformBudget,
 		Seed:          o.Seed,
-		Strategy:      strat,
+		Strategy:      o.Strategy.impl(),
 		Workers:       o.Workers,
 		Cache:         o.Cache,
 	})

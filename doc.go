@@ -7,19 +7,72 @@
 //
 // # Quick start
 //
+// The service API is a long-lived Releaser, constructed once per
+// (schema, workload) with functional options and then asked for any number
+// of releases — each an independent DP mechanism run with its own
+// (ε, δ, seed):
+//
 //	schema := repro.MustSchema([]repro.Attribute{
 //		{Name: "age-band", Cardinality: 8},
 //		{Name: "smoker", Cardinality: 2},
 //	})
-//	table := &repro.Table{Schema: schema, Rows: rows}
 //	workload := repro.AllKWayMarginals(schema, 1)
-//	release, err := repro.Release(table, workload, repro.Options{
-//		Epsilon:  0.5,
-//		Strategy: repro.StrategyFourier,
+//	releaser, err := repro.NewReleaser(schema, workload,
+//		repro.WithStrategy(repro.StrategyFourier),
+//		repro.WithBudgetCap(4.0, 0), // refuse releases past total ε = 4
+//	)
+//	// ...
+//	table := &repro.Table{Schema: schema, Rows: rows}
+//	release, err := releaser.Release(ctx, table, repro.ReleaseSpec{
+//		Epsilon: 0.5,
+//		Seed:    1,
 //	})
 //
-// The release holds one noisy table per requested marginal, consistent with
-// a common (unknown) dataset, under ε-differential privacy.
+// Construction pre-plans the Step-1 strategy and warms the Releaser's plan
+// cache; because planning is privacy-independent, every subsequent release
+// (any ε, any seed, any fresh data) reuses that single plan. For the
+// cluster strategy the plan search costs orders of magnitude more than a
+// release, so this is the difference between a service and a batch job.
+// Every release call accepts a context.Context: cancelling it (a client
+// disconnect, a deadline) aborts the engine mid-stage instead of burning
+// CPU on an answer nobody will read.
+//
+// The historical one-shot entry points (Release, ReleaseVector,
+// ReleaseCube, SyntheticData) remain as thin wrappers over a throwaway
+// Releaser.
+//
+// # Budget accounting
+//
+// A BudgetLedger tracks cumulative (ε, δ) spend across releases with a
+// hard cap — sequential composition with a stop, plus parallel composition
+// across disjoint population partitions (ReleaseSpec.Partition). Attach
+// one with WithBudgetCap (private ledger) or WithBudgetLedger (shared
+// across many Releasers — a serving process enforcing one budget over all
+// its schemas and workloads).
+//
+// The semantics of "spend": every admitted Release/ReleaseVector call
+// charges exactly its ReleaseSpec (ε, δ), atomically, before the mechanism
+// runs — concurrent releases can never jointly pass the cap, and a refused
+// release (ErrBudgetExhausted) spends nothing and never touches the data.
+// A release that fails after admission (including context cancellation)
+// stays charged: the conservative reading that keeps the guarantee sound
+// under partial executions. Post-processing is free: the consistency
+// projection (or skipping it via WithoutConsistency) and synthetic-data
+// generation (Releaser.Synthetic, SyntheticData) never change what a
+// release costs.
+//
+// Construction-time and admission-time failures carry typed errors —
+// ErrInvalidEpsilon, ErrInvalidDelta, ErrDimensionMismatch,
+// ErrBudgetExhausted, ErrInvalidOption — test with errors.Is.
+//
+// # Serving over HTTP
+//
+// internal/server + cmd/dpcubed wrap the service API in a JSON-over-HTTP
+// daemon: POST /v1/release, /v1/cube, /v1/synthetic and GET /v1/budget,
+// with one Releaser registry and plan cache shared across requests, the
+// typed errors mapped to 4xx statuses (budget exhaustion is 429), and
+// graceful shutdown. See examples/server for an in-process round trip and
+// cmd/dpcubed for the daemon.
 //
 // # The staged release engine
 //
@@ -32,21 +85,18 @@
 // Allocate computes the Step-2 noise budgets; Measure perturbs the strategy
 // answers; Recover reconstructs the marginals; Consist projects them onto a
 // mutually consistent set. Measurement and recovery fan out over a bounded
-// worker pool (Options.Workers), and noise is drawn from per-group seed
-// substreams, so a release is a pure function of (data, workload, options):
-// the same Seed yields a bit-identical release at any worker count.
-//
-// For serving scenarios — many releases over the same schema — pass a
-// shared Options.Cache (see NewPlanCache) to skip Step 1 entirely on
-// repeated workloads; for the cluster strategy that step dominates the
-// whole run.
+// worker pool (WithWorkers / ReleaseSpec.Workers), and noise is drawn from
+// per-group seed substreams, so a release is a pure function of
+// (data, workload, spec): the same Seed yields a bit-identical release at
+// any worker count. Cancellation propagates into the worker pools.
 //
 // The internal packages follow the paper's structure: internal/strategy
 // (Step 1), internal/budget (Step 2, Section 3.1), internal/recovery and
 // internal/consistency (Step 3, Sections 3.2–3.3 and 4.3), internal/engine
-// (the staged mechanism) with internal/core as its stable facade, and
-// internal/linalg, internal/lp, internal/transform, internal/noise,
-// internal/bits and internal/dataset as self-contained substrates. See
-// DESIGN.md for the full inventory and EXPERIMENTS.md for the reproduction
-// of every table and figure in the paper's evaluation.
+// (the staged mechanism) with internal/core as its stable facade,
+// internal/accountant (the ledger under BudgetLedger), internal/server
+// (the HTTP layer), and internal/linalg, internal/lp, internal/transform,
+// internal/noise, internal/bits and internal/dataset as self-contained
+// substrates. See DESIGN.md for the full inventory and EXPERIMENTS.md for
+// the reproduction of every table and figure in the paper's evaluation.
 package repro

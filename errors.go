@@ -1,0 +1,62 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/accountant"
+)
+
+// Typed errors returned by construction-time validation and by releases.
+// They wrap with fmt.Errorf("%w: ...") throughout the package, so callers
+// branch with errors.Is — the HTTP serving layer (internal/server) maps
+// each of them to a 4xx status code.
+var (
+	// ErrInvalidEpsilon reports a non-positive privacy budget ε.
+	ErrInvalidEpsilon = errors.New("repro: epsilon must be positive")
+	// ErrInvalidDelta reports a δ outside [0, 1).
+	ErrInvalidDelta = errors.New("repro: delta must be in [0, 1)")
+	// ErrDimensionMismatch reports a workload whose binary dimension does
+	// not match the schema (or data vector) it is released over.
+	ErrDimensionMismatch = errors.New("repro: workload dimension mismatch")
+	// ErrBudgetExhausted reports a release refused because it would push the
+	// budget ledger past its configured (ε, δ) cap. The release did not run
+	// and spent nothing.
+	ErrBudgetExhausted = errors.New("repro: privacy budget exhausted")
+	// ErrInvalidOption reports an invalid Releaser construction option
+	// (negative worker count, mis-sized query weights, nil workload, …).
+	ErrInvalidOption = errors.New("repro: invalid option")
+)
+
+// BudgetLedger tracks cumulative (ε, δ) spend across releases over the same
+// dataset, refusing any release that would pass its cap — sequential
+// composition with a hard stop (and parallel composition across disjoint
+// population partitions, see Charge.Partition). It is safe for concurrent
+// use and shareable across any number of Releasers, which is how a serving
+// deployment enforces one budget over many schemas and workloads.
+type BudgetLedger = accountant.Accountant
+
+// BudgetCharge is one ledger entry: a label, its (ε, δ) cost and an
+// optional population partition for parallel composition.
+type BudgetCharge = accountant.Charge
+
+// NewBudgetLedger returns a ledger with the given total (ε, δ) cap. A zero
+// deltaCap permits only pure-DP releases.
+func NewBudgetLedger(epsilonCap, deltaCap float64) (*BudgetLedger, error) {
+	l, err := accountant.New(epsilonCap, deltaCap)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
+	}
+	return l, nil
+}
+
+// validatePrivacy applies the shared (ε, δ) admission checks.
+func validatePrivacy(epsilon, delta float64) error {
+	if epsilon <= 0 {
+		return fmt.Errorf("%w: got %v", ErrInvalidEpsilon, epsilon)
+	}
+	if delta < 0 || delta >= 1 {
+		return fmt.Errorf("%w: got %v", ErrInvalidDelta, delta)
+	}
+	return nil
+}

@@ -1,9 +1,13 @@
 // Quickstart: release all 1-way and one 2-way marginal of a small survey
 // table under ε-differential privacy, using the library defaults (Fourier
-// strategy, optimal non-uniform budgets, Fourier consistency).
+// strategy, optimal non-uniform budgets, Fourier consistency) through the
+// service API: one Releaser per (schema, workload), many releases, a
+// cumulative budget cap.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math"
@@ -41,7 +45,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	release, err := repro.Release(table, workload, repro.Options{
+	// A Releaser plans once for the (schema, workload) pair and then serves
+	// any number of releases; the attached budget cap refuses releases once
+	// the total spend would pass ε = 1.
+	releaser, err := repro.NewReleaser(schema, workload, repro.WithBudgetCap(1.0, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	release, err := releaser.Release(ctx, table, repro.ReleaseSpec{
 		Epsilon: 0.8,
 		Seed:    42,
 	})
@@ -71,5 +83,12 @@ func main() {
 			total += v
 		}
 		fmt.Printf("total from marginal %v: %.4f\n", mt.Attrs, total)
+	}
+
+	// Only ε = 0.2 of the cap remains, so a second ε = 0.8 release is
+	// refused before it touches the data.
+	if _, err := releaser.Release(ctx, table, repro.ReleaseSpec{Epsilon: 0.8, Seed: 43}); errors.Is(err, repro.ErrBudgetExhausted) {
+		eps, _ := releaser.Ledger().Spent()
+		fmt.Printf("\nsecond release refused: budget cap enforced (spent ε=%.1f of 1.0)\n", eps)
 	}
 }

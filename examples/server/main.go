@@ -1,0 +1,63 @@
+// Example server: start the dpcubed serving layer in-process, post a
+// release request and read the budget — the programmatic equivalent of
+//
+//	dpcubed -addr :8080 -epsilon-cap 2 &
+//	curl -s -X POST localhost:8080/v1/release -d @request.json
+//	curl -s localhost:8080/v1/budget
+//
+// Run with: go run ./examples/server
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/server"
+)
+
+func main() {
+	// One server = one plan cache + one budget ledger. Every request below
+	// shares both.
+	srv, err := server.New(server.Config{EpsilonCap: 2, DeltaCap: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv) // any http.Server works; httptest picks a free port
+	defer ts.Close()
+
+	request := map[string]any{
+		"schema": []map[string]any{
+			{"name": "age-band", "cardinality": 8},
+			{"name": "smoker", "cardinality": 2},
+		},
+		"rows": [][]int{
+			{0, 1}, {1, 0}, {2, 0}, {3, 1}, {4, 0}, {5, 0}, {6, 1}, {7, 0},
+			{0, 0}, {1, 1}, {2, 0}, {3, 0}, {4, 1}, {5, 0}, {6, 0}, {7, 1},
+		},
+		"workload": map[string]any{"k": 1},
+		"epsilon":  0.5,
+		"seed":     1,
+	}
+	body, _ := json.Marshal(request)
+
+	resp, err := http.Post(ts.URL+"/v1/release", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	released, _ := io.ReadAll(resp.Body)
+	fmt.Printf("POST /v1/release → %s\n%s\n", resp.Status, released)
+
+	budget, err := http.Get(ts.URL + "/v1/budget")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer budget.Body.Close()
+	spend, _ := io.ReadAll(budget.Body)
+	fmt.Printf("GET /v1/budget → %s\n%s", budget.Status, spend)
+}

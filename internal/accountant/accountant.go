@@ -154,3 +154,10 @@ func (a *Accountant) Summary() string {
 	}
 	return s
 }
+
+// Count returns the number of recorded charges without copying the ledger.
+func (a *Accountant) Count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.charges)
+}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/engine"
@@ -70,6 +71,13 @@ func Run(w *marginal.Workload, x []float64, cfg Config) (*Release, error) {
 // cache). The release is bit-identical to Run for every option combination.
 func RunWith(w *marginal.Workload, x []float64, cfg Config, opts engine.Options) (*Release, error) {
 	return engine.New(opts).Run(w, x, cfg)
+}
+
+// RunWithContext is RunWith under a context: cancellation aborts the
+// pipeline between stages and inside the measurement/recovery worker pools
+// (see engine.RunContext).
+func RunWithContext(ctx context.Context, w *marginal.Workload, x []float64, cfg Config, opts engine.Options) (*Release, error) {
+	return engine.New(opts).RunContext(ctx, w, x, cfg)
 }
 
 // PerMarginal splits the concatenated answers into per-marginal tables.

@@ -11,6 +11,7 @@
 package datacube
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -176,6 +177,12 @@ type Released struct {
 
 // Release privately materialises every cuboid of order ≤ maxOrder.
 func Release(t *dataset.Table, maxOrder int, o Options) (*Released, error) {
+	return ReleaseContext(context.Background(), t, maxOrder, o)
+}
+
+// ReleaseContext is Release under a context: cancellation aborts the
+// staged engine mid-run.
+func ReleaseContext(ctx context.Context, t *dataset.Table, maxOrder int, o Options) (*Released, error) {
 	l, err := NewLattice(t.Schema, maxOrder)
 	if err != nil {
 		return nil, err
@@ -197,7 +204,7 @@ func Release(t *dataset.Table, maxOrder int, o Options) (*Released, error) {
 	if strat == nil {
 		strat = strategy.Fourier{}
 	}
-	rel, err := core.RunWith(w, x, core.Config{
+	rel, err := core.RunWithContext(ctx, w, x, core.Config{
 		Strategy:    strat,
 		Budgeting:   budgeting,
 		Consistency: core.WeightedL2Consistency,

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -124,34 +125,37 @@ func (o Options) workers() int {
 // ---------------------------------------------------------------------------
 // Stage interfaces. Each pipeline step is a small interface so callers can
 // substitute instrumented or alternative implementations stage by stage;
-// Stages zero-values fall back to the defaults.
+// Stages zero-values fall back to the defaults. Every stage receives the
+// run's context and must return promptly (ctx.Err wrapped or bare) once it
+// is cancelled — the serving layer relies on an abandoned request not
+// burning CPU through the remaining stages.
 
 // PlanStage produces the Step-1 strategy plan for a workload.
 type PlanStage interface {
-	Plan(w *marginal.Workload, cfg Config) (*strategy.Plan, error)
+	Plan(ctx context.Context, w *marginal.Workload, cfg Config) (*strategy.Plan, error)
 }
 
 // AllocateStage performs Step-2 budgeting over the plan's group specs and is
 // responsible for rejecting allocations that would break the privacy
 // constraint.
 type AllocateStage interface {
-	Allocate(specs []budget.Spec, cfg Config) (*budget.SpecAllocation, error)
+	Allocate(ctx context.Context, specs []budget.Spec, cfg Config) (*budget.SpecAllocation, error)
 }
 
 // MeasureStage computes the noisy strategy answers z = Sx + ν.
 type MeasureStage interface {
-	Measure(plan *strategy.Plan, x []float64, eta []float64, cfg Config, workers int) ([]float64, error)
+	Measure(ctx context.Context, plan *strategy.Plan, x []float64, eta []float64, cfg Config, workers int) ([]float64, error)
 }
 
 // RecoverStage turns noisy strategy answers into concatenated marginal
 // answers plus per-marginal cell variances.
 type RecoverStage interface {
-	Recover(w *marginal.Workload, plan *strategy.Plan, z, groupVar []float64, workers int) (answers, cellVar []float64, err error)
+	Recover(ctx context.Context, w *marginal.Workload, plan *strategy.Plan, z, groupVar []float64, workers int) (answers, cellVar []float64, err error)
 }
 
 // ConsistStage applies the Step-3 consistency projection (possibly a no-op).
 type ConsistStage interface {
-	Consist(w *marginal.Workload, answers, cellVar []float64, cfg Config) ([]float64, map[bits.Mask]float64, error)
+	Consist(ctx context.Context, w *marginal.Workload, answers, cellVar []float64, cfg Config) ([]float64, map[bits.Mask]float64, error)
 }
 
 // Stages bundles one implementation per pipeline step. A nil field selects
@@ -203,6 +207,15 @@ func (e *Engine) Options() Options { return e.opts }
 // output is a pure function of (w, x, cfg): the worker count and plan cache
 // never change a single bit of the release.
 func (e *Engine) Run(w *marginal.Workload, x []float64, cfg Config) (*Release, error) {
+	return e.RunContext(context.Background(), w, x, cfg)
+}
+
+// RunContext is Run under a context: cancellation aborts the pipeline
+// between stages and inside the measurement and recovery worker pools, so
+// an abandoned request stops consuming CPU mid-run. A cancelled run returns
+// ctx.Err() (possibly wrapped) and no release; cancellation never yields a
+// partial Release.
+func (e *Engine) RunContext(ctx context.Context, w *marginal.Workload, x []float64, cfg Config) (*Release, error) {
 	start := time.Now()
 	if cfg.Strategy == nil {
 		return nil, fmt.Errorf("engine: no strategy configured")
@@ -215,22 +228,28 @@ func (e *Engine) Run(w *marginal.Workload, x []float64, cfg Config) (*Release, e
 	}
 	workers := e.opts.workers()
 
-	plan, err := e.stages.Plan.Plan(w, cfg)
+	plan, err := e.stages.Plan.Plan(ctx, w, cfg)
 	if err != nil {
 		return nil, err
 	}
-	alloc, err := e.stages.Allocate.Allocate(plan.Specs, cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	alloc, err := e.stages.Allocate.Allocate(ctx, plan.Specs, cfg)
 	if err != nil {
 		return nil, err
 	}
 	groupVar := budget.SpecVariances(alloc.Eta, cfg.Privacy)
 
-	z, err := e.stages.Measure.Measure(plan, x, alloc.Eta, cfg, workers)
+	z, err := e.stages.Measure.Measure(ctx, plan, x, alloc.Eta, cfg, workers)
 	if err != nil {
 		return nil, err
 	}
-	answers, cellVar, err := e.stages.Recover.Recover(w, plan, z, groupVar, workers)
+	answers, cellVar, err := e.stages.Recover.Recover(ctx, w, plan, z, groupVar, workers)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("engine: recovery: %w", err)
 	}
 
@@ -242,7 +261,7 @@ func (e *Engine) Run(w *marginal.Workload, x []float64, cfg Config) (*Release, e
 		TotalVariance:  TotalCellVariance(w, cellVar),
 		StrategyName:   plan.Strategy,
 	}
-	consistent, coeffs, err := e.stages.Consist.Consist(w, answers, cellVar, cfg)
+	consistent, coeffs, err := e.stages.Consist.Consist(ctx, w, answers, cellVar, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -269,12 +288,17 @@ type Planner struct {
 	Cache *PlanCache
 }
 
-// Plan implements PlanStage.
-func (p Planner) Plan(w *marginal.Workload, cfg Config) (*strategy.Plan, error) {
+// Plan implements PlanStage. The cache lookup is free, so it happens even
+// under a cancelled context; only a cache miss — the expensive Step-1
+// search — is gated on ctx.
+func (p Planner) Plan(ctx context.Context, w *marginal.Workload, cfg Config) (*strategy.Plan, error) {
 	if p.Cache != nil {
 		key := planKey(w, cfg)
 		if plan, ok := p.Cache.get(key); ok {
 			return plan, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		plan, err := planOnce(w, cfg)
 		if err != nil {
@@ -282,6 +306,9 @@ func (p Planner) Plan(w *marginal.Workload, cfg Config) (*strategy.Plan, error) 
 		}
 		p.Cache.put(key, plan)
 		return plan, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return planOnce(w, cfg)
 }
@@ -311,8 +338,9 @@ func planOnce(w *marginal.Workload, cfg Config) (*strategy.Plan, error) {
 // Proposition 3.1 privacy re-check.
 type Allocator struct{}
 
-// Allocate implements AllocateStage.
-func (Allocator) Allocate(specs []budget.Spec, cfg Config) (*budget.SpecAllocation, error) {
+// Allocate implements AllocateStage. Budgeting is closed-form and cheap, so
+// the context is not consulted beyond the interface contract.
+func (Allocator) Allocate(_ context.Context, specs []budget.Spec, cfg Config) (*budget.SpecAllocation, error) {
 	var (
 		alloc *budget.SpecAllocation
 		err   error
@@ -363,14 +391,19 @@ func verifyPrivacy(specs []budget.Spec, eta []float64, p noise.Params) error {
 type Measurer struct{}
 
 // Measure implements MeasureStage.
-func (Measurer) Measure(plan *strategy.Plan, x []float64, eta []float64, cfg Config, workers int) ([]float64, error) {
+func (Measurer) Measure(ctx context.Context, plan *strategy.Plan, x []float64, eta []float64, cfg Config, workers int) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	z := plan.TrueAnswers(x)
 	offsets := plan.GroupOffsets()
 	groups := make([]NoiseGroup, len(plan.Specs))
 	for g, spec := range plan.Specs {
 		groups[g] = NoiseGroup{Start: offsets[g], Count: spec.Count, Eta: eta[g]}
 	}
-	Perturb(z, groups, cfg.Privacy, cfg.Seed, workers)
+	if err := PerturbContext(ctx, z, groups, cfg.Privacy, cfg.Seed, workers); err != nil {
+		return nil, err
+	}
 	return z, nil
 }
 
@@ -395,6 +428,15 @@ const noiseBlock = 4096
 // zero-Count placeholders hold the positions of groups a shard doesn't own.
 // Groups must cover disjoint ranges of z.
 func Perturb(z []float64, groups []NoiseGroup, p noise.Params, seed int64, workers int) {
+	// context.Background() is never cancelled, so the error is impossible.
+	_ = PerturbContext(context.Background(), z, groups, p, seed, workers)
+}
+
+// PerturbContext is Perturb under a context: once ctx is cancelled no
+// further noise blocks start (in-flight blocks finish — a block is at most
+// noiseBlock rows) and ctx.Err() is returned. On cancellation z is left
+// partially perturbed and must be discarded.
+func PerturbContext(ctx context.Context, z []float64, groups []NoiseGroup, p noise.Params, seed int64, workers int) error {
 	type block struct {
 		off, n int
 		eta    float64
@@ -419,11 +461,15 @@ func Perturb(z []float64, groups []NoiseGroup, p noise.Params, seed int64, worke
 			z[bl.off+r] += p.RowNoise(src, bl.eta)
 		}
 	}
+	done := ctx.Done()
 	if workers <= 1 || len(blocks) <= 1 {
 		for _, bl := range blocks {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			perturbBlock(bl)
 		}
-		return
+		return nil
 	}
 	if workers > len(blocks) {
 		workers = len(blocks)
@@ -435,15 +481,24 @@ func Perturb(z []float64, groups []NoiseGroup, p noise.Params, seed int64, worke
 		go func() {
 			defer wg.Done()
 			for bl := range next {
+				if ctx.Err() != nil {
+					continue // drain the channel without doing work
+				}
 				perturbBlock(bl)
 			}
 		}()
 	}
+feed:
 	for _, bl := range blocks {
-		next <- bl
+		select {
+		case next <- bl:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Recoverer is the default RecoverStage. When the plan supports per-marginal
@@ -454,8 +509,12 @@ func Perturb(z []float64, groups []NoiseGroup, p noise.Params, seed int64, worke
 // order per output cell).
 type Recoverer struct{}
 
-// Recover implements RecoverStage.
-func (Recoverer) Recover(w *marginal.Workload, plan *strategy.Plan, z, groupVar []float64, workers int) ([]float64, []float64, error) {
+// Recover implements RecoverStage. Cancellation is honoured between
+// marginals: no new per-marginal recovery starts after ctx is done.
+func (Recoverer) Recover(ctx context.Context, w *marginal.Workload, plan *strategy.Plan, z, groupVar []float64, workers int) ([]float64, []float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if plan.RecoverMarginal == nil || workers <= 1 || len(w.Marginals) <= 1 {
 		return plan.Recover(z, groupVar)
 	}
@@ -466,6 +525,7 @@ func (Recoverer) Recover(w *marginal.Workload, plan *strategy.Plan, z, groupVar 
 	blocks := make([][]float64, nm)
 	cellVar := make([]float64, nm)
 	errs := make([]error, nm)
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for wk := 0; wk < workers; wk++ {
@@ -473,15 +533,27 @@ func (Recoverer) Recover(w *marginal.Workload, plan *strategy.Plan, z, groupVar 
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				blocks[i], cellVar[i], errs[i] = plan.RecoverMarginal(i, z, groupVar)
 			}
 		}()
 	}
+feed:
 	for i := 0; i < nm; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
@@ -497,8 +569,12 @@ func (Recoverer) Recover(w *marginal.Workload, plan *strategy.Plan, z, groupVar 
 // Consister is the default ConsistStage: the Section 3.3/4.3 projections.
 type Consister struct{}
 
-// Consist implements ConsistStage.
-func (Consister) Consist(w *marginal.Workload, answers, cellVar []float64, cfg Config) ([]float64, map[bits.Mask]float64, error) {
+// Consist implements ConsistStage. The projections are monolithic linear
+// solves, so cancellation is only checked on entry.
+func (Consister) Consist(ctx context.Context, w *marginal.Workload, answers, cellVar []float64, cfg Config) ([]float64, map[bits.Mask]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	switch cfg.Consistency {
 	case NoConsistency:
 		return answers, nil, nil

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"runtime"
@@ -197,15 +199,15 @@ type countingPlanner struct {
 	calls int
 }
 
-func (c *countingPlanner) Plan(w *marginal.Workload, cfg Config) (*strategy.Plan, error) {
+func (c *countingPlanner) Plan(ctx context.Context, w *marginal.Workload, cfg Config) (*strategy.Plan, error) {
 	c.calls++
-	return c.inner.Plan(w, cfg)
+	return c.inner.Plan(ctx, w, cfg)
 }
 
 // zeroMeasurer replaces measurement with the exact (noiseless) answers.
 type zeroMeasurer struct{}
 
-func (zeroMeasurer) Measure(plan *strategy.Plan, x []float64, eta []float64, cfg Config, workers int) ([]float64, error) {
+func (zeroMeasurer) Measure(ctx context.Context, plan *strategy.Plan, x []float64, eta []float64, cfg Config, workers int) ([]float64, error) {
 	return plan.TrueAnswers(x), nil
 }
 
@@ -330,5 +332,62 @@ func TestEngineValidation(t *testing.T) {
 	}
 	if _, err := eng.Run(w, x[:3], Config{Strategy: strategy.Workload{}, Privacy: pureParams(1)}); err == nil {
 		t.Error("short data vector accepted")
+	}
+}
+
+// TestRunContextCancellation: a cancelled context aborts the pipeline with
+// ctx.Err() and never yields a partial release, at any worker count.
+func TestRunContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := 8
+	x := testX(rng, d)
+	w := marginal.AllKWay(d, 2)
+	cfg := Config{Strategy: strategy.Fourier{}, Budgeting: OptimalBudget,
+		Consistency: WeightedL2Consistency, Privacy: pureParams(1), Seed: 5}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		rel, err := New(Options{Workers: workers}).RunContext(ctx, w, x, cfg)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+		if rel != nil {
+			t.Fatalf("workers=%d: cancelled run returned a release", workers)
+		}
+	}
+
+	// An uncancelled context is bit-identical to Run.
+	a, err := New(Options{Workers: 3}).RunContext(context.Background(), w, x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Workers: 3}).Run(w, x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Answers {
+		if math.Float64bits(a.Answers[i]) != math.Float64bits(b.Answers[i]) {
+			t.Fatalf("RunContext differs from Run at cell %d", i)
+		}
+	}
+}
+
+// TestPerturbContextCancelled: PerturbContext surfaces cancellation from
+// both the serial and the pooled path.
+func TestPerturbContextCancelled(t *testing.T) {
+	p := pureParams(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	z := make([]float64, 4*noiseBlock)
+	groups := []NoiseGroup{{Start: 0, Count: len(z), Eta: 0.5}}
+	if err := PerturbContext(ctx, z, groups, p, 3, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial: want context.Canceled, got %v", err)
+	}
+	if err := PerturbContext(ctx, z, groups, p, 3, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pooled: want context.Canceled, got %v", err)
+	}
+	if err := PerturbContext(context.Background(), z, groups, p, 3, 4); err != nil {
+		t.Fatalf("background context: %v", err)
 	}
 }

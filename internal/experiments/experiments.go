@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -95,10 +96,10 @@ type Point struct {
 // workload over the ε grid under pure ε-DP, averaged over trials. All
 // methods share the same consistency post-processing (weighted L2, as
 // Section 5 applies the Fourier consistency step throughout).
-func AccuracySweep(datasetName, workloadName string, w *marginal.Workload, x []float64,
+func AccuracySweep(ctx context.Context, datasetName, workloadName string, w *marginal.Workload, x []float64,
 	methods []Method, epsilons []float64, trials int, seed int64) ([]Point, error) {
 	base := noise.Params{Type: noise.PureDP, Neighbor: noise.AddRemove}
-	return AccuracySweepParams(datasetName, workloadName, w, x, methods, base, epsilons, trials, seed)
+	return AccuracySweepParams(ctx, datasetName, workloadName, w, x, methods, base, epsilons, trials, seed)
 }
 
 // AccuracySweepParams is AccuracySweep for an arbitrary privacy regime: the
@@ -110,7 +111,7 @@ func AccuracySweep(datasetName, workloadName string, w *marginal.Workload, x []f
 // The (method, ε) cells are independent mechanism runs, so they execute on
 // a bounded worker pool; seeds are assigned per cell, keeping the output
 // deterministic regardless of scheduling.
-func AccuracySweepParams(datasetName, workloadName string, w *marginal.Workload, x []float64,
+func AccuracySweepParams(ctx context.Context, datasetName, workloadName string, w *marginal.Workload, x []float64,
 	methods []Method, base noise.Params, epsilons []float64, trials int, seed int64) ([]Point, error) {
 	truth := w.EvalSinglePass(x)
 	type cell struct{ mi, ei int }
@@ -147,7 +148,7 @@ func AccuracySweepParams(datasetName, workloadName string, w *marginal.Workload,
 				p.Epsilon = eps
 				total := 0.0
 				for tr := 0; tr < trials; tr++ {
-					rel, err := eng.Run(w, x, core.Config{
+					rel, err := eng.RunContext(ctx, w, x, core.Config{
 						Strategy:    m.Strategy,
 						Budgeting:   m.Budgeting,
 						Consistency: core.WeightedL2Consistency,
@@ -204,19 +205,19 @@ type TimePoint struct {
 // TimingSweep measures the end-to-end wall-clock time of each method on
 // each workload (one run each, ε = 1, matching Figure 6's setup where time
 // is independent of ε).
-func TimingSweep(datasetName string, ws *WorkloadSet, x []float64, methods []Method, seed int64) ([]TimePoint, error) {
+func TimingSweep(ctx context.Context, datasetName string, ws *WorkloadSet, x []float64, methods []Method, seed int64) ([]TimePoint, error) {
 	var out []TimePoint
 	for _, name := range ws.Names {
 		w := ws.ByName[name]
 		for _, m := range methods {
 			start := time.Now()
-			_, err := core.Run(w, x, core.Config{
+			_, err := core.RunWithContext(ctx, w, x, core.Config{
 				Strategy:    m.Strategy,
 				Budgeting:   m.Budgeting,
 				Consistency: core.WeightedL2Consistency,
 				Privacy:     noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.AddRemove},
 				Seed:        seed,
-			})
+			}, engine.Options{Workers: 1})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: timing %s/%s: %w", m.Label, name, err)
 			}
@@ -255,7 +256,7 @@ type BoundRow struct {
 
 // Table1Rows evaluates the bounds and measures the actual mechanisms on the
 // all-k-way workload over synthetic binary data.
-func Table1Rows(ds, ks []int, p noise.Params, trials int, seed int64) ([]BoundRow, error) {
+func Table1Rows(ctx context.Context, ds, ks []int, p noise.Params, trials int, seed int64) ([]BoundRow, error) {
 	var rows []BoundRow
 	// Plans depend on (d, k, strategy) only, so a shared cache amortises
 	// Step 1 across trials and across the uniform/optimal Fourier variants.
@@ -284,7 +285,7 @@ func Table1Rows(ds, ks []int, p noise.Params, trials int, seed int64) ([]BoundRo
 				offsets := w.Offsets()
 				total := 0.0
 				for tr := 0; tr < trials; tr++ {
-					rel, err := eng.Run(w, x, core.Config{
+					rel, err := eng.RunContext(ctx, w, x, core.Config{
 						Strategy: s, Budgeting: b, Privacy: p,
 						Seed: seed + int64(tr)*104729,
 					})

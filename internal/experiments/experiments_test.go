@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -53,7 +54,7 @@ func TestAccuracySweepSmall(t *testing.T) {
 		t.Fatal(err)
 	}
 	ws := SchemaWorkloads(tab.Schema)
-	points, err := AccuracySweep("test", "Q1", ws.ByName["Q1"], x,
+	points, err := AccuracySweep(context.Background(), "test", "Q1", ws.ByName["Q1"], x,
 		Methods(true), []float64{0.5, 1.0}, 2, 42)
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +94,7 @@ func TestNonUniformBeatsUniformOnAverage(t *testing.T) {
 		t.Fatal(err)
 	}
 	ws := SchemaWorkloads(tab.Schema)
-	points, err := AccuracySweep("test", "Q1*", ws.ByName["Q1*"], x,
+	points, err := AccuracySweep(context.Background(), "test", "Q1*", ws.ByName["Q1*"], x,
 		Methods(false), []float64{0.5}, 12, 7)
 	if err != nil {
 		t.Fatal(err)
@@ -122,7 +123,7 @@ func TestTimingSweepShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	ws := SchemaWorkloads(tab.Schema)
-	times, err := TimingSweep("test", ws, x, Methods(false), 1)
+	times, err := TimingSweep(context.Background(), "test", ws, x, Methods(false), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestTimingSweepShape(t *testing.T) {
 
 func TestTable1RowsShapeAndOrdering(t *testing.T) {
 	p := noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.AddRemove}
-	rows, err := Table1Rows([]int{8, 10}, []int{1, 2}, p, 2, 5)
+	rows, err := Table1Rows(context.Background(), []int{8, 10}, []int{1, 2}, p, 2, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestApproxDPResultsSimilar(t *testing.T) {
 	}
 	ws := SchemaWorkloads(tab.Schema)
 	base := noise.Params{Type: noise.ApproxDP, Delta: 1e-6, Neighbor: noise.AddRemove}
-	points, err := AccuracySweepParams("test", "Q1*", ws.ByName["Q1*"], x,
+	points, err := AccuracySweepParams(context.Background(), "test", "Q1*", ws.ByName["Q1*"], x,
 		Methods(false), base, []float64{0.3, 1.0}, 8, 11)
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@
 package rangequery
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -110,6 +111,12 @@ func Run(w *Workload, x []float64, m Method, budgeting string, p noise.Params, s
 // Noise is drawn from per-group seed substreams (the engine's determinism
 // contract), so the release is bit-identical at every worker count.
 func RunParallel(w *Workload, x []float64, m Method, budgeting string, p noise.Params, seed int64, workers int) (*Release, error) {
+	return RunContext(context.Background(), w, x, m, budgeting, p, seed, workers)
+}
+
+// RunContext is RunParallel under a context: cancellation aborts the noisy
+// measurement mid-flight (see engine.PerturbContext) and returns ctx.Err().
+func RunContext(ctx context.Context, w *Workload, x []float64, m Method, budgeting string, p noise.Params, seed int64, workers int) (*Release, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -118,11 +125,11 @@ func RunParallel(w *Workload, x []float64, m Method, budgeting string, p noise.P
 	}
 	switch m {
 	case Hierarchy:
-		return runHierarchy(w, x, budgeting, p, seed, workers)
+		return runHierarchy(ctx, w, x, budgeting, p, seed, workers)
 	case Wavelet:
-		return runWavelet(w, x, budgeting, p, seed, workers)
+		return runWavelet(ctx, w, x, budgeting, p, seed, workers)
 	case Flat:
-		return runFlat(w, x, budgeting, p, seed, workers)
+		return runFlat(ctx, w, x, budgeting, p, seed, workers)
 	default:
 		return nil, fmt.Errorf("rangequery: unknown method %d", m)
 	}
@@ -137,7 +144,7 @@ func allocate(specs []budget.Spec, budgeting string, p noise.Params) (*budget.Sp
 
 // runHierarchy answers every node of a binary tree over the padded domain,
 // one group per level (C = 1), recovery by dyadic range decomposition.
-func runHierarchy(w *Workload, x []float64, budgeting string, p noise.Params, seed int64, workers int) (*Release, error) {
+func runHierarchy(ctx context.Context, w *Workload, x []float64, budgeting string, p noise.Params, seed int64, workers int) (*Release, error) {
 	h := transform.NewHierarchy(w.Size)
 	// Recovery weight per node = number of workload ranges whose dyadic
 	// decomposition uses it.
@@ -208,7 +215,9 @@ func runHierarchy(w *Workload, x []float64, budgeting string, p noise.Params, se
 		}
 		start += levelCount[l]
 	}
-	engine.Perturb(z, groups, p, seed, workers)
+	if err := engine.PerturbContext(ctx, z, groups, p, seed, workers); err != nil {
+		return nil, err
+	}
 	answers := make([]float64, len(w.Intervals))
 	qv := make([]float64, len(w.Intervals))
 	total := 0.0
@@ -225,7 +234,7 @@ func runHierarchy(w *Workload, x []float64, budgeting string, p noise.Params, se
 // runWavelet answers the Haar coefficients, one group per wavelet level.
 // A range query is a linear functional of the coefficients; its weights are
 // the Haar transform of the range's indicator vector.
-func runWavelet(w *Workload, x []float64, budgeting string, p noise.Params, seed int64, workers int) (*Release, error) {
+func runWavelet(ctx context.Context, w *Workload, x []float64, budgeting string, p noise.Params, seed int64, workers int) (*Release, error) {
 	n := 1
 	for n < w.Size {
 		n <<= 1
@@ -328,7 +337,9 @@ func runWavelet(w *Workload, x []float64, budgeting string, p noise.Params, seed
 		}
 		groups = append(groups, engine.NoiseGroup{Start: start, Count: counts[l], Eta: alloc.Eta[si]})
 	}
-	engine.Perturb(coeffs, groups, p, seed, workers)
+	if err := engine.PerturbContext(ctx, coeffs, groups, p, seed, workers); err != nil {
+		return nil, err
+	}
 	answers := make([]float64, len(w.Intervals))
 	qv := make([]float64, len(w.Intervals))
 	total := 0.0
@@ -349,7 +360,7 @@ func runWavelet(w *Workload, x []float64, budgeting string, p noise.Params, seed
 }
 
 // runFlat perturbs each cell and sums.
-func runFlat(w *Workload, x []float64, budgeting string, p noise.Params, seed int64, workers int) (*Release, error) {
+func runFlat(ctx context.Context, w *Workload, x []float64, budgeting string, p noise.Params, seed int64, workers int) (*Release, error) {
 	meanLen := 0.0
 	for _, iv := range w.Intervals {
 		meanLen += float64(iv.Hi - iv.Lo)
@@ -365,7 +376,9 @@ func runFlat(w *Workload, x []float64, budgeting string, p noise.Params, seed in
 	groupVar := budget.SpecVariances(alloc.Eta, p)
 	noisy := make([]float64, w.Size)
 	copy(noisy, x[:w.Size])
-	engine.Perturb(noisy, []engine.NoiseGroup{{Start: 0, Count: w.Size, Eta: alloc.Eta[0]}}, p, seed, workers)
+	if err := engine.PerturbContext(ctx, noisy, []engine.NoiseGroup{{Start: 0, Count: w.Size, Eta: alloc.Eta[0]}}, p, seed, workers); err != nil {
+		return nil, err
+	}
 	answers := make([]float64, len(w.Intervals))
 	qv := make([]float64, len(w.Intervals))
 	total := 0.0

@@ -1,0 +1,635 @@
+// Package server is the JSON-over-HTTP serving layer over the repro
+// service API: a long-lived process holding one Releaser per
+// (schema, workload, mechanism) key, one shared plan cache across all of
+// them, and one shared budget ledger enforcing a global (ε, δ) cap.
+//
+// Endpoints:
+//
+//	POST /v1/release    — private marginals of an inline table (or counts)
+//	POST /v1/cube       — private datacube (all cuboids up to max_order)
+//	POST /v1/synthetic  — release + row-level synthetic microdata
+//	GET  /v1/budget     — cumulative privacy spend against the cap
+//
+// Requests carry their own (ε, δ, seed); the heavy, privacy-independent
+// planning work is keyed on (schema, workload, strategy) and amortised
+// across requests through the shared PlanCache — the serving shape the
+// paper's mechanisms want, where planning dominates and measurement is
+// cheap. Every release charges the ledger on admission; once the cap would
+// be passed the server answers 429 without touching the data.
+//
+// Typed errors from the repro package map onto status codes: invalid
+// parameters (ErrInvalidEpsilon, ErrInvalidDelta, ErrDimensionMismatch,
+// ErrInvalidOption) are 400, ErrBudgetExhausted is 429, a cancelled request
+// context is 499 (client closed request, nobody is listening anyway), and
+// anything else is 500.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro"
+)
+
+// Config sizes the server.
+type Config struct {
+	// EpsilonCap / DeltaCap bound the ledger's cumulative spend (required:
+	// EpsilonCap > 0, DeltaCap in [0, 1); a zero DeltaCap admits only
+	// pure-DP requests).
+	EpsilonCap float64
+	DeltaCap   float64
+	// MaxWorkers bounds per-request engine parallelism; a request asking
+	// for more is clamped. 0 means all CPUs.
+	MaxWorkers int
+	// CacheSize bounds the shared plan cache (0 = default).
+	CacheSize int
+	// MaxReleasers bounds the Releaser registry (0 = default 256). The key
+	// is client-controlled, so the registry must not grow without bound in
+	// a long-lived daemon; an evicted entry costs only re-validation — its
+	// warmed plan survives in the LRU plan cache.
+	MaxReleasers int
+	// MaxBodyBytes bounds request bodies (0 = 32 MiB).
+	MaxBodyBytes int64
+}
+
+const (
+	defaultMaxBody      = 32 << 20
+	defaultMaxReleasers = 256
+)
+
+// Server is the HTTP handler. Construct with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg    Config
+	ledger *repro.BudgetLedger
+	cache  *repro.PlanCache
+	mux    *http.ServeMux
+
+	mu        sync.Mutex
+	releasers map[string]*repro.Releaser
+	order     []string // registry insertion order, for FIFO eviction
+}
+
+// New validates the configuration and builds a ready-to-serve handler.
+func New(cfg Config) (*Server, error) {
+	ledger, err := repro.NewBudgetLedger(cfg.EpsilonCap, cfg.DeltaCap)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBody
+	}
+	if cfg.MaxReleasers <= 0 {
+		cfg.MaxReleasers = defaultMaxReleasers
+	}
+	s := &Server{
+		cfg:       cfg,
+		ledger:    ledger,
+		cache:     repro.NewPlanCacheSize(cfg.CacheSize),
+		releasers: map[string]*repro.Releaser{},
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
+	s.mux.HandleFunc("POST /v1/cube", s.handleCube)
+	s.mux.HandleFunc("POST /v1/synthetic", s.handleSynthetic)
+	s.mux.HandleFunc("GET /v1/budget", s.handleBudget)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Ledger exposes the shared budget ledger (cmd/dpcubed prints a summary on
+// shutdown).
+func (s *Server) Ledger() *repro.BudgetLedger { return s.ledger }
+
+// CacheStats exposes the shared plan cache counters.
+func (s *Server) CacheStats() repro.CacheStats { return s.cache.Stats() }
+
+// ---------------------------------------------------------------------------
+// Wire types.
+
+type attributeJSON struct {
+	Name        string `json:"name"`
+	Cardinality int    `json:"cardinality"`
+}
+
+// workloadJSON selects the released marginals: either all k-way marginals
+// (k, optionally star/anchor variants) or an explicit attribute-set list.
+type workloadJSON struct {
+	K         int     `json:"k,omitempty"`
+	Star      bool    `json:"star,omitempty"`
+	Anchor    *int    `json:"anchor,omitempty"`
+	Marginals [][]int `json:"marginals,omitempty"`
+}
+
+type releaseRequest struct {
+	Schema []attributeJSON `json:"schema"`
+	// Exactly one of Rows (tuples under the schema) or Counts (the full
+	// contingency vector, length 2^dim) carries the data.
+	Rows   [][]int   `json:"rows,omitempty"`
+	Counts []float64 `json:"counts,omitempty"`
+
+	Workload workloadJSON `json:"workload"`
+
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta,omitempty"`
+	Seed    int64   `json:"seed"`
+
+	Strategy        string `json:"strategy,omitempty"` // fourier|workload|identity|cluster
+	UniformBudget   bool   `json:"uniform_budget,omitempty"`
+	SkipConsistency bool   `json:"skip_consistency,omitempty"`
+	Workers         int    `json:"workers,omitempty"`
+	Label           string `json:"label,omitempty"`
+
+	// SyntheticSeed seeds tuple sampling on /v1/synthetic.
+	SyntheticSeed int64 `json:"synthetic_seed,omitempty"`
+	// MaxOrder bounds the cuboid order on /v1/cube.
+	MaxOrder int `json:"max_order,omitempty"`
+}
+
+type marginalJSON struct {
+	Attrs    []int     `json:"attrs"`
+	Cells    []float64 `json:"cells"`
+	Variance float64   `json:"variance"`
+}
+
+type budgetJSON struct {
+	EpsilonSpent float64 `json:"epsilon_spent"`
+	EpsilonCap   float64 `json:"epsilon_cap"`
+	DeltaSpent   float64 `json:"delta_spent"`
+	DeltaCap     float64 `json:"delta_cap"`
+	Releases     int     `json:"releases"`
+}
+
+type releaseResponse struct {
+	Strategy      string         `json:"strategy"`
+	TotalVariance float64        `json:"total_variance"`
+	Tables        []marginalJSON `json:"tables"`
+	Budget        budgetJSON     `json:"budget"`
+}
+
+type cubeResponse struct {
+	MaxOrder      int            `json:"max_order"`
+	TotalVariance float64        `json:"total_variance"`
+	Cuboids       []marginalJSON `json:"cuboids"`
+	Budget        budgetJSON     `json:"budget"`
+}
+
+type syntheticResponse struct {
+	Strategy string     `json:"strategy"`
+	Count    int        `json:"count"`
+	Rows     [][]int    `json:"rows"`
+	Budget   budgetJSON `json:"budget"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---------------------------------------------------------------------------
+// Handlers.
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	req, schema, x, err := s.decodeData(w, r, true)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	rel, err := s.releaser(r.Context(), schema, req)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	res, err := rel.ReleaseVector(r.Context(), x, s.spec(req))
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, releaseResponse{
+		Strategy:      res.Strategy,
+		TotalVariance: res.TotalVariance,
+		Tables:        tablesJSON(res),
+		Budget:        s.budget(),
+	})
+}
+
+func (s *Server) handleSynthetic(w http.ResponseWriter, r *http.Request) {
+	req, schema, x, err := s.decodeData(w, r, true)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	if req.SkipConsistency {
+		s.fail(w, r, fmt.Errorf("%w: synthetic data needs a consistent release (skip_consistency must be false)",
+			repro.ErrInvalidOption))
+		return
+	}
+	rel, err := s.releaser(r.Context(), schema, req)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	res, err := rel.ReleaseVector(r.Context(), x, s.spec(req))
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	// Sampling is free post-processing: no further ledger spend.
+	syn, err := rel.Synthetic(r.Context(), res, req.SyntheticSeed)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	rows := syn.Rows
+	if rows == nil {
+		rows = [][]int{}
+	}
+	writeJSON(w, http.StatusOK, syntheticResponse{
+		Strategy: res.Strategy,
+		Count:    syn.Count(),
+		Rows:     rows,
+		Budget:   s.budget(),
+	})
+}
+
+func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
+	req, schema, _, err := s.decodeData(w, r, false)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	if req.Rows == nil {
+		s.fail(w, r, fmt.Errorf("%w: /v1/cube needs rows", repro.ErrInvalidOption))
+		return
+	}
+	if req.MaxOrder <= 0 || req.MaxOrder > len(schema.Attrs) {
+		s.fail(w, r, fmt.Errorf("%w: max_order %d out of range [1,%d]",
+			repro.ErrInvalidOption, req.MaxOrder, len(schema.Attrs)))
+		return
+	}
+	if err := validateSpec(req); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	kind, err := strategyKind(req.Strategy)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	// Rows must be valid BEFORE the ledger is charged: a malformed request
+	// has to be a free 400, never a burned budget. Per-row Encode is cheap
+	// (no 2^d vector is built here; the mechanism vectorizes once later).
+	for i, row := range req.Rows {
+		if _, err := schema.Encode(row); err != nil {
+			s.fail(w, r, fmt.Errorf("%w: row %d: %v", repro.ErrInvalidOption, i, err))
+			return
+		}
+	}
+	// The cube path charges the shared ledger directly (it does not go
+	// through a Releaser): admission first, then the mechanism.
+	label := req.Label
+	if label == "" {
+		label = fmt.Sprintf("cube-%d-way", req.MaxOrder)
+	}
+	if err := s.ledger.Charge(repro.BudgetCharge{Label: label, Epsilon: req.Epsilon, Delta: req.Delta}); err != nil {
+		s.fail(w, r, fmt.Errorf("%w: %v", repro.ErrBudgetExhausted, err))
+		return
+	}
+	tab := &repro.Table{Schema: schema, Rows: req.Rows}
+	cube, err := repro.ReleaseCubeContext(r.Context(), tab, req.MaxOrder, repro.Options{
+		Epsilon:       req.Epsilon,
+		Delta:         req.Delta,
+		Strategy:      kind,
+		UniformBudget: req.UniformBudget,
+		Seed:          req.Seed,
+		Workers:       s.workers(req.Workers),
+		Cache:         s.cache,
+	})
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	cuboids := make([]marginalJSON, len(cube.Lattice.Cuboids))
+	for i, c := range cube.Lattice.Cuboids {
+		attrs := c.Attrs
+		if attrs == nil {
+			attrs = []int{}
+		}
+		cuboids[i] = marginalJSON{Attrs: attrs, Cells: cube.Tables[i], Variance: cube.CellVariance[i]}
+	}
+	writeJSON(w, http.StatusOK, cubeResponse{
+		MaxOrder:      req.MaxOrder,
+		TotalVariance: cube.TotalVariance,
+		Cuboids:       cuboids,
+		Budget:        s.budget(),
+	})
+}
+
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.budget())
+}
+
+// ---------------------------------------------------------------------------
+// Request plumbing.
+
+// decodeData parses the body, builds the schema and (when needVector)
+// resolves the data into a contingency vector — the cube path consumes
+// rows directly and skips the redundant vectorization.
+func (s *Server) decodeData(w http.ResponseWriter, r *http.Request, needVector bool) (*releaseRequest, *repro.Schema, []float64, error) {
+	var req releaseRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: bad JSON: %v", repro.ErrInvalidOption, err)
+	}
+	if len(req.Schema) == 0 {
+		return nil, nil, nil, fmt.Errorf("%w: empty schema", repro.ErrInvalidOption)
+	}
+	attrs := make([]repro.Attribute, len(req.Schema))
+	for i, a := range req.Schema {
+		attrs[i] = repro.Attribute{Name: a.Name, Cardinality: a.Cardinality}
+	}
+	schema, err := repro.NewSchema(attrs)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: %v", repro.ErrInvalidOption, err)
+	}
+	if (req.Rows == nil) == (req.Counts == nil) {
+		return nil, nil, nil, fmt.Errorf("%w: provide exactly one of rows or counts", repro.ErrInvalidOption)
+	}
+	// A δ above the server's cap can never be admitted: reject it as a bad
+	// request up front instead of a misleading, retryable 429 later.
+	if req.Delta > s.cfg.DeltaCap {
+		return nil, nil, nil, fmt.Errorf("%w: delta %v exceeds the server's delta cap %v (never admissible)",
+			repro.ErrInvalidDelta, req.Delta, s.cfg.DeltaCap)
+	}
+	if !needVector {
+		return &req, schema, nil, nil
+	}
+	var x []float64
+	if req.Counts != nil {
+		if len(req.Counts) != schema.DomainSize() {
+			return nil, nil, nil, fmt.Errorf("%w: counts has %d entries, domain needs %d",
+				repro.ErrDimensionMismatch, len(req.Counts), schema.DomainSize())
+		}
+		x = req.Counts
+	} else {
+		tab := &repro.Table{Schema: schema, Rows: req.Rows}
+		if x, err = tab.Vector(); err != nil {
+			return nil, nil, nil, fmt.Errorf("%w: %v", repro.ErrInvalidOption, err)
+		}
+	}
+	return &req, schema, x, nil
+}
+
+// workload resolves the request's workload spec over the schema.
+func workloadOf(schema *repro.Schema, wl workloadJSON) (*repro.Workload, error) {
+	switch {
+	case wl.Marginals != nil:
+		w, err := repro.MarginalsOver(schema, wl.Marginals)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", repro.ErrInvalidOption, err)
+		}
+		return w, nil
+	case wl.K > 0 && wl.K <= len(schema.Attrs):
+		if wl.Anchor != nil {
+			if *wl.Anchor < 0 || *wl.Anchor >= len(schema.Attrs) {
+				return nil, fmt.Errorf("%w: anchor %d out of range", repro.ErrInvalidOption, *wl.Anchor)
+			}
+			return repro.KWayAnchored(schema, wl.K, *wl.Anchor), nil
+		}
+		if wl.Star {
+			return repro.KWayPlusHalf(schema, wl.K), nil
+		}
+		return repro.AllKWayMarginals(schema, wl.K), nil
+	default:
+		return nil, fmt.Errorf("%w: workload needs k in [1,%d] or explicit marginals",
+			repro.ErrInvalidOption, len(schema.Attrs))
+	}
+}
+
+// strategyKind maps the wire name onto the strategy enum. An empty name
+// defaults to Fourier; anything unrecognised is a 400, not a silent
+// default — a typo must not run the wrong mechanism and charge for it.
+func strategyKind(name string) (repro.StrategyKind, error) {
+	switch strings.ToLower(name) {
+	case "", "fourier":
+		return repro.StrategyFourier, nil
+	case "workload":
+		return repro.StrategyWorkload, nil
+	case "identity":
+		return repro.StrategyIdentity, nil
+	case "cluster":
+		return repro.StrategyCluster, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown strategy %q (want fourier|workload|identity|cluster)",
+			repro.ErrInvalidOption, name)
+	}
+}
+
+// validateSpec applies the admission checks the Releaser path performs
+// itself, for endpoints that charge the ledger directly.
+func validateSpec(req *releaseRequest) error {
+	if req.Epsilon <= 0 {
+		return fmt.Errorf("%w: got %v", repro.ErrInvalidEpsilon, req.Epsilon)
+	}
+	if req.Delta < 0 || req.Delta >= 1 {
+		return fmt.Errorf("%w: got %v", repro.ErrInvalidDelta, req.Delta)
+	}
+	return nil
+}
+
+// releaser returns (building on first use) the shared Releaser for the
+// request's (schema, workload, mechanism) key. All Releasers share the
+// server's plan cache and budget ledger.
+//
+// Construction — which pre-plans, for the cluster strategy an expensive
+// search — happens OUTSIDE the registry lock and under the request's
+// context: one slow cold-start must not block requests for already-warm
+// keys, and a client that gives up aborts its own planning. Two racing
+// cold-starts may both plan; the loser's work is not wasted because both
+// share s.cache, and only one Releaser is registered.
+func (s *Server) releaser(ctx context.Context, schema *repro.Schema, req *releaseRequest) (*repro.Releaser, error) {
+	w, err := workloadOf(schema, req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := strategyKind(req.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	key := releaserKey(req, kind)
+	s.mu.Lock()
+	r, ok := s.releasers[key]
+	s.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	opts := []repro.ReleaserOption{
+		repro.WithStrategy(kind),
+		repro.WithCache(s.cache),
+		repro.WithBudgetLedger(s.ledger),
+	}
+	if req.UniformBudget {
+		opts = append(opts, repro.WithUniformBudget())
+	}
+	if req.SkipConsistency {
+		opts = append(opts, repro.WithoutConsistency())
+	}
+	if s.cfg.MaxWorkers > 0 {
+		opts = append(opts, repro.WithWorkers(s.cfg.MaxWorkers))
+	}
+	r, err = repro.NewReleaserContext(ctx, schema, w, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if existing, ok := s.releasers[key]; ok {
+		r = existing
+	} else {
+		for len(s.releasers) >= s.cfg.MaxReleasers {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.releasers, oldest)
+		}
+		s.releasers[key] = r
+		s.order = append(s.order, key)
+	}
+	s.mu.Unlock()
+	return r, nil
+}
+
+// releaserKey fingerprints everything structural about a request. Two
+// requests with the same key share one Releaser (and hence one warmed
+// plan); privacy parameters and seeds deliberately stay out. Attribute
+// names are length-prefixed so crafted names containing the delimiters
+// cannot collide two distinct schemas onto one key.
+func releaserKey(req *releaseRequest, kind repro.StrategyKind) string {
+	var b strings.Builder
+	for _, a := range req.Schema {
+		b.WriteString(strconv.Itoa(len(a.Name)))
+		b.WriteByte(':')
+		b.WriteString(a.Name)
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(a.Cardinality))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	wl := req.Workload
+	switch {
+	case wl.Marginals != nil:
+		for _, set := range wl.Marginals {
+			sorted := append([]int(nil), set...)
+			sort.Ints(sorted)
+			for _, a := range sorted {
+				b.WriteString(strconv.Itoa(a))
+				b.WriteByte('.')
+			}
+			b.WriteByte(';')
+		}
+	default:
+		b.WriteString("k=")
+		b.WriteString(strconv.Itoa(wl.K))
+		if wl.Star {
+			b.WriteString("*")
+		}
+		if wl.Anchor != nil {
+			b.WriteString("a")
+			b.WriteString(strconv.Itoa(*wl.Anchor))
+		}
+	}
+	b.WriteByte('|')
+	b.WriteString(kind.String())
+	if req.UniformBudget {
+		b.WriteString("|uniform")
+	}
+	if req.SkipConsistency {
+		b.WriteString("|raw")
+	}
+	return b.String()
+}
+
+// spec maps the request's per-call parameters, clamping workers to the
+// server bound.
+func (s *Server) spec(req *releaseRequest) repro.ReleaseSpec {
+	return repro.ReleaseSpec{
+		Epsilon: req.Epsilon,
+		Delta:   req.Delta,
+		Seed:    req.Seed,
+		Workers: s.workers(req.Workers),
+		Label:   req.Label,
+	}
+}
+
+// workers clamps a requested per-request worker count to the server bound.
+func (s *Server) workers(requested int) int {
+	max := s.cfg.MaxWorkers
+	if requested <= 0 {
+		return max
+	}
+	if max > 0 && requested > max {
+		return max
+	}
+	return requested
+}
+
+func (s *Server) budget() budgetJSON {
+	eps, del := s.ledger.Spent()
+	return budgetJSON{
+		EpsilonSpent: eps,
+		EpsilonCap:   s.cfg.EpsilonCap,
+		DeltaSpent:   del,
+		DeltaCap:     s.cfg.DeltaCap,
+		Releases:     s.ledger.Count(),
+	}
+}
+
+func tablesJSON(res *repro.Result) []marginalJSON {
+	out := make([]marginalJSON, len(res.Tables))
+	for i, t := range res.Tables {
+		attrs := t.Attrs
+		if attrs == nil {
+			attrs = []int{}
+		}
+		out[i] = marginalJSON{Attrs: attrs, Cells: t.Cells, Variance: t.Variance}
+	}
+	return out
+}
+
+// statusCode maps the repro package's typed errors onto HTTP statuses.
+const statusClientClosedRequest = 499 // nginx convention; no standard code exists
+
+func statusCode(err error) int {
+	switch {
+	case errors.Is(err, repro.ErrBudgetExhausted):
+		return http.StatusTooManyRequests
+	case errors.Is(err, repro.ErrInvalidEpsilon),
+		errors.Is(err, repro.ErrInvalidDelta),
+		errors.Is(err, repro.ErrDimensionMismatch),
+		errors.Is(err, repro.ErrInvalidOption):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
+	writeJSON(w, statusCode(err), errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,425 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func testConfig() Config {
+	return Config{EpsilonCap: 100, DeltaCap: 1e-3, MaxWorkers: 4}
+}
+
+func newTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// testBody builds a small 3-attribute request body as a JSON-ready map so
+// individual tests can override fields.
+func testBody(overrides map[string]any) map[string]any {
+	rows := make([][]int, 0, 300)
+	for i := 0; i < 300; i++ {
+		rows = append(rows, []int{i % 3, (i / 3) % 2, (i / 7) % 4})
+	}
+	body := map[string]any{
+		"schema": []map[string]any{
+			{"name": "color", "cardinality": 3},
+			{"name": "size", "cardinality": 2},
+			{"name": "grade", "cardinality": 4},
+		},
+		"rows":     rows,
+		"workload": map[string]any{"k": 1},
+		"epsilon":  1.0,
+		"seed":     7,
+	}
+	for k, v := range overrides {
+		body[k] = v
+	}
+	return body
+}
+
+func post(t testing.TB, s *Server, path string, body map[string]any) *httptest.ResponseRecorder {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(raw))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func decode[T any](t testing.TB, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, rec.Body.String())
+	}
+	return v
+}
+
+// TestReleaseEndpointMatchesDirectCall: a seeded request returns exactly
+// the marginals repro.Release computes directly — the serving layer is a
+// transport, not a different mechanism.
+func TestReleaseEndpointMatchesDirectCall(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	rec := post(t, s, "/v1/release", testBody(nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	got := decode[releaseResponse](t, rec)
+
+	schema := repro.MustSchema([]repro.Attribute{
+		{Name: "color", Cardinality: 3},
+		{Name: "size", Cardinality: 2},
+		{Name: "grade", Cardinality: 4},
+	})
+	rows := make([][]int, 0, 300)
+	for i := 0; i < 300; i++ {
+		rows = append(rows, []int{i % 3, (i / 3) % 2, (i / 7) % 4})
+	}
+	tab := &repro.Table{Schema: schema, Rows: rows}
+	want, err := repro.Release(tab, repro.AllKWayMarginals(schema, 1), repro.Options{Epsilon: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tables) != len(want.Tables) {
+		t.Fatalf("%d tables, want %d", len(got.Tables), len(want.Tables))
+	}
+	for i, wt := range want.Tables {
+		for c := range wt.Cells {
+			if math.Float64bits(got.Tables[i].Cells[c]) != math.Float64bits(wt.Cells[c]) {
+				t.Fatalf("table %d cell %d: served %v, direct %v", i, c, got.Tables[i].Cells[c], wt.Cells[c])
+			}
+		}
+	}
+	if got.Strategy != want.Strategy {
+		t.Fatalf("strategy %q, want %q", got.Strategy, want.Strategy)
+	}
+	if got.Budget.EpsilonSpent != 1 {
+		t.Fatalf("budget after one ε=1 release: %+v", got.Budget)
+	}
+}
+
+// TestReleaseDeterminism: same seed + same request body ⇒ bit-identical
+// JSON, across repeated calls (which exercise the Releaser registry and the
+// warmed plan cache paths).
+func TestReleaseDeterminism(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	first := post(t, s, "/v1/release", testBody(nil))
+	if first.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", first.Code, first.Body.String())
+	}
+	ref := decode[releaseResponse](t, first)
+	for trial := 0; trial < 3; trial++ {
+		rec := post(t, s, "/v1/release", testBody(nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("trial %d: status %d", trial, rec.Code)
+		}
+		got := decode[releaseResponse](t, rec)
+		// Tables must be bit-identical; the budget block legitimately
+		// advances between calls.
+		a, _ := json.Marshal(ref.Tables)
+		b, _ := json.Marshal(got.Tables)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("trial %d: served tables differ for identical seeded requests", trial)
+		}
+	}
+	if st := s.CacheStats(); st.Misses != 1 || st.Hits < 1 {
+		t.Fatalf("repeated identical requests should share one plan: %+v", st)
+	}
+}
+
+// TestCubeEndpoint: round trip, cuboid count and apex sanity.
+func TestCubeEndpoint(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	rec := post(t, s, "/v1/cube", testBody(map[string]any{"max_order": 2, "epsilon": 2.0}))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	got := decode[cubeResponse](t, rec)
+	// 3 attributes, order ≤ 2: 1 apex + 3 singles + 3 pairs.
+	if len(got.Cuboids) != 7 {
+		t.Fatalf("%d cuboids, want 7", len(got.Cuboids))
+	}
+	if len(got.Cuboids[0].Attrs) != 0 || len(got.Cuboids[0].Cells) != 1 {
+		t.Fatalf("first cuboid should be the apex: %+v", got.Cuboids[0])
+	}
+	if math.Abs(got.Cuboids[0].Cells[0]-300) > 60 {
+		t.Fatalf("apex %v far from the true total 300", got.Cuboids[0].Cells[0])
+	}
+	if got.Budget.EpsilonSpent != 2 {
+		t.Fatalf("cube must charge the shared ledger: %+v", got.Budget)
+	}
+}
+
+// TestSyntheticEndpoint: round trip; rows decode under the schema; the
+// sampling step is free post-processing (one release charged, not two).
+func TestSyntheticEndpoint(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	rec := post(t, s, "/v1/synthetic", testBody(map[string]any{
+		"epsilon": 2.0, "synthetic_seed": 11,
+		"workload": map[string]any{"k": 2},
+	}))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	got := decode[syntheticResponse](t, rec)
+	if got.Count == 0 || len(got.Rows) != got.Count {
+		t.Fatalf("bad synthetic rows: count=%d len=%d", got.Count, len(got.Rows))
+	}
+	for _, row := range got.Rows {
+		if len(row) != 3 || row[0] < 0 || row[0] >= 3 || row[1] < 0 || row[1] >= 2 || row[2] < 0 || row[2] >= 4 {
+			t.Fatalf("synthetic row %v outside schema domain", row)
+		}
+	}
+	if got.Budget.EpsilonSpent != 2 || got.Budget.Releases != 1 {
+		t.Fatalf("synthetic endpoint must charge exactly one release: %+v", got.Budget)
+	}
+}
+
+// TestBudgetEndpointAndExhaustion: GET /v1/budget tracks cumulative spend,
+// and a request past the cap is refused with 429 without running.
+func TestBudgetEndpointAndExhaustion(t *testing.T) {
+	s := newTestServer(t, Config{EpsilonCap: 1.0, MaxWorkers: 2})
+
+	budgetOf := func() budgetJSON {
+		req := httptest.NewRequest(http.MethodGet, "/v1/budget", nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("budget status %d", rec.Code)
+		}
+		return decode[budgetJSON](t, rec)
+	}
+
+	if b := budgetOf(); b.EpsilonSpent != 0 || b.EpsilonCap != 1.0 {
+		t.Fatalf("fresh budget: %+v", b)
+	}
+	if rec := post(t, s, "/v1/release", testBody(map[string]any{"epsilon": 0.7})); rec.Code != http.StatusOK {
+		t.Fatalf("first release: %d %s", rec.Code, rec.Body.String())
+	}
+	if b := budgetOf(); math.Abs(b.EpsilonSpent-0.7) > 1e-12 || b.Releases != 1 {
+		t.Fatalf("after ε=0.7: %+v", b)
+	}
+	rec := post(t, s, "/v1/release", testBody(map[string]any{"epsilon": 0.7, "seed": 8}))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-cap release: status %d, want 429; body %s", rec.Code, rec.Body.String())
+	}
+	if b := budgetOf(); math.Abs(b.EpsilonSpent-0.7) > 1e-12 {
+		t.Fatalf("refused release changed spend: %+v", b)
+	}
+	// The remaining budget still serves.
+	if rec := post(t, s, "/v1/release", testBody(map[string]any{"epsilon": 0.3, "seed": 9})); rec.Code != http.StatusOK {
+		t.Fatalf("remaining budget refused: %d", rec.Code)
+	}
+	// Exhaustion also guards the cube and synthetic endpoints.
+	if rec := post(t, s, "/v1/cube", testBody(map[string]any{"max_order": 1, "epsilon": 0.5})); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("cube past cap: status %d", rec.Code)
+	}
+	if rec := post(t, s, "/v1/synthetic", testBody(map[string]any{"epsilon": 0.5})); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("synthetic past cap: status %d", rec.Code)
+	}
+}
+
+// TestErrorStatusMapping: typed validation errors surface as 400s with a
+// JSON error body.
+func TestErrorStatusMapping(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	cases := []struct {
+		name string
+		path string
+		body map[string]any
+		want int
+	}{
+		{"zero epsilon", "/v1/release", testBody(map[string]any{"epsilon": 0.0}), http.StatusBadRequest},
+		{"bad delta", "/v1/release", testBody(map[string]any{"delta": 1.5}), http.StatusBadRequest},
+		{"empty schema", "/v1/release", testBody(map[string]any{"schema": []map[string]any{}}), http.StatusBadRequest},
+		{"no workload", "/v1/release", testBody(map[string]any{"workload": map[string]any{}}), http.StatusBadRequest},
+		{"bad marginal attr", "/v1/release", testBody(map[string]any{"workload": map[string]any{"marginals": [][]int{{9}}}}), http.StatusBadRequest},
+		{"row outside domain", "/v1/release", testBody(map[string]any{"rows": [][]int{{5, 0, 0}}}), http.StatusBadRequest},
+		{"both rows and counts", "/v1/release", testBody(map[string]any{"counts": make([]float64, 32)}), http.StatusBadRequest},
+		{"short counts", "/v1/release", func() map[string]any {
+			b := testBody(map[string]any{"counts": make([]float64, 4)})
+			delete(b, "rows")
+			return b
+		}(), http.StatusBadRequest},
+		{"cube without max_order", "/v1/cube", testBody(nil), http.StatusBadRequest},
+		{"unknown strategy", "/v1/release", testBody(map[string]any{"strategy": "clsuter"}), http.StatusBadRequest},
+		{"unknown cube strategy", "/v1/cube", testBody(map[string]any{"max_order": 1, "strategy": "foo"}), http.StatusBadRequest},
+		{"delta above server cap", "/v1/release", testBody(map[string]any{"delta": 0.5}), http.StatusBadRequest},
+		{"empty marginal list", "/v1/release", testBody(map[string]any{"workload": map[string]any{"marginals": [][]int{}}}), http.StatusBadRequest},
+		{"cube row outside domain", "/v1/cube", testBody(map[string]any{"max_order": 1, "rows": [][]int{{5, 0, 0}}}), http.StatusBadRequest},
+		{"synthetic without consistency", "/v1/synthetic", testBody(map[string]any{"skip_consistency": true}), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		rec := post(t, s, tc.path, tc.body)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.name, rec.Code, tc.want, rec.Body.String())
+		}
+		if e := decode[errorResponse](t, rec); e.Error == "" {
+			t.Errorf("%s: empty error body", tc.name)
+		}
+	}
+	// Unknown fields are rejected, catching client typos before they spend
+	// budget.
+	if rec := post(t, s, "/v1/release", testBody(map[string]any{"epsilonn": 1})); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", rec.Code)
+	}
+	// None of the rejected requests above may have burned budget: a 4xx is
+	// always free.
+	if b := s.budget(); b.EpsilonSpent != 0 || b.Releases != 0 {
+		t.Fatalf("rejected requests burned budget: %+v", b)
+	}
+}
+
+// TestReleaserRegistryBounded: the registry evicts FIFO at its cap instead
+// of growing without bound from client-controlled keys; evicted keys still
+// serve correctly (re-registered, plan re-used from the LRU cache).
+func TestReleaserRegistryBounded(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxReleasers = 2
+	s := newTestServer(t, cfg)
+	for i := 0; i < 5; i++ {
+		body := testBody(map[string]any{"epsilon": 0.1, "workload": map[string]any{"marginals": [][]int{{i % 3}}}})
+		if rec := post(t, s, "/v1/release", body); rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	s.mu.Lock()
+	n, order := len(s.releasers), len(s.order)
+	s.mu.Unlock()
+	if n > 2 || order != n {
+		t.Fatalf("registry holds %d entries (order %d), capped at 2", n, order)
+	}
+}
+
+// TestCancelledRequestAborts: a request whose context is already cancelled
+// never reaches the mechanism — 499, nothing charged. (In production the
+// same path triggers when the client disconnects mid-release; the ledger
+// admission happens first, so an in-flight abort still counts as spent.)
+func TestCancelledRequestAborts(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	raw, err := json.Marshal(testBody(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/release", bytes.NewReader(raw)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("cancelled request: status %d, want %d (body %s)", rec.Code, statusClientClosedRequest, rec.Body.String())
+	}
+}
+
+// TestConcurrentRequestsSharePlanCache: many goroutines hammer one server
+// (run under -race in CI); all succeed, the released tables agree for equal
+// seeds, and planning happened exactly once.
+func TestConcurrentRequestsSharePlanCache(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	const n = 16
+	recs := make([]*httptest.ResponseRecorder, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Two seed classes: equal seeds must agree bit-for-bit.
+			recs[i] = post(t, s, "/v1/release", testBody(map[string]any{"seed": i % 2, "epsilon": 0.25}))
+		}(i)
+	}
+	wg.Wait()
+	var bySeed [2][]byte
+	for i, rec := range recs {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		got := decode[releaseResponse](t, rec)
+		tabs, _ := json.Marshal(got.Tables)
+		if bySeed[i%2] == nil {
+			bySeed[i%2] = tabs
+		} else if !bytes.Equal(bySeed[i%2], tabs) {
+			t.Fatalf("request %d: same-seed responses differ under concurrency", i)
+		}
+	}
+	if st := s.CacheStats(); st.Misses != 1 {
+		t.Fatalf("concurrent identical workloads should plan once: %+v", st)
+	}
+	if b := s.budget(); math.Abs(b.EpsilonSpent-n*0.25) > 1e-9 {
+		t.Fatalf("ledger lost concurrent charges: %+v", b)
+	}
+}
+
+// TestReleaserKeyNoCollision: length-prefixed attribute names keep crafted
+// schemas from aliasing onto one registered Releaser.
+func TestReleaserKeyNoCollision(t *testing.T) {
+	tricky := &releaseRequest{Schema: []attributeJSON{{Name: "3:a:2,b", Cardinality: 2}}}
+	plain := &releaseRequest{Schema: []attributeJSON{{Name: "a", Cardinality: 2}, {Name: "b", Cardinality: 2}}}
+	if releaserKey(tricky, repro.StrategyFourier) == releaserKey(plain, repro.StrategyFourier) {
+		t.Fatal("crafted attribute name collides two distinct schemas onto one key")
+	}
+}
+
+// TestWorkloadVariants: the k/star/anchor and explicit-marginal spellings
+// all resolve.
+func TestWorkloadVariants(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	for _, wl := range []map[string]any{
+		{"k": 1},
+		{"k": 1, "star": true},
+		{"k": 1, "anchor": 0},
+		{"marginals": [][]int{{0}, {0, 2}}},
+	} {
+		rec := post(t, s, "/v1/release", testBody(map[string]any{"workload": wl, "epsilon": 0.5}))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("workload %v: status %d: %s", wl, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkServerRelease measures end-to-end requests/sec on a warm plan
+// cache — the serving baseline for future PRs. Run with -benchtime and
+// -cpu to scale.
+func BenchmarkServerRelease(b *testing.B) {
+	s := newTestServer(b, Config{EpsilonCap: math.MaxFloat64, MaxWorkers: 0})
+	body, err := json.Marshal(testBody(map[string]any{"workload": map[string]any{"k": 2}, "epsilon": 1e-6}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the Releaser registry and plan cache.
+	warm := httptest.NewRequest(http.MethodPost, "/v1/release", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, warm)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warm-up failed: %d %s", rec.Code, rec.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/release", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("request %d: %d", i, rec.Code)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+}

@@ -1,0 +1,373 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/accountant"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/noise"
+)
+
+// Releaser is the long-lived service object of the package: constructed
+// once per (schema, workload) pair, it pre-plans the Step-1 strategy
+// (warming its PlanCache, which for the cluster strategy is orders of
+// magnitude more expensive than any single release), then answers any
+// number of Release calls — each an independent differentially private
+// mechanism run with its own (ε, δ, seed). Planning is privacy-independent,
+// so one Releaser serves a whole ε sweep or a stream of per-request
+// budgets without replanning.
+//
+// A Releaser is safe for concurrent use: the plan cache and budget ledger
+// are concurrency-safe, and each release runs on its own engine worker
+// pool. When a BudgetLedger is attached (WithBudgetLedger / WithBudgetCap),
+// every successful admission charges the requested (ε, δ) and releases past
+// the cap fail with ErrBudgetExhausted before touching the data.
+type Releaser struct {
+	schema *Schema // may be nil (vector-only releases, no attr decoding)
+	w      *Workload
+
+	strategy        StrategyKind
+	uniformBudget   bool
+	skipConsistency bool
+	modifyNeighbors bool
+	queryWeights    []float64
+	workers         int
+	cache           *PlanCache
+	ledger          *BudgetLedger
+	noPreplan       bool
+
+	seq atomic.Uint64 // ledger label counter
+}
+
+// ReleaserOption configures a Releaser at construction.
+type ReleaserOption func(*Releaser) error
+
+// WithStrategy selects the Step-1 strategy matrix (default StrategyFourier).
+func WithStrategy(k StrategyKind) ReleaserOption {
+	return func(r *Releaser) error {
+		switch k {
+		case StrategyFourier, StrategyWorkload, StrategyIdentity, StrategyCluster:
+			r.strategy = k
+			return nil
+		default:
+			return fmt.Errorf("%w: unknown strategy kind %d", ErrInvalidOption, k)
+		}
+	}
+}
+
+// WithWorkers bounds the engine worker pool for measurement and recovery.
+// 0 uses all CPUs; 1 forces serial execution. Released values are
+// bit-identical at every setting.
+func WithWorkers(n int) ReleaserOption {
+	return func(r *Releaser) error {
+		if n < 0 {
+			return fmt.Errorf("%w: negative worker count %d", ErrInvalidOption, n)
+		}
+		r.workers = n
+		return nil
+	}
+}
+
+// WithCache shares a plan cache with other Releasers (a serving process
+// typically holds one cache for its whole Releaser registry). Without this
+// option the Releaser owns a private cache.
+func WithCache(c *PlanCache) ReleaserOption {
+	return func(r *Releaser) error {
+		if c == nil {
+			return fmt.Errorf("%w: nil plan cache", ErrInvalidOption)
+		}
+		r.cache = c
+		return nil
+	}
+}
+
+// WithBudgetLedger attaches a (possibly shared) cumulative-spend ledger:
+// each release charges its (ε, δ) on admission and fails with
+// ErrBudgetExhausted once the cap would be passed.
+func WithBudgetLedger(l *BudgetLedger) ReleaserOption {
+	return func(r *Releaser) error {
+		if l == nil {
+			return fmt.Errorf("%w: nil budget ledger", ErrInvalidOption)
+		}
+		r.ledger = l
+		return nil
+	}
+}
+
+// WithBudgetCap is WithBudgetLedger over a fresh private ledger with the
+// given total (ε, δ) cap.
+func WithBudgetCap(epsilonCap, deltaCap float64) ReleaserOption {
+	return func(r *Releaser) error {
+		l, err := NewBudgetLedger(epsilonCap, deltaCap)
+		if err != nil {
+			return err
+		}
+		r.ledger = l
+		return nil
+	}
+}
+
+// WithUniformBudget disables the paper's non-uniform Step-2 budgeting and
+// reproduces the prior-work baseline.
+func WithUniformBudget() ReleaserOption {
+	return func(r *Releaser) error { r.uniformBudget = true; return nil }
+}
+
+// WithoutConsistency returns raw recovered answers without the Fourier
+// consistency projection. Consistency is free post-processing: skipping it
+// never changes what a release costs against the budget ledger.
+func WithoutConsistency() ReleaserOption {
+	return func(r *Releaser) error { r.skipConsistency = true; return nil }
+}
+
+// WithModifyNeighbors uses the "modify one tuple" neighbour model
+// (sensitivity doubled); the default is add/remove-one-tuple.
+func WithModifyNeighbors() ReleaserOption {
+	return func(r *Releaser) error { r.modifyNeighbors = true; return nil }
+}
+
+// WithQueryWeights weights each workload marginal's importance in the
+// Step-2 budgeting (the paper's aᵀ·Var(y) objective). The length must match
+// the workload.
+func WithQueryWeights(weights []float64) ReleaserOption {
+	return func(r *Releaser) error {
+		r.queryWeights = append([]float64(nil), weights...)
+		return nil
+	}
+}
+
+// WithoutPreplan skips the construction-time planning pass. The first
+// release then pays the Step-1 cost instead — useful when a Releaser is
+// registered speculatively and may never serve a request.
+func WithoutPreplan() ReleaserOption {
+	return func(r *Releaser) error { r.noPreplan = true; return nil }
+}
+
+// NewReleaser validates the configuration, pre-plans the strategy for the
+// workload (warming the plan cache) and returns a ready-to-serve Releaser.
+// schema may be nil for callers releasing raw contingency vectors; the
+// Result then omits attribute indices and Synthetic is unavailable.
+func NewReleaser(schema *Schema, w *Workload, opts ...ReleaserOption) (*Releaser, error) {
+	return NewReleaserContext(context.Background(), schema, w, opts...)
+}
+
+// NewReleaserContext is NewReleaser under a context: cancellation aborts
+// the construction-time planning pass (which for the cluster strategy can
+// dominate everything else).
+func NewReleaserContext(ctx context.Context, schema *Schema, w *Workload, opts ...ReleaserOption) (*Releaser, error) {
+	if w == nil {
+		return nil, fmt.Errorf("%w: nil workload", ErrInvalidOption)
+	}
+	if len(w.Marginals) == 0 {
+		// An empty workload would pass admission (and charge a ledger) only
+		// to fail in the engine's budgeting stage — refuse it up front.
+		return nil, fmt.Errorf("%w: workload has no marginals", ErrInvalidOption)
+	}
+	if schema != nil && schema.Dim() != w.D {
+		return nil, fmt.Errorf("%w: workload dimension %d, schema dimension %d",
+			ErrDimensionMismatch, w.D, schema.Dim())
+	}
+	r := &Releaser{schema: schema, w: w, strategy: StrategyFourier}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("%w: nil ReleaserOption", ErrInvalidOption)
+		}
+		if err := opt(r); err != nil {
+			return nil, err
+		}
+	}
+	if r.queryWeights != nil && len(r.queryWeights) != len(w.Marginals) {
+		return nil, fmt.Errorf("%w: %d query weights for %d marginals",
+			ErrInvalidOption, len(r.queryWeights), len(w.Marginals))
+	}
+	if r.cache == nil {
+		r.cache = NewPlanCache()
+	}
+	if !r.noPreplan {
+		planner := engine.Planner{Cache: r.cache}
+		if _, err := planner.Plan(ctx, w, engine.Config{
+			Strategy:     r.strategy.impl(),
+			QueryWeights: r.queryWeights,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Schema returns the schema the Releaser was constructed with (may be nil).
+func (r *Releaser) Schema() *Schema { return r.schema }
+
+// Workload returns the marginal workload the Releaser answers.
+func (r *Releaser) Workload() *Workload { return r.w }
+
+// Ledger returns the attached budget ledger, or nil when spend is not
+// tracked.
+func (r *Releaser) Ledger() *BudgetLedger { return r.ledger }
+
+// Cache returns the Releaser's plan cache (never nil after construction).
+func (r *Releaser) Cache() *PlanCache { return r.cache }
+
+// Strategy returns the configured strategy kind.
+func (r *Releaser) Strategy() StrategyKind { return r.strategy }
+
+// ReleaseSpec parameterises one release. Everything structural (schema,
+// workload, strategy, budgeting mode) lives on the Releaser; the spec holds
+// only what legitimately varies per call.
+type ReleaseSpec struct {
+	// Epsilon is this release's privacy budget (required, > 0).
+	Epsilon float64
+	// Delta switches this release to (ε, δ)-DP with Gaussian noise when
+	// positive.
+	Delta float64
+	// Seed makes the release reproducible; 0 is a valid fixed seed.
+	Seed int64
+	// Workers optionally overrides the Releaser's worker bound for this
+	// call (a server bounding per-request parallelism); 0 keeps the
+	// Releaser's setting.
+	Workers int
+	// Label names the release in the budget ledger; empty generates
+	// "release-N".
+	Label string
+	// Partition names the disjoint population slice for parallel
+	// composition in the ledger; empty means the whole population.
+	Partition string
+}
+
+// Release privately answers the Releaser's workload over the table.
+func (r *Releaser) Release(ctx context.Context, t *Table, spec ReleaseSpec) (*Result, error) {
+	if t == nil || t.Schema == nil {
+		return nil, fmt.Errorf("%w: nil table or schema", ErrInvalidOption)
+	}
+	if t.Schema.Dim() != r.w.D {
+		return nil, fmt.Errorf("%w: workload dimension %d, table schema dimension %d",
+			ErrDimensionMismatch, r.w.D, t.Schema.Dim())
+	}
+	x, err := t.Vector()
+	if err != nil {
+		return nil, err
+	}
+	return r.ReleaseVector(ctx, x, spec)
+}
+
+// ReleaseVector is Release for callers who already hold the contingency
+// vector.
+func (r *Releaser) ReleaseVector(ctx context.Context, x []float64, spec ReleaseSpec) (*Result, error) {
+	if err := validatePrivacy(spec.Epsilon, spec.Delta); err != nil {
+		return nil, err
+	}
+	if len(x) != 1<<uint(r.w.D) {
+		return nil, fmt.Errorf("%w: data vector has %d entries, domain needs %d",
+			ErrDimensionMismatch, len(x), 1<<uint(r.w.D))
+	}
+	if err := r.charge(spec); err != nil {
+		return nil, err
+	}
+	cons := core.WeightedL2Consistency
+	if r.skipConsistency {
+		cons = core.NoConsistency
+	}
+	budgeting := core.OptimalBudget
+	if r.uniformBudget {
+		budgeting = core.UniformBudget
+	}
+	workers := r.workers
+	if spec.Workers > 0 {
+		workers = spec.Workers
+	}
+	rel, err := core.RunWithContext(ctx, r.w, x, core.Config{
+		Strategy:     r.strategy.impl(),
+		Budgeting:    budgeting,
+		Consistency:  cons,
+		Privacy:      r.params(spec),
+		Seed:         spec.Seed,
+		QueryWeights: r.queryWeights,
+	}, engine.Options{Workers: workers, Cache: r.cache})
+	if err != nil {
+		return nil, err
+	}
+	return buildResult(r.w, r.schema, rel), nil
+}
+
+// Synthetic converts a consistent release from this Releaser into row-level
+// synthetic microdata (see SyntheticData). Post-processing adds no privacy
+// cost: the ledger is not charged.
+func (r *Releaser) Synthetic(ctx context.Context, res *Result, seed int64) (*Table, error) {
+	if r.schema == nil {
+		return nil, fmt.Errorf("%w: Releaser has no schema; synthetic data needs one", ErrInvalidOption)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return SyntheticData(r.schema, r.w, res, seed)
+}
+
+// charge performs ledger admission: an atomic check-and-record, so
+// concurrent releases can never jointly pass the cap. Budget is committed
+// at admission — a release that fails after admission (cancellation
+// included) still counts as spent, the conservative reading required for
+// the DP guarantee to survive partial executions.
+func (r *Releaser) charge(spec ReleaseSpec) error {
+	if r.ledger == nil {
+		return nil
+	}
+	label := spec.Label
+	if label == "" {
+		label = fmt.Sprintf("release-%d", r.seq.Add(1))
+	}
+	err := r.ledger.Charge(BudgetCharge{
+		Label:     label,
+		Epsilon:   spec.Epsilon,
+		Delta:     spec.Delta,
+		Partition: spec.Partition,
+	})
+	if err != nil {
+		if errors.Is(err, accountant.ErrBudgetExceeded) {
+			return fmt.Errorf("%w: %v", ErrBudgetExhausted, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// params maps a spec onto the Releaser's neighbour model.
+func (r *Releaser) params(spec ReleaseSpec) noise.Params {
+	o := Options{
+		Epsilon:         spec.Epsilon,
+		Delta:           spec.Delta,
+		ModifyNeighbors: r.modifyNeighbors,
+	}
+	return o.params()
+}
+
+// buildResult shapes an engine release into the public per-marginal form.
+func buildResult(w *Workload, schema *Schema, rel *core.Release) *Result {
+	res := &Result{
+		Answers:       rel.Answers,
+		TotalVariance: rel.TotalVariance,
+		Strategy:      rel.StrategyName,
+	}
+	per := core.PerMarginal(w, rel.Answers)
+	res.Tables = make([]MarginalTable, len(w.Marginals))
+	for i, m := range w.Marginals {
+		mt := MarginalTable{
+			Mask:     m.Alpha,
+			Cells:    per[i],
+			Variance: rel.CellVariances[i],
+		}
+		if schema != nil {
+			for ai := range schema.Attrs {
+				am := schema.AttrMask(ai)
+				if m.Alpha&am != 0 {
+					mt.Attrs = append(mt.Attrs, ai)
+				}
+			}
+		}
+		res.Tables[i] = mt
+	}
+	return res
+}

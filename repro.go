@@ -1,11 +1,11 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bits"
 	"repro/internal/consistency"
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/marginal"
@@ -21,6 +21,13 @@ type PlanCache = engine.PlanCache
 
 // NewPlanCache returns a bounded LRU plan cache to share across releases.
 func NewPlanCache() *PlanCache { return engine.NewPlanCache(0) }
+
+// NewPlanCacheSize is NewPlanCache with an explicit entry bound
+// (0 = default).
+func NewPlanCacheSize(maxEntries int) *PlanCache { return engine.NewPlanCache(maxEntries) }
+
+// CacheStats is a point-in-time snapshot of plan-cache effectiveness.
+type CacheStats = engine.CacheStats
 
 // Re-exported data-model types. The public API works in terms of schemas,
 // tables and marginal workloads; the contingency-vector plumbing stays
@@ -186,68 +193,65 @@ func MarginalsOver(s *Schema, attrSets [][]int) (*Workload, error) {
 	return marginal.NewWorkload(s.Dim(), alphas)
 }
 
-// Release privately answers the workload over the table.
+// releaserOptions maps the flat one-shot Options onto Releaser construction
+// options, keeping the legacy entry points thin wrappers over the service
+// API.
+func (o Options) releaserOptions() []ReleaserOption {
+	opts := []ReleaserOption{WithStrategy(o.Strategy)}
+	if o.UniformBudget {
+		opts = append(opts, WithUniformBudget())
+	}
+	if o.SkipConsistency {
+		opts = append(opts, WithoutConsistency())
+	}
+	if o.ModifyNeighbors {
+		opts = append(opts, WithModifyNeighbors())
+	}
+	if o.QueryWeights != nil {
+		opts = append(opts, WithQueryWeights(o.QueryWeights))
+	}
+	if o.Workers > 0 {
+		opts = append(opts, WithWorkers(o.Workers))
+	}
+	if o.Cache != nil {
+		opts = append(opts, WithCache(o.Cache))
+	}
+	// One-shot callers gain nothing from the construction-time planning
+	// pass (the run plans — and caches — anyway), so skip it.
+	opts = append(opts, WithoutPreplan())
+	return opts
+}
+
+// spec extracts the per-release parameters from the flat Options.
+func (o Options) spec() ReleaseSpec {
+	return ReleaseSpec{Epsilon: o.Epsilon, Delta: o.Delta, Seed: o.Seed}
+}
+
+// Release privately answers the workload over the table — a thin wrapper
+// over a throwaway Releaser. Long-lived callers (many releases over one
+// schema and workload) should construct a Releaser once instead: it
+// pre-plans, caches, accepts a context and can enforce a cumulative budget
+// cap.
 func Release(t *Table, w *Workload, o Options) (*Result, error) {
 	if t == nil || t.Schema == nil {
-		return nil, fmt.Errorf("repro: nil table or schema")
+		return nil, fmt.Errorf("%w: nil table or schema", ErrInvalidOption)
 	}
-	if t.Schema.Dim() != w.D {
-		return nil, fmt.Errorf("repro: workload dimension %d does not match schema dimension %d", w.D, t.Schema.Dim())
-	}
-	x, err := t.Vector()
+	r, err := NewReleaser(t.Schema, w, o.releaserOptions()...)
 	if err != nil {
 		return nil, err
 	}
-	return ReleaseVector(x, w, o, t.Schema)
+	return r.Release(context.Background(), t, o.spec())
 }
 
 // ReleaseVector is Release for callers who already hold the contingency
 // vector; schema may be nil (attribute indices in the result are then
 // omitted).
 func ReleaseVector(x []float64, w *Workload, o Options, schema *Schema) (*Result, error) {
-	cons := core.WeightedL2Consistency
-	if o.SkipConsistency {
-		cons = core.NoConsistency
-	}
-	budgeting := core.OptimalBudget
-	if o.UniformBudget {
-		budgeting = core.UniformBudget
-	}
-	rel, err := core.RunWith(w, x, core.Config{
-		Strategy:     o.Strategy.impl(),
-		Budgeting:    budgeting,
-		Consistency:  cons,
-		Privacy:      o.params(),
-		Seed:         o.Seed,
-		QueryWeights: o.QueryWeights,
-	}, engine.Options{Workers: o.Workers, Cache: o.Cache})
+	r, err := NewReleaser(schema, w, o.releaserOptions()...)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		Answers:       rel.Answers,
-		TotalVariance: rel.TotalVariance,
-		Strategy:      rel.StrategyName,
-	}
-	per := core.PerMarginal(w, rel.Answers)
-	res.Tables = make([]MarginalTable, len(w.Marginals))
-	for i, m := range w.Marginals {
-		mt := MarginalTable{
-			Mask:     m.Alpha,
-			Cells:    per[i],
-			Variance: rel.CellVariances[i],
-		}
-		if schema != nil {
-			for ai := range schema.Attrs {
-				am := schema.AttrMask(ai)
-				if m.Alpha&am != 0 {
-					mt.Attrs = append(mt.Attrs, ai)
-				}
-			}
-		}
-		res.Tables[i] = mt
-	}
-	return res, nil
+	return r.ReleaseVector(context.Background(), x, o.spec())
 }
 
 // consistencyOf recovers the Fourier coefficients of a release by running
