@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+// runIngest streams a local file up to a dpcubed daemon as
+// PUT /v1/datasets/{id} — the upload-once half of the serving flow. CSV
+// files are converted to the NDJSON wire format on the fly (header schema
+// line, then one JSON array per row); .ndjson/.jsonl files are streamed
+// through untouched — the daemon validates every line either way, and
+// neither path buffers the whole relation in this process beyond what CSV
+// dictionary-building already requires.
+func runIngest(ctx context.Context, file, serverURL, datasetID string) error {
+	if serverURL == "" || datasetID == "" {
+		return fmt.Errorf("-ingest needs -server and -dataset")
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var body io.Reader = f
+	if strings.HasSuffix(strings.ToLower(file), ".csv") {
+		tab, _, err := readTable(f)
+		if err != nil {
+			return err
+		}
+		body = ndjsonOf(tab)
+	}
+
+	endpoint := strings.TrimRight(serverURL, "/") + "/v1/datasets/" + url.PathEscape(datasetID)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, endpoint, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	reply, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("ingest refused: %s: %s", resp.Status, strings.TrimSpace(string(reply)))
+	}
+	fmt.Printf("ingested %s as dataset %q: %s\n", file, datasetID, strings.TrimSpace(string(reply)))
+	return nil
+}
+
+// ndjsonOf streams a table in the dataset-store wire format through a pipe,
+// so the HTTP client reads rows as they are encoded instead of holding a
+// second serialized copy of the relation.
+func ndjsonOf(tab *repro.Table) io.Reader {
+	pr, pw := io.Pipe()
+	go func() {
+		enc := json.NewEncoder(pw) // Encode appends '\n': one value per line
+		header := struct {
+			Schema []repro.Attribute `json:"schema"`
+		}{Schema: tab.Schema.Attrs}
+		if err := enc.Encode(header); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		for _, row := range tab.Rows {
+			if err := enc.Encode(row); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.Close()
+	}()
+	return pr
+}

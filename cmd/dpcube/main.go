@@ -12,6 +12,12 @@
 //	dpcube -in people.csv -epsilon 1 -marginals age,sex+income
 //	dpcube -in people.csv -epsilon 1 -k 1 -strategy cluster -format csv
 //	dpcube -in people.csv -epsilon 1 -k 2 -workers 8 # parallel engine, same output
+//
+// Ingest mode streams a local CSV or NDJSON file up to a running dpcubed
+// daemon (upload once), after which releases reference the dataset by id
+// instead of re-uploading rows:
+//
+//	dpcube -ingest people.csv -server http://localhost:8080 -dataset people
 package main
 
 import (
@@ -50,8 +56,19 @@ func main() {
 		workers   = flag.Int("workers", 0, "release-engine worker pool size; 0 = all CPUs, 1 = serial (output is identical at any setting)")
 		format    = flag.String("format", "table", "output format: table|csv")
 		preview   = flag.Bool("preview", false, "print the analytic error forecast per strategy and exit without spending any privacy budget")
+		ingest    = flag.String("ingest", "", "ingest mode: stream this CSV/NDJSON file to a dpcubed daemon and exit")
+		serverURL = flag.String("server", "", "dpcubed base URL for -ingest, e.g. http://localhost:8080")
+		datasetID = flag.String("dataset", "", "dataset id to ingest under (with -ingest)")
 	)
 	flag.Parse()
+	if *ingest != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runIngest(ctx, *ingest, *serverURL, *datasetID); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -7,16 +7,27 @@
 //
 // Endpoints (see internal/server):
 //
-//	POST /v1/release    — private marginals of an inline table
-//	POST /v1/cube       — private datacube up to max_order
-//	POST /v1/synthetic  — release + row-level synthetic microdata
-//	GET  /v1/budget     — cumulative privacy spend vs. the cap
+//	PUT    /v1/datasets/{id} — ingest a dataset once (streaming NDJSON)
+//	GET    /v1/datasets      — list resident datasets
+//	DELETE /v1/datasets/{id} — remove a dataset
+//	POST   /v1/release       — private marginals (rows, counts or dataset_id)
+//	POST   /v1/cube          — private datacube up to max_order
+//	POST   /v1/synthetic     — release + row-level synthetic microdata
+//	GET    /v1/budget        — cumulative privacy spend vs. the cap
+//	GET    /v1/metrics       — request/error counters, spend, cache, store
 //
 // Usage:
 //
-//	dpcubed -addr :8080 -epsilon-cap 10
+//	dpcubed -addr :8080 -epsilon-cap 10 -store-dir /var/lib/dpcubed
+//	dpcube -ingest people.csv -server http://localhost:8080 -dataset people
+//	curl -s -X POST localhost:8080/v1/release \
+//	    -d '{"dataset_id":"people","workload":{"k":2},"epsilon":0.5,"seed":1}'
 //	curl -s localhost:8080/v1/budget
-//	curl -s -X POST localhost:8080/v1/release -d @request.json
+//
+// With -store-dir, ingested datasets are persisted as snapshots (schema +
+// aggregated counts, never raw rows) and reloaded on restart, so the
+// daemon answers releases for previously ingested datasets without
+// re-upload; warm cluster plans are persisted on graceful shutdown too.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get -drain to finish, new connections are refused, and the final budget
@@ -45,14 +56,18 @@ func main() {
 		maxWorkers = flag.Int("max-workers", 0, "per-request engine worker bound (0 = all CPUs)")
 		cacheSize  = flag.Int("cache-size", 0, "shared plan cache entries (0 = default)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		storeDir   = flag.String("store-dir", "", "dataset snapshot directory; empty keeps datasets in memory only")
+		maxData    = flag.Int("max-datasets", 0, "resident dataset bound (0 = unlimited; past it the LRU unpinned dataset is evicted)")
 	)
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
-		EpsilonCap: *epsCap,
-		DeltaCap:   *deltaCap,
-		MaxWorkers: *maxWorkers,
-		CacheSize:  *cacheSize,
+		EpsilonCap:  *epsCap,
+		DeltaCap:    *deltaCap,
+		MaxWorkers:  *maxWorkers,
+		CacheSize:   *cacheSize,
+		StoreDir:    *storeDir,
+		MaxDatasets: *maxData,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpcubed:", err)
@@ -73,6 +88,13 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "dpcubed: serving on %s (ε cap %g, δ cap %g)\n", *addr, *epsCap, *deltaCap)
+		if st := srv.Store().Stats(); st.Datasets > 0 {
+			fmt.Fprintf(os.Stderr, "dpcubed: recovered %d dataset(s), %d stored cells from %s\n",
+				st.Datasets, st.TotalCells, *storeDir)
+		}
+		for _, q := range srv.Store().QuarantinedSnapshots() {
+			fmt.Fprintf(os.Stderr, "dpcubed: WARNING: quarantined snapshot %s\n", q)
+		}
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -90,6 +112,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	// The spend is the one thing that must not vanish with the process.
+	// Persist warm plans so the next process skips re-planning; the spend
+	// is the one thing that must not vanish with the process.
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "dpcubed: persisting plans:", err)
+	}
 	fmt.Fprint(os.Stderr, srv.Ledger().Summary())
 }

@@ -40,6 +40,26 @@ func ReleaseCubeContext(ctx context.Context, t *Table, maxOrder int, o Options) 
 	})
 }
 
+// ReleaseCubeVectorContext is ReleaseCubeContext for callers who already
+// hold the aggregated contingency vector — the upload-once path used by the
+// dataset store, where the relation was vectorised at ingestion and every
+// cube release skips straight to the mechanism. Bit-identical to the table
+// path over the same data and seed.
+func ReleaseCubeVectorContext(ctx context.Context, schema *Schema, counts []float64, maxOrder int, o Options) (*CubeRelease, error) {
+	if err := validatePrivacy(o.Epsilon, o.Delta); err != nil {
+		return nil, err
+	}
+	return datacube.ReleaseVectorContext(ctx, schema, counts, maxOrder, datacube.Options{
+		Epsilon:       o.Epsilon,
+		Delta:         o.Delta,
+		UniformBudget: o.UniformBudget,
+		Seed:          o.Seed,
+		Strategy:      o.Strategy.impl(),
+		Workers:       o.Workers,
+		Cache:         o.Cache,
+	})
+}
+
 // SyntheticData converts a consistent release into row-level synthetic
 // microdata: the release's Fourier coefficients are materialised as an
 // estimated contingency vector, clamped and rounded to non-negative integer

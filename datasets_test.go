@@ -1,0 +1,125 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// smallNDJSON renders smallTable in the dataset-store wire format.
+func smallNDJSON() string {
+	tab := smallTable()
+	var b strings.Builder
+	b.WriteString(`{"schema":[`)
+	for i, a := range tab.Schema.Attrs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"name":%q,"cardinality":%d}`, a.Name, a.Cardinality)
+	}
+	b.WriteString("]}\n")
+	for _, row := range tab.Rows {
+		fmt.Fprintf(&b, "[%d,%d,%d]\n", row[0], row[1], row[2])
+	}
+	return b.String()
+}
+
+// TestReleaseDatasetBitIdentical: the upload-once path and the rows path
+// are the same mechanism — bit-identical answers for the same seed.
+func TestReleaseDatasetBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	tab := smallTable()
+	w := AllKWayMarginals(tab.Schema, 2)
+	r, err := NewReleaser(tab.Schema, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := r.Release(ctx, tab, ReleaseSpec{Epsilon: 1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenDatasetStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IngestDataset(ctx, s, "small", strings.NewReader(smallNDJSON())); err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Get("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	got, err := r.ReleaseDataset(ctx, h, ReleaseSpec{Epsilon: 1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != len(want.Answers) {
+		t.Fatalf("answer lengths differ: %d vs %d", len(got.Answers), len(want.Answers))
+	}
+	for i := range want.Answers {
+		if math.Float64bits(want.Answers[i]) != math.Float64bits(got.Answers[i]) {
+			t.Fatalf("answer %d differs: %v vs %v", i, want.Answers[i], got.Answers[i])
+		}
+	}
+}
+
+// TestReleaseDatasetValidation: nil handles and dimension mismatches carry
+// the package's typed errors.
+func TestReleaseDatasetValidation(t *testing.T) {
+	ctx := context.Background()
+	tab := smallTable()
+	w := AllKWayMarginals(tab.Schema, 1)
+	r, err := NewReleaser(tab.Schema, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReleaseDataset(ctx, nil, ReleaseSpec{Epsilon: 1}); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("nil handle: %v", err)
+	}
+
+	other := MustSchema([]Attribute{{Name: "only", Cardinality: 2}})
+	s, err := OpenDatasetStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutCounts("tiny", other, []float64{1, 2}, 3); err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Get("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := r.ReleaseDataset(ctx, h, ReleaseSpec{Epsilon: 1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("dimension mismatch: %v", err)
+	}
+	if _, err := s.Get("missing"); !errors.Is(err, ErrDatasetNotFound) {
+		t.Fatalf("missing dataset: %v", err)
+	}
+
+	// Same bit-width, different attribute layout: one 16-ary column and two
+	// 4-ary columns both occupy 4 bits, but releasing across that boundary
+	// would mislabel every marginal — must be refused.
+	wide := MustSchema([]Attribute{{Name: "w", Cardinality: 16}})
+	split := MustSchema([]Attribute{{Name: "a", Cardinality: 4}, {Name: "b", Cardinality: 4}})
+	rw, err := NewReleaser(wide, AllKWayMarginals(wide, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutCounts("split", split, make([]float64, split.DomainSize()), 0); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := s.Get("split")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+	if _, err := rw.ReleaseDataset(ctx, hs, ReleaseSpec{Epsilon: 1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("same-width different-layout schema accepted: %v", err)
+	}
+}

@@ -65,14 +65,50 @@
 // ErrInvalidEpsilon, ErrInvalidDelta, ErrDimensionMismatch,
 // ErrBudgetExhausted, ErrInvalidOption — test with errors.Is.
 //
-// # Serving over HTTP
+// # Serving over HTTP: upload once, release many
 //
 // internal/server + cmd/dpcubed wrap the service API in a JSON-over-HTTP
-// daemon: POST /v1/release, /v1/cube, /v1/synthetic and GET /v1/budget,
-// with one Releaser registry and plan cache shared across requests, the
-// typed errors mapped to 4xx statuses (budget exhaustion is 429), and
-// graceful shutdown. See examples/server for an in-process round trip and
-// cmd/dpcubed for the daemon.
+// daemon built around the upload-once / release-many flow. The sensitive
+// relation is ingested exactly once, as streaming NDJSON:
+//
+//	PUT /v1/datasets/people
+//	{"schema":[{"name":"age-band","cardinality":8},{"name":"smoker","cardinality":2}]}
+//	[0,1]
+//	[3,0]
+//	...
+//
+// Each line is decoded, validated and folded into the dataset's aggregated
+// contingency vector by a worker pool, then dropped — ingestion memory is
+// bounded no matter how many rows stream past, and a malformed stream
+// rejects atomically (no partial dataset). Ingestion never charges the
+// budget ledger: privacy is spent when answers leave, not when data
+// arrives.
+//
+// After that, any number of releases reference the dataset by id instead
+// of hauling rows in every body:
+//
+//	POST /v1/release    {"dataset_id":"people","workload":{"k":2},"epsilon":0.5,"seed":1}
+//	POST /v1/cube       {"dataset_id":"people","max_order":2,"epsilon":1}
+//	POST /v1/synthetic  {"dataset_id":"people","workload":{"k":1},"epsilon":0.5}
+//	GET  /v1/budget     — cumulative spend against the cap
+//	GET  /v1/metrics    — per-endpoint counters, spend, cache and store stats
+//
+// A dataset_id release is bit-identical to the equivalent rows-in-body
+// request at the same seed: the stored aggregate is exactly what
+// Table.Vector would have produced, fed straight to the engine
+// (Releaser.ReleaseDataset is the programmatic form). Deleting a dataset
+// never tears an in-flight release — handles are reference-counted, so a
+// release that admitted against a dataset finishes against that version.
+//
+// With -store-dir, datasets persist as versioned snapshots (schema +
+// aggregated counts, never raw rows — see internal/store) and a restarted
+// daemon serves them without re-upload; warm cluster plans persist through
+// the same codec, so the expensive Step-1 search is not repeated either.
+// One Releaser registry and plan cache are shared across requests, the
+// typed errors map to 4xx statuses (budget exhaustion is 429, an unknown
+// dataset 404), and shutdown is graceful. See examples/server for an
+// in-process round trip, cmd/dpcubed for the daemon, and cmd/dpcube
+// -ingest for streaming a local CSV/NDJSON file up to it.
 //
 // # The staged release engine
 //

@@ -1,28 +1,31 @@
-// Example server: start the dpcubed serving layer in-process, post a
-// release request and read the budget — the programmatic equivalent of
+// Example server: the upload-once / release-many serving flow, in process.
+// A dataset is ingested exactly once as streaming NDJSON; every release
+// after that references it by id, so request bodies stop carrying the
+// relation. The programmatic equivalent of
 //
 //	dpcubed -addr :8080 -epsilon-cap 2 &
-//	curl -s -X POST localhost:8080/v1/release -d @request.json
+//	dpcube -ingest people.csv -server http://localhost:8080 -dataset people
+//	curl -s -X POST localhost:8080/v1/release \
+//	    -d '{"dataset_id":"people","workload":{"k":1},"epsilon":0.25,"seed":1}'
 //	curl -s localhost:8080/v1/budget
 //
 // Run with: go run ./examples/server
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 
 	"repro/internal/server"
 )
 
 func main() {
-	// One server = one plan cache + one budget ledger. Every request below
-	// shares both.
+	// One server = one dataset store + one plan cache + one budget ledger.
+	// Every request below shares all three.
 	srv, err := server.New(server.Config{EpsilonCap: 2, DeltaCap: 0})
 	if err != nil {
 		log.Fatal(err)
@@ -30,34 +33,48 @@ func main() {
 	ts := httptest.NewServer(srv) // any http.Server works; httptest picks a free port
 	defer ts.Close()
 
-	request := map[string]any{
-		"schema": []map[string]any{
-			{"name": "age-band", "cardinality": 8},
-			{"name": "smoker", "cardinality": 2},
-		},
-		"rows": [][]int{
-			{0, 1}, {1, 0}, {2, 0}, {3, 1}, {4, 0}, {5, 0}, {6, 1}, {7, 0},
-			{0, 0}, {1, 1}, {2, 0}, {3, 0}, {4, 1}, {5, 0}, {6, 0}, {7, 1},
-		},
-		"workload": map[string]any{"k": 1},
-		"epsilon":  0.5,
-		"seed":     1,
+	// Upload once: the body streams as NDJSON — a schema header line, then
+	// one JSON array per tuple. The daemon aggregates on the fly and never
+	// buffers the rows; ingestion is free (no privacy spent).
+	var nd strings.Builder
+	nd.WriteString(`{"schema":[{"name":"age-band","cardinality":8},{"name":"smoker","cardinality":2}]}` + "\n")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&nd, "[%d,%d]\n", i%8, (i/3)%2)
 	}
-	body, _ := json.Marshal(request)
-
-	resp, err := http.Post(ts.URL+"/v1/release", "application/json", bytes.NewReader(body))
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/datasets/people", strings.NewReader(nd.String()))
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		log.Fatal(err)
 	}
+	show("PUT /v1/datasets/people", resp)
+
+	// Release many: two different workloads and budgets over the stored
+	// aggregate — no rows in either body. The same seed would reproduce a
+	// rows-in-body release bit for bit.
+	for _, body := range []string{
+		`{"dataset_id":"people","workload":{"k":1},"epsilon":0.25,"seed":1}`,
+		`{"dataset_id":"people","workload":{"k":2},"epsilon":0.5,"seed":2}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/release", "application/json", strings.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		show("POST /v1/release", resp)
+	}
+
+	// The ledger saw both releases (0.75 of the 2.0 cap); the metrics
+	// endpoint shows the same plus cache and store counters.
+	for _, path := range []string{"/v1/budget", "/v1/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show("GET "+path, resp)
+	}
+}
+
+func show(what string, resp *http.Response) {
 	defer resp.Body.Close()
-	released, _ := io.ReadAll(resp.Body)
-	fmt.Printf("POST /v1/release → %s\n%s\n", resp.Status, released)
-
-	budget, err := http.Get(ts.URL + "/v1/budget")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer budget.Body.Close()
-	spend, _ := io.ReadAll(budget.Body)
-	fmt.Printf("GET /v1/budget → %s\n%s", budget.Status, spend)
+	body, _ := io.ReadAll(resp.Body)
+	fmt.Printf("%s → %s\n%s\n", what, resp.Status, body)
 }

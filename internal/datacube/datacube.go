@@ -183,13 +183,25 @@ func Release(t *dataset.Table, maxOrder int, o Options) (*Released, error) {
 // ReleaseContext is Release under a context: cancellation aborts the
 // staged engine mid-run.
 func ReleaseContext(ctx context.Context, t *dataset.Table, maxOrder int, o Options) (*Released, error) {
-	l, err := NewLattice(t.Schema, maxOrder)
-	if err != nil {
-		return nil, err
-	}
 	x, err := t.Vector()
 	if err != nil {
 		return nil, err
+	}
+	return ReleaseVectorContext(ctx, t.Schema, x, maxOrder, o)
+}
+
+// ReleaseVectorContext is ReleaseContext for callers who already hold the
+// aggregated contingency vector — the dataset store's upload-once path,
+// which skips re-vectorising the relation on every cube request. The
+// release is bit-identical to the rows path over the same data: the vector
+// is exactly what Table.Vector would have produced.
+func ReleaseVectorContext(ctx context.Context, s *dataset.Schema, x []float64, maxOrder int, o Options) (*Released, error) {
+	l, err := NewLattice(s, maxOrder)
+	if err != nil {
+		return nil, err
+	}
+	if len(x) != s.DomainSize() {
+		return nil, fmt.Errorf("datacube: vector has %d entries, domain needs %d", len(x), s.DomainSize())
 	}
 	w := l.Workload()
 	p := noise.Params{Type: noise.PureDP, Epsilon: o.Epsilon, Neighbor: noise.AddRemove}

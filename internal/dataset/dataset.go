@@ -15,10 +15,11 @@ import (
 	"repro/internal/bits"
 )
 
-// Attribute is one categorical column.
+// Attribute is one categorical column. The JSON tags fix its wire form —
+// the serving layer and the dataset-snapshot metadata both serialise it.
 type Attribute struct {
-	Name        string
-	Cardinality int // number of distinct values, ≥ 2
+	Name        string `json:"name"`
+	Cardinality int    `json:"cardinality"` // number of distinct values, ≥ 2
 }
 
 // BitWidth returns ⌈log₂(Cardinality)⌉, the number of binary attributes the

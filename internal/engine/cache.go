@@ -95,6 +95,50 @@ func (c *PlanCache) put(key string, plan *strategy.Plan) {
 	}
 }
 
+// Records returns the serializable residue of every cached plan that
+// carries one (currently: cluster plans — see strategy.PlanRecord), in LRU
+// order from most to least recently used. The records round-trip through
+// Install, which is how internal/store persists warm plans across process
+// restarts.
+func (c *PlanCache) Records() []*strategy.PlanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*strategy.PlanRecord
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		if rec := el.Value.(*cacheEntry).plan.Persist; rec != nil {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Install rebuilds each record's plan (strategy.RebuildPlan — no search) and
+// inserts it under the exact key the live planner would compute, so the next
+// release over that workload is a cache hit. Returns how many records were
+// installed; a record that fails to rebuild is skipped (a stale or corrupt
+// snapshot must not take the cache down) and reported in the error, with
+// the remaining records still installed.
+func (c *PlanCache) Install(recs []*strategy.PlanRecord) (int, error) {
+	var firstErr error
+	n := 0
+	for _, rec := range recs {
+		plan, w, err := strategy.RebuildPlan(rec)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		key := planKey(w, Config{
+			Strategy:     strategy.Cluster{MaxMerges: rec.MaxMerges},
+			QueryWeights: rec.Weights,
+		})
+		c.put(key, plan)
+		n++
+	}
+	return n, firstErr
+}
+
 // planKey serialises the plan-relevant parts of a run: strategy identity,
 // domain dimension, the exact workload mask sequence and query weights.
 // Privacy parameters and the budgeting mode deliberately stay out of the

@@ -1,25 +1,36 @@
 // Package server is the JSON-over-HTTP serving layer over the repro
 // service API: a long-lived process holding one Releaser per
 // (schema, workload, mechanism) key, one shared plan cache across all of
-// them, and one shared budget ledger enforcing a global (ε, δ) cap.
+// them, one shared budget ledger enforcing a global (ε, δ) cap, and one
+// dataset store for the upload-once / release-many flow.
 //
 // Endpoints:
 //
-//	POST /v1/release    — private marginals of an inline table (or counts)
-//	POST /v1/cube       — private datacube (all cuboids up to max_order)
-//	POST /v1/synthetic  — release + row-level synthetic microdata
-//	GET  /v1/budget     — cumulative privacy spend against the cap
+//	PUT    /v1/datasets/{id} — ingest a dataset as streaming NDJSON
+//	GET    /v1/datasets      — list resident datasets
+//	GET    /v1/datasets/{id} — describe one dataset
+//	DELETE /v1/datasets/{id} — remove a dataset (in-flight releases finish)
+//	POST   /v1/release       — private marginals (rows, counts or dataset_id)
+//	POST   /v1/cube          — private datacube (all cuboids up to max_order)
+//	POST   /v1/synthetic     — release + row-level synthetic microdata
+//	GET    /v1/budget        — cumulative privacy spend against the cap
+//	GET    /v1/metrics       — request/error counters, spend, cache, store
 //
-// Requests carry their own (ε, δ, seed); the heavy, privacy-independent
-// planning work is keyed on (schema, workload, strategy) and amortised
-// across requests through the shared PlanCache — the serving shape the
-// paper's mechanisms want, where planning dominates and measurement is
-// cheap. Every release charges the ledger on admission; once the cap would
-// be passed the server answers 429 without touching the data.
+// Release-shaped requests carry their data as exactly one of rows (tuples
+// in the body), counts (the full contingency vector) or dataset_id (a
+// previously ingested dataset — the serving shape for real traffic, where
+// request bodies stop hauling the relation around). The heavy,
+// privacy-independent planning work is keyed on (schema, workload,
+// strategy) and amortised across requests through the shared PlanCache.
+// Every release charges the ledger on admission; once the cap would be
+// passed the server answers 429 without touching the data. Ingestion is
+// free: PUT /v1/datasets never charges the ledger — privacy is spent when
+// answers leave, not when data arrives.
 //
 // Typed errors from the repro package map onto status codes: invalid
 // parameters (ErrInvalidEpsilon, ErrInvalidDelta, ErrDimensionMismatch,
-// ErrInvalidOption) are 400, ErrBudgetExhausted is 429, a cancelled request
+// ErrInvalidOption, ErrInvalidDataset) are 400, an unknown dataset is 404,
+// ErrBudgetExhausted is 429, a full store is 507, a cancelled request
 // context is 499 (client closed request, nobody is listening anyway), and
 // anything else is 500.
 package server
@@ -34,8 +45,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro"
+	"repro/internal/store"
 )
 
 // Config sizes the server.
@@ -57,6 +70,17 @@ type Config struct {
 	MaxReleasers int
 	// MaxBodyBytes bounds request bodies (0 = 32 MiB).
 	MaxBodyBytes int64
+	// MaxIngestBytes bounds a PUT /v1/datasets stream (0 = unlimited —
+	// ingestion is bounded-memory by construction, so the body limit is a
+	// policy knob, not a safety one).
+	MaxIngestBytes int64
+	// StoreDir enables dataset-snapshot (and warm-plan) persistence when
+	// non-empty: a restarted server answers releases for previously
+	// ingested datasets without re-upload.
+	StoreDir string
+	// MaxDatasets bounds the dataset registry (0 = unlimited); past it the
+	// least-recently-used unpinned dataset is evicted on ingest.
+	MaxDatasets int
 }
 
 const (
@@ -70,11 +94,21 @@ type Server struct {
 	cfg    Config
 	ledger *repro.BudgetLedger
 	cache  *repro.PlanCache
+	store  *store.Store
 	mux    *http.ServeMux
 
 	mu        sync.Mutex
 	releasers map[string]*repro.Releaser
 	order     []string // registry insertion order, for FIFO eviction
+
+	metricNames []string
+	metrics     map[string]*endpointMetrics
+}
+
+// endpointMetrics counts one route's traffic.
+type endpointMetrics struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
 }
 
 // New validates the configuration and builds a ready-to-serve handler.
@@ -89,18 +123,62 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxReleasers <= 0 {
 		cfg.MaxReleasers = defaultMaxReleasers
 	}
+	st, err := store.Open(store.Config{Dir: cfg.StoreDir, MaxDatasets: cfg.MaxDatasets})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:       cfg,
 		ledger:    ledger,
 		cache:     repro.NewPlanCacheSize(cfg.CacheSize),
+		store:     st,
 		releasers: map[string]*repro.Releaser{},
+		metrics:   map[string]*endpointMetrics{},
 	}
+	// Warm plans from the previous process: a failure to load is a stale
+	// snapshot, not a reason to refuse to serve.
+	_, _ = st.LoadPlans(s.cache)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
-	s.mux.HandleFunc("POST /v1/cube", s.handleCube)
-	s.mux.HandleFunc("POST /v1/synthetic", s.handleSynthetic)
-	s.mux.HandleFunc("GET /v1/budget", s.handleBudget)
+	s.route("POST /v1/release", s.handleRelease)
+	s.route("POST /v1/cube", s.handleCube)
+	s.route("POST /v1/synthetic", s.handleSynthetic)
+	s.route("GET /v1/budget", s.handleBudget)
+	s.route("GET /v1/metrics", s.handleMetrics)
+	s.route("PUT /v1/datasets/{id}", s.handleDatasetPut)
+	s.route("GET /v1/datasets/{id}", s.handleDatasetGet)
+	s.route("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
+	s.route("GET /v1/datasets", s.handleDatasetList)
 	return s, nil
+}
+
+// route registers a handler wrapped in per-endpoint request/error counters;
+// the pattern itself is the metrics key.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	m := &endpointMetrics{}
+	s.metricNames = append(s.metricNames, pattern)
+	s.metrics[pattern] = m
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		m.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		if sw.status >= 400 {
+			m.errors.Add(1)
+		}
+	})
+}
+
+// statusWriter records the first status written so the metrics wrapper can
+// classify the response after the handler returns.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // ServeHTTP implements http.Handler.
@@ -112,6 +190,18 @@ func (s *Server) Ledger() *repro.BudgetLedger { return s.ledger }
 
 // CacheStats exposes the shared plan cache counters.
 func (s *Server) CacheStats() repro.CacheStats { return s.cache.Stats() }
+
+// Store exposes the dataset store (tests, embedders).
+func (s *Server) Store() *store.Store { return s.store }
+
+// Close persists the plan cache's rebuildable plans through the store (a
+// no-op without StoreDir) so the next process skips the expensive cluster
+// planning on schemas this one already served. Dataset snapshots were
+// already written at ingest time; Close adds no dataset work.
+func (s *Server) Close() error {
+	_, err := s.store.SavePlans(s.cache)
+	return err
+}
 
 // ---------------------------------------------------------------------------
 // Wire types.
@@ -131,11 +221,15 @@ type workloadJSON struct {
 }
 
 type releaseRequest struct {
-	Schema []attributeJSON `json:"schema"`
-	// Exactly one of Rows (tuples under the schema) or Counts (the full
-	// contingency vector, length 2^dim) carries the data.
-	Rows   [][]int   `json:"rows,omitempty"`
-	Counts []float64 `json:"counts,omitempty"`
+	// Schema is required with rows/counts; with dataset_id it is optional
+	// and, when present, must match the ingested dataset's schema exactly.
+	Schema []attributeJSON `json:"schema,omitempty"`
+	// Exactly one of Rows (tuples under the schema), Counts (the full
+	// contingency vector, length 2^dim) or DatasetID (a dataset previously
+	// ingested via PUT /v1/datasets/{id}) carries the data.
+	Rows      [][]int   `json:"rows,omitempty"`
+	Counts    []float64 `json:"counts,omitempty"`
+	DatasetID string    `json:"dataset_id,omitempty"`
 
 	Workload workloadJSON `json:"workload"`
 
@@ -194,14 +288,45 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+type endpointJSON struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+}
+
+type cacheJSON struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+type metricsBudgetJSON struct {
+	budgetJSON
+	EpsilonRemaining float64 `json:"epsilon_remaining"`
+	DeltaRemaining   float64 `json:"delta_remaining"`
+}
+
+type metricsResponse struct {
+	Endpoints map[string]endpointJSON `json:"endpoints"`
+	Budget    metricsBudgetJSON       `json:"budget"`
+	PlanCache cacheJSON               `json:"plan_cache"`
+	Datasets  store.Stats             `json:"datasets"`
+}
+
+type datasetListResponse struct {
+	Datasets []store.Info `json:"datasets"`
+}
+
 // ---------------------------------------------------------------------------
 // Handlers.
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
-	req, schema, x, err := s.decodeData(w, r, true)
+	req, schema, x, h, err := s.decodeData(w, r, true)
 	if err != nil {
 		s.fail(w, r, err)
 		return
+	}
+	if h != nil {
+		defer h.Close()
 	}
 	rel, err := s.releaser(r.Context(), schema, req)
 	if err != nil {
@@ -222,10 +347,13 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSynthetic(w http.ResponseWriter, r *http.Request) {
-	req, schema, x, err := s.decodeData(w, r, true)
+	req, schema, x, h, err := s.decodeData(w, r, true)
 	if err != nil {
 		s.fail(w, r, err)
 		return
+	}
+	if h != nil {
+		defer h.Close()
 	}
 	if req.SkipConsistency {
 		s.fail(w, r, fmt.Errorf("%w: synthetic data needs a consistent release (skip_consistency must be false)",
@@ -261,14 +389,17 @@ func (s *Server) handleSynthetic(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
-	req, schema, _, err := s.decodeData(w, r, false)
+	// Decoding with needVector validates every row (or the dataset) BEFORE
+	// the ledger is charged: a malformed request has to be a free 400,
+	// never a burned budget. The vector built here feeds the mechanism
+	// directly — the cube path never re-vectorizes.
+	req, schema, x, h, err := s.decodeData(w, r, true)
 	if err != nil {
 		s.fail(w, r, err)
 		return
 	}
-	if req.Rows == nil {
-		s.fail(w, r, fmt.Errorf("%w: /v1/cube needs rows", repro.ErrInvalidOption))
-		return
+	if h != nil {
+		defer h.Close()
 	}
 	if req.MaxOrder <= 0 || req.MaxOrder > len(schema.Attrs) {
 		s.fail(w, r, fmt.Errorf("%w: max_order %d out of range [1,%d]",
@@ -284,15 +415,6 @@ func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
-	// Rows must be valid BEFORE the ledger is charged: a malformed request
-	// has to be a free 400, never a burned budget. Per-row Encode is cheap
-	// (no 2^d vector is built here; the mechanism vectorizes once later).
-	for i, row := range req.Rows {
-		if _, err := schema.Encode(row); err != nil {
-			s.fail(w, r, fmt.Errorf("%w: row %d: %v", repro.ErrInvalidOption, i, err))
-			return
-		}
-	}
 	// The cube path charges the shared ledger directly (it does not go
 	// through a Releaser): admission first, then the mechanism.
 	label := req.Label
@@ -303,8 +425,7 @@ func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, fmt.Errorf("%w: %v", repro.ErrBudgetExhausted, err))
 		return
 	}
-	tab := &repro.Table{Schema: schema, Rows: req.Rows}
-	cube, err := repro.ReleaseCubeContext(r.Context(), tab, req.MaxOrder, repro.Options{
+	cube, err := repro.ReleaseCubeVectorContext(r.Context(), schema, x, req.MaxOrder, repro.Options{
 		Epsilon:       req.Epsilon,
 		Delta:         req.Delta,
 		Strategy:      kind,
@@ -337,22 +458,120 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.budget())
 }
 
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	eps := make(map[string]endpointJSON, len(s.metricNames))
+	for _, name := range s.metricNames {
+		m := s.metrics[name]
+		eps[name] = endpointJSON{Requests: m.requests.Load(), Errors: m.errors.Load()}
+	}
+	b := s.budget()
+	cs := s.cache.Stats()
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Endpoints: eps,
+		Budget: metricsBudgetJSON{
+			budgetJSON:       b,
+			EpsilonRemaining: s.cfg.EpsilonCap - b.EpsilonSpent,
+			DeltaRemaining:   s.cfg.DeltaCap - b.DeltaSpent,
+		},
+		PlanCache: cacheJSON{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries},
+		Datasets:  s.store.Stats(),
+	})
+}
+
+// handleDatasetPut streams the NDJSON body into the store. Ingestion never
+// touches the ledger: budget is spent when answers leave, not when data
+// arrives.
+func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
+	body := r.Body
+	if s.cfg.MaxIngestBytes > 0 {
+		body = http.MaxBytesReader(w, body, s.cfg.MaxIngestBytes)
+	}
+	info, err := s.store.IngestNDJSON(r.Context(), r.PathValue("id"), body, store.IngestOptions{
+		Workers: s.cfg.MaxWorkers,
+	})
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	info, err := s.store.Describe(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Delete(r.PathValue("id")); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	infos := s.store.List()
+	if infos == nil {
+		infos = []store.Info{}
+	}
+	writeJSON(w, http.StatusOK, datasetListResponse{Datasets: infos})
+}
+
 // ---------------------------------------------------------------------------
 // Request plumbing.
 
-// decodeData parses the body, builds the schema and (when needVector)
-// resolves the data into a contingency vector — the cube path consumes
-// rows directly and skips the redundant vectorization.
-func (s *Server) decodeData(w http.ResponseWriter, r *http.Request, needVector bool) (*releaseRequest, *repro.Schema, []float64, error) {
+// decodeData parses the body, resolves the schema (from the request, or
+// from the named dataset) and, when needVector, the contingency vector.
+// With dataset_id the returned handle pins the dataset for the request's
+// duration — the caller must Close it; a concurrent DELETE then never tears
+// the release mid-run.
+func (s *Server) decodeData(w http.ResponseWriter, r *http.Request, needVector bool) (*releaseRequest, *repro.Schema, []float64, *store.Handle, error) {
 	var req releaseRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		return nil, nil, nil, fmt.Errorf("%w: bad JSON: %v", repro.ErrInvalidOption, err)
+		return nil, nil, nil, nil, fmt.Errorf("%w: bad JSON: %v", repro.ErrInvalidOption, err)
 	}
+	sources := 0
+	for _, has := range []bool{req.Rows != nil, req.Counts != nil, req.DatasetID != ""} {
+		if has {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, nil, nil, nil, fmt.Errorf("%w: provide exactly one of rows, counts or dataset_id", repro.ErrInvalidOption)
+	}
+	// A δ above the server's cap can never be admitted: reject it as a bad
+	// request up front instead of a misleading, retryable 429 later.
+	if req.Delta > s.cfg.DeltaCap {
+		return nil, nil, nil, nil, fmt.Errorf("%w: delta %v exceeds the server's delta cap %v (never admissible)",
+			repro.ErrInvalidDelta, req.Delta, s.cfg.DeltaCap)
+	}
+
+	if req.DatasetID != "" {
+		h, err := s.store.Get(req.DatasetID)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if len(req.Schema) > 0 && !schemaMatches(req.Schema, h.Schema().Attrs) {
+			h.Close()
+			return nil, nil, nil, nil, fmt.Errorf("%w: request schema does not match dataset %q",
+				repro.ErrInvalidOption, req.DatasetID)
+		}
+		var x []float64
+		if needVector {
+			x = h.Counts()
+		}
+		return &req, h.Schema(), x, h, nil
+	}
+
 	if len(req.Schema) == 0 {
-		return nil, nil, nil, fmt.Errorf("%w: empty schema", repro.ErrInvalidOption)
+		return nil, nil, nil, nil, fmt.Errorf("%w: empty schema", repro.ErrInvalidOption)
 	}
 	attrs := make([]repro.Attribute, len(req.Schema))
 	for i, a := range req.Schema {
@@ -360,34 +579,39 @@ func (s *Server) decodeData(w http.ResponseWriter, r *http.Request, needVector b
 	}
 	schema, err := repro.NewSchema(attrs)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("%w: %v", repro.ErrInvalidOption, err)
-	}
-	if (req.Rows == nil) == (req.Counts == nil) {
-		return nil, nil, nil, fmt.Errorf("%w: provide exactly one of rows or counts", repro.ErrInvalidOption)
-	}
-	// A δ above the server's cap can never be admitted: reject it as a bad
-	// request up front instead of a misleading, retryable 429 later.
-	if req.Delta > s.cfg.DeltaCap {
-		return nil, nil, nil, fmt.Errorf("%w: delta %v exceeds the server's delta cap %v (never admissible)",
-			repro.ErrInvalidDelta, req.Delta, s.cfg.DeltaCap)
+		return nil, nil, nil, nil, fmt.Errorf("%w: %v", repro.ErrInvalidOption, err)
 	}
 	if !needVector {
-		return &req, schema, nil, nil
+		return &req, schema, nil, nil, nil
 	}
 	var x []float64
 	if req.Counts != nil {
 		if len(req.Counts) != schema.DomainSize() {
-			return nil, nil, nil, fmt.Errorf("%w: counts has %d entries, domain needs %d",
+			return nil, nil, nil, nil, fmt.Errorf("%w: counts has %d entries, domain needs %d",
 				repro.ErrDimensionMismatch, len(req.Counts), schema.DomainSize())
 		}
 		x = req.Counts
 	} else {
 		tab := &repro.Table{Schema: schema, Rows: req.Rows}
 		if x, err = tab.Vector(); err != nil {
-			return nil, nil, nil, fmt.Errorf("%w: %v", repro.ErrInvalidOption, err)
+			return nil, nil, nil, nil, fmt.Errorf("%w: %v", repro.ErrInvalidOption, err)
 		}
 	}
-	return &req, schema, x, nil
+	return &req, schema, x, nil, nil
+}
+
+// schemaMatches reports whether the inline schema names exactly the
+// dataset's attributes, in order.
+func schemaMatches(inline []attributeJSON, attrs []repro.Attribute) bool {
+	if len(inline) != len(attrs) {
+		return false
+	}
+	for i, a := range inline {
+		if a.Name != attrs[i].Name || a.Cardinality != attrs[i].Cardinality {
+			return false
+		}
+	}
+	return true
 }
 
 // workload resolves the request's workload spec over the schema.
@@ -466,7 +690,7 @@ func (s *Server) releaser(ctx context.Context, schema *repro.Schema, req *releas
 	if err != nil {
 		return nil, err
 	}
-	key := releaserKey(req, kind)
+	key := releaserKey(schema, req, kind)
 	s.mu.Lock()
 	r, ok := s.releasers[key]
 	s.mu.Unlock()
@@ -509,12 +733,14 @@ func (s *Server) releaser(ctx context.Context, schema *repro.Schema, req *releas
 
 // releaserKey fingerprints everything structural about a request. Two
 // requests with the same key share one Releaser (and hence one warmed
-// plan); privacy parameters and seeds deliberately stay out. Attribute
-// names are length-prefixed so crafted names containing the delimiters
-// cannot collide two distinct schemas onto one key.
-func releaserKey(req *releaseRequest, kind repro.StrategyKind) string {
+// plan); privacy parameters and seeds deliberately stay out, and the key is
+// built from the *resolved* schema, so a dataset_id request and the
+// equivalent rows request share one Releaser. Attribute names are
+// length-prefixed so crafted names containing the delimiters cannot collide
+// two distinct schemas onto one key.
+func releaserKey(schema *repro.Schema, req *releaseRequest, kind repro.StrategyKind) string {
 	var b strings.Builder
-	for _, a := range req.Schema {
+	for _, a := range schema.Attrs {
 		b.WriteString(strconv.Itoa(len(a.Name)))
 		b.WriteByte(':')
 		b.WriteString(a.Name)
@@ -611,10 +837,15 @@ func statusCode(err error) int {
 	switch {
 	case errors.Is(err, repro.ErrBudgetExhausted):
 		return http.StatusTooManyRequests
+	case errors.Is(err, store.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, store.ErrStoreFull):
+		return http.StatusInsufficientStorage
 	case errors.Is(err, repro.ErrInvalidEpsilon),
 		errors.Is(err, repro.ErrInvalidDelta),
 		errors.Is(err, repro.ErrDimensionMismatch),
-		errors.Is(err, repro.ErrInvalidOption):
+		errors.Is(err, repro.ErrInvalidOption),
+		errors.Is(err, store.ErrInvalidDataset):
 		return http.StatusBadRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return statusClientClosedRequest

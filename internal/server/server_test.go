@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -368,9 +369,10 @@ func TestConcurrentRequestsSharePlanCache(t *testing.T) {
 // TestReleaserKeyNoCollision: length-prefixed attribute names keep crafted
 // schemas from aliasing onto one registered Releaser.
 func TestReleaserKeyNoCollision(t *testing.T) {
-	tricky := &releaseRequest{Schema: []attributeJSON{{Name: "3:a:2,b", Cardinality: 2}}}
-	plain := &releaseRequest{Schema: []attributeJSON{{Name: "a", Cardinality: 2}, {Name: "b", Cardinality: 2}}}
-	if releaserKey(tricky, repro.StrategyFourier) == releaserKey(plain, repro.StrategyFourier) {
+	trickySchema := repro.MustSchema([]repro.Attribute{{Name: "3:a:2,b", Cardinality: 2}})
+	plainSchema := repro.MustSchema([]repro.Attribute{{Name: "a", Cardinality: 2}, {Name: "b", Cardinality: 2}})
+	req := &releaseRequest{}
+	if releaserKey(trickySchema, req, repro.StrategyFourier) == releaserKey(plainSchema, req, repro.StrategyFourier) {
 		t.Fatal("crafted attribute name collides two distinct schemas onto one key")
 	}
 }
@@ -421,5 +423,274 @@ func BenchmarkServerRelease(b *testing.B) {
 	b.StopTimer()
 	if b.N > 0 {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dataset store integration.
+
+// testNDJSON renders testBody's schema and rows in the ingestion wire
+// format.
+func testNDJSON(t testing.TB) string {
+	t.Helper()
+	body := testBody(nil)
+	var b strings.Builder
+	hdr, err := json.Marshal(map[string]any{"schema": body["schema"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Write(hdr)
+	b.WriteByte('\n')
+	for _, row := range body["rows"].([][]int) {
+		raw, _ := json.Marshal(row)
+		b.Write(raw)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func putDataset(t testing.TB, s *Server, id, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPut, "/v1/datasets/"+id, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func do(t testing.TB, s *Server, method, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestDatasetUploadOnceBitIdentical is the acceptance criterion: a dataset
+// ingested once serves /v1/release, /v1/cube and /v1/synthetic by
+// dataset_id with byte-identical responses to the equivalent rows-in-body
+// request at the same seed.
+func TestDatasetUploadOnceBitIdentical(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	if rec := putDataset(t, s, "people", testNDJSON(t)); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", rec.Code, rec.Body.String())
+	}
+	for _, ep := range []struct {
+		path      string
+		overrides map[string]any
+	}{
+		{"/v1/release", nil},
+		{"/v1/cube", map[string]any{"max_order": 2}},
+		{"/v1/synthetic", map[string]any{"synthetic_seed": int64(3)}},
+	} {
+		inline := post(t, s, ep.path, testBody(ep.overrides))
+		if inline.Code != http.StatusOK {
+			t.Fatalf("%s rows: %d %s", ep.path, inline.Code, inline.Body.String())
+		}
+		byID := testBody(ep.overrides)
+		delete(byID, "rows")
+		delete(byID, "schema")
+		byID["dataset_id"] = "people"
+		stored := post(t, s, ep.path, byID)
+		if stored.Code != http.StatusOK {
+			t.Fatalf("%s dataset_id: %d %s", ep.path, stored.Code, stored.Body.String())
+		}
+		// The ledger spend differs between the two calls, so compare
+		// everything except the running budget block.
+		var a, b map[string]json.RawMessage
+		if err := json.Unmarshal(inline.Body.Bytes(), &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(stored.Body.Bytes(), &b); err != nil {
+			t.Fatal(err)
+		}
+		delete(a, "budget")
+		delete(b, "budget")
+		for k := range a {
+			if string(a[k]) != string(b[k]) {
+				t.Fatalf("%s: field %q differs between rows and dataset_id:\n%s\n%s", ep.path, k, a[k], b[k])
+			}
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: response shape differs", ep.path)
+		}
+	}
+}
+
+// TestDatasetLifecycle covers PUT/GET/LIST/DELETE and the 404/400 edges.
+func TestDatasetLifecycle(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	if rec := putDataset(t, s, "d1", testNDJSON(t)); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := do(t, s, http.MethodGet, "/v1/datasets/d1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET: %d", rec.Code)
+	}
+	info := decode[map[string]any](t, rec)
+	if info["rows"].(float64) != 300 || info["active_handles"].(float64) != 0 {
+		t.Fatalf("bad info: %v", info)
+	}
+	if rec := do(t, s, http.MethodGet, "/v1/datasets"); rec.Code != http.StatusOK {
+		t.Fatalf("LIST: %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodDelete, "/v1/datasets/d1"); rec.Code != http.StatusNoContent {
+		t.Fatalf("DELETE: %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodGet, "/v1/datasets/d1"); rec.Code != http.StatusNotFound {
+		t.Fatalf("GET after DELETE: %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodDelete, "/v1/datasets/d1"); rec.Code != http.StatusNotFound {
+		t.Fatalf("double DELETE: %d", rec.Code)
+	}
+	body := testBody(nil)
+	delete(body, "rows")
+	delete(body, "schema")
+	body["dataset_id"] = "d1"
+	if rec := post(t, s, "/v1/release", body); rec.Code != http.StatusNotFound {
+		t.Fatalf("release over deleted dataset: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestDatasetIngestRejectsBadStream: a malformed stream is a 400 and
+// registers nothing; a mismatched inline schema on release is a 400 too.
+func TestDatasetIngestRejectsBadStream(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	bad := testNDJSON(t) + "[0,9,0]\n" // out-of-range value on the last line
+	if rec := putDataset(t, s, "d", bad); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad stream: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, s, http.MethodGet, "/v1/datasets/d"); rec.Code != http.StatusNotFound {
+		t.Fatalf("partial dataset registered: %d", rec.Code)
+	}
+	if rec := putDataset(t, s, "d", testNDJSON(t)); rec.Code != http.StatusCreated {
+		t.Fatal(rec.Code)
+	}
+	body := testBody(nil)
+	delete(body, "rows")
+	body["dataset_id"] = "d"
+	body["schema"] = []map[string]any{{"name": "other", "cardinality": 2}}
+	if rec := post(t, s, "/v1/release", body); rec.Code != http.StatusBadRequest {
+		t.Fatalf("mismatched inline schema accepted: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestDatasetPersistenceAcrossRestart: a second server over the same
+// store directory answers dataset_id releases without re-upload, and the
+// responses match the first server's bit for bit.
+func TestDatasetPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.StoreDir = dir
+	s1 := newTestServer(t, cfg)
+	if rec := putDataset(t, s1, "people", testNDJSON(t)); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", rec.Code, rec.Body.String())
+	}
+	body := testBody(nil)
+	delete(body, "rows")
+	delete(body, "schema")
+	body["dataset_id"] = "people"
+	before := post(t, s1, "/v1/release", body)
+	if before.Code != http.StatusOK {
+		t.Fatalf("release: %d %s", before.Code, before.Body.String())
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestServer(t, cfg)
+	after := post(t, s2, "/v1/release", body)
+	if after.Code != http.StatusOK {
+		t.Fatalf("release after restart: %d %s", after.Code, after.Body.String())
+	}
+	var a, b map[string]json.RawMessage
+	if err := json.Unmarshal(before.Body.Bytes(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(after.Body.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	delete(a, "budget")
+	delete(b, "budget")
+	for k := range a {
+		if string(a[k]) != string(b[k]) {
+			t.Fatalf("field %q changed across restart:\n%s\n%s", k, a[k], b[k])
+		}
+	}
+}
+
+// TestConcurrentDatasetTraffic: PUT, DELETE and dataset_id releases race on
+// one id under -race; every response must be one of the sanctioned statuses
+// and the server must stay coherent.
+func TestConcurrentDatasetTraffic(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	nd := testNDJSON(t)
+	if rec := putDataset(t, s, "d", nd); rec.Code != http.StatusCreated {
+		t.Fatal(rec.Code)
+	}
+	relBody := testBody(map[string]any{"epsilon": 0.01})
+	delete(relBody, "rows")
+	delete(relBody, "schema")
+	relBody["dataset_id"] = "d"
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				switch g % 3 {
+				case 0:
+					if rec := putDataset(t, s, "d", nd); rec.Code != http.StatusCreated {
+						t.Errorf("PUT: %d", rec.Code)
+					}
+				case 1:
+					rec := do(t, s, http.MethodDelete, "/v1/datasets/d")
+					if rec.Code != http.StatusNoContent && rec.Code != http.StatusNotFound {
+						t.Errorf("DELETE: %d", rec.Code)
+					}
+				default:
+					rec := post(t, s, "/v1/release", relBody)
+					if rec.Code != http.StatusOK && rec.Code != http.StatusNotFound {
+						t.Errorf("release: %d %s", rec.Code, rec.Body.String())
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestMetricsEndpoint: counters move, errors are attributed to their
+// route, and the store/cache/budget blocks are present and plausible.
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	if rec := putDataset(t, s, "d", testNDJSON(t)); rec.Code != http.StatusCreated {
+		t.Fatal(rec.Code)
+	}
+	if rec := post(t, s, "/v1/release", testBody(nil)); rec.Code != http.StatusOK {
+		t.Fatal(rec.Code)
+	}
+	if rec := post(t, s, "/v1/release", testBody(map[string]any{"epsilon": -1})); rec.Code != http.StatusBadRequest {
+		t.Fatal(rec.Code)
+	}
+	rec := do(t, s, http.MethodGet, "/v1/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	m := decode[metricsResponse](t, rec)
+	rel := m.Endpoints["POST /v1/release"]
+	if rel.Requests != 2 || rel.Errors != 1 {
+		t.Fatalf("release counters: %+v", rel)
+	}
+	if put := m.Endpoints["PUT /v1/datasets/{id}"]; put.Requests != 1 || put.Errors != 0 {
+		t.Fatalf("put counters: %+v", put)
+	}
+	if m.Datasets.Datasets != 1 || m.Datasets.TotalRows != 300 {
+		t.Fatalf("dataset stats: %+v", m.Datasets)
+	}
+	if m.Budget.EpsilonSpent <= 0 || m.Budget.EpsilonRemaining >= testConfig().EpsilonCap {
+		t.Fatalf("budget block: %+v", m.Budget)
+	}
+	if m.PlanCache.Misses == 0 {
+		t.Fatalf("plan cache block: %+v", m.PlanCache)
 	}
 }

@@ -1,0 +1,314 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+)
+
+// IngestOptions tunes the streaming decoder. The zero value is ready to
+// use. Options never change the ingested counts — the aggregate is
+// bit-identical at any worker count and line budget.
+type IngestOptions struct {
+	// Workers bounds the decode/validate worker pool. 0 = all CPUs;
+	// 1 forces serial ingestion.
+	Workers int
+	// MaxLineBytes bounds a single NDJSON line (0 = DefaultMaxLineBytes).
+	// A longer line rejects the stream — one hostile row must not balloon
+	// the daemon's memory.
+	MaxLineBytes int
+}
+
+// DefaultMaxLineBytes bounds one NDJSON line unless overridden. Generous:
+// a tuple of 64 attributes is well under a kilobyte.
+const DefaultMaxLineBytes = 1 << 20
+
+// Batching constants. Batches bound in-flight memory: at most
+// workers+batchQueue batches of ≤ batchBytes (plus one line that may
+// individually reach MaxLineBytes) are buffered at any moment, regardless
+// of how many rows the stream carries.
+const (
+	batchRows  = 256
+	batchBytes = 64 << 10
+	batchQueue = 4
+)
+
+// ingestHeader is the first NDJSON line.
+type ingestHeader struct {
+	Schema []struct {
+		Name        string `json:"name"`
+		Cardinality int    `json:"cardinality"`
+	} `json:"schema"`
+}
+
+// batch is a copied slice of raw lines plus their 1-based line numbers
+// (for error reporting; blank lines are skipped, so numbers may jump).
+type batch struct {
+	buf   []byte  // concatenated line bytes
+	offs  []int32 // row i is buf[offs[i]:offs[i+1]]
+	lines []int64 // row i came from input line lines[i]
+}
+
+// ingestNDJSON streams the reader into an aggregated contingency vector.
+// Returns the schema from the header line, the counts (length 2^d) and the
+// row count. Any error rejects the whole stream.
+func ingestNDJSON(ctx context.Context, r io.Reader, opts IngestOptions) (*dataset.Schema, []float64, int64, error) {
+	maxLine := opts.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = DefaultMaxLineBytes
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	br := bufio.NewReaderSize(r, bufferFor(maxLine))
+	lineNo := int64(0)
+	schema, err := readHeader(br, &lineNo, maxLine)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+
+	// The contingency accumulator: one dense int64 vector, sharded at cell
+	// granularity — every cell is its own shard, updated with a lock-free
+	// atomic add. Workers pre-aggregate each batch in a local map first, so
+	// repeated tuples (the common case in low-cardinality relations) cost
+	// one atomic add per distinct cell per batch, not one per row.
+	counts := make([]int64, schema.DomainSize())
+	var rows atomic.Int64
+
+	work := make(chan batch, batchQueue)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	abort := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make(map[int]int64, batchRows)
+			for b := range work {
+				if failed.Load() || ctx.Err() != nil {
+					continue // drain without decoding
+				}
+				clear(local)
+				n, err := decodeBatch(schema, b, local)
+				if err != nil {
+					abort(err)
+					continue
+				}
+				for idx, c := range local {
+					atomic.AddInt64(&counts[idx], c)
+				}
+				rows.Add(n)
+			}
+		}()
+	}
+
+	feedErr := feedBatches(ctx, br, &lineNo, maxLine, work, &failed)
+	close(work)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, 0, err
+	}
+	if firstErr != nil {
+		return nil, nil, 0, firstErr
+	}
+	if feedErr != nil {
+		return nil, nil, 0, feedErr
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = float64(c)
+	}
+	return schema, out, rows.Load(), nil
+}
+
+// bufferFor sizes the bufio.Reader so ReadSlice's buffer-full condition is
+// exactly the line-length bound (plus the delimiter byte).
+func bufferFor(maxLine int) int {
+	n := maxLine + 1
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// readHeader consumes lines until the first non-blank one and parses it as
+// the schema header. An empty body (no header at all) is rejected: there is
+// nothing to register.
+func readHeader(br *bufio.Reader, lineNo *int64, maxLine int) (*dataset.Schema, error) {
+	for {
+		line, err := readLine(br, lineNo, maxLine)
+		if err == io.EOF {
+			return nil, fmt.Errorf("%w: empty body (want a schema header line)", ErrInvalidDataset)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(line) == 0 {
+			continue
+		}
+		var hdr ingestHeader
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&hdr); err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad schema header: %v", ErrInvalidDataset, *lineNo, err)
+		}
+		if len(hdr.Schema) == 0 {
+			return nil, fmt.Errorf("%w: line %d: schema header names no attributes", ErrInvalidDataset, *lineNo)
+		}
+		attrs := make([]dataset.Attribute, len(hdr.Schema))
+		for i, a := range hdr.Schema {
+			attrs[i] = dataset.Attribute{Name: a.Name, Cardinality: a.Cardinality}
+		}
+		schema, err := dataset.NewSchema(attrs)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrInvalidDataset, *lineNo, err)
+		}
+		return schema, nil
+	}
+}
+
+// readLine returns the next line, trimmed of its delimiter and surrounding
+// whitespace, with the reused reader buffer still backing it (callers copy
+// before the next read). io.EOF means the stream is cleanly exhausted; a
+// final line without a trailing newline is returned like any other.
+func readLine(br *bufio.Reader, lineNo *int64, maxLine int) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	switch err {
+	case nil:
+	case bufio.ErrBufferFull:
+		return nil, fmt.Errorf("%w: line %d exceeds the %d-byte line limit", ErrInvalidDataset, *lineNo+1, maxLine)
+	case io.EOF:
+		if len(line) == 0 {
+			return nil, io.EOF
+		}
+		// Final line without trailing newline: legal NDJSON tail. If the
+		// producer was cut off mid-row the JSON is incomplete and the
+		// decoder rejects it below — truncation cannot slip through.
+	default:
+		return nil, fmt.Errorf("%w: line %d: %v", ErrInvalidDataset, *lineNo+1, err)
+	}
+	*lineNo++
+	return bytes.TrimSpace(line), nil
+}
+
+// feedBatches reads lines into bounded batches and hands them to the pool,
+// stopping early when a worker failed or the context is done.
+func feedBatches(ctx context.Context, br *bufio.Reader, lineNo *int64, maxLine int, work chan<- batch, failed *atomic.Bool) error {
+	cur := batch{offs: []int32{0}}
+	flush := func() bool {
+		if len(cur.lines) == 0 {
+			return true
+		}
+		select {
+		case work <- cur:
+		case <-ctx.Done():
+			return false
+		}
+		cur = batch{offs: []int32{0}}
+		return true
+	}
+	for {
+		if failed.Load() || ctx.Err() != nil {
+			return nil // the caller reports the worker/context error
+		}
+		line, err := readLine(br, lineNo, maxLine)
+		if err == io.EOF {
+			flush()
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if len(line) == 0 {
+			continue
+		}
+		cur.buf = append(cur.buf, line...)
+		cur.offs = append(cur.offs, int32(len(cur.buf)))
+		cur.lines = append(cur.lines, *lineNo)
+		if len(cur.lines) >= batchRows || len(cur.buf) >= batchBytes {
+			if !flush() {
+				return nil
+			}
+		}
+	}
+}
+
+// decodeBatch parses and validates every line of a batch, folding encoded
+// cell indices into the local accumulator. Returns the row count.
+func decodeBatch(schema *dataset.Schema, b batch, local map[int]int64) (int64, error) {
+	tuple := make([]int, len(schema.Attrs))
+	for i := range b.lines {
+		line := b.buf[b.offs[i]:b.offs[i+1]]
+		if err := decodeTuple(line, tuple); err != nil {
+			return 0, fmt.Errorf("%w: line %d: %v", ErrInvalidDataset, b.lines[i], err)
+		}
+		idx, err := schema.Encode(tuple)
+		if err != nil {
+			return 0, fmt.Errorf("%w: line %d: %v", ErrInvalidDataset, b.lines[i], err)
+		}
+		local[idx]++
+	}
+	return int64(len(b.lines)), nil
+}
+
+// decodeTuple parses one NDJSON row — a JSON array of non-negative integers
+// — into the reusable tuple slice, rejecting wrong arity, fractional values
+// and trailing garbage without allocating per row.
+func decodeTuple(line []byte, tuple []int) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.UseNumber()
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("bad row: %v", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return fmt.Errorf("bad row: want a JSON array of attribute values, got %v", tok)
+	}
+	n := 0
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("bad row: %v", err)
+		}
+		num, ok := tok.(json.Number)
+		if !ok {
+			return fmt.Errorf("bad row: value %d is not an integer (%v)", n, tok)
+		}
+		v, err := num.Int64()
+		if err != nil {
+			return fmt.Errorf("bad row: value %d: %v", n, err)
+		}
+		if n >= len(tuple) {
+			return fmt.Errorf("row has more than %d values", len(tuple))
+		}
+		tuple[n] = int(v)
+		n++
+	}
+	if _, err := dec.Token(); err != nil { // consume ']'
+		return fmt.Errorf("bad row: %v", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("bad row: trailing data after the array")
+	}
+	if n != len(tuple) {
+		return fmt.Errorf("row has %d values, schema has %d attributes", n, len(tuple))
+	}
+	return nil
+}

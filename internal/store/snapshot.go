@@ -1,0 +1,219 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/strategy"
+)
+
+// Snapshot codec — one frame per file; see the package documentation for
+// the layout. Both dataset snapshots (kindDataset: schema + counts) and
+// plan-set snapshots (kindPlans: rebuildable strategy.PlanRecords) share
+// it: metadata travels as JSON, bulk float payloads as raw IEEE-754 bits,
+// and a trailing CRC-32 rejects torn or corrupted files loudly.
+
+const (
+	snapMagic   = "DPCBSNP1"
+	snapVersion = 1
+
+	kindDataset byte = 1
+	kindPlans   byte = 2
+
+	datasetSnapExt = ".dpds"
+	plansSnapName  = "plans.dpps"
+)
+
+// datasetMeta is the JSON metadata of a dataset snapshot. Deliberately no
+// rows, no per-tuple anything: the payload is the aggregated vector only.
+type datasetMeta struct {
+	ID      string              `json:"id"`
+	Schema  []dataset.Attribute `json:"schema"`
+	Rows    int64               `json:"rows"`
+	Created time.Time           `json:"created"`
+}
+
+// plansMeta is the JSON metadata of a plan-set snapshot.
+type plansMeta struct {
+	Plans []*strategy.PlanRecord `json:"plans"`
+}
+
+func snapName(id string) string { return id + datasetSnapExt }
+
+// encodeSnapshot assembles a complete frame in memory. Snapshot sizes are
+// bounded by the 2^d vector the process already holds, so one contiguous
+// buffer is fine and keeps the CRC and the atomic-rename write trivial.
+func encodeSnapshot(kind byte, meta any, floats []float64) ([]byte, error) {
+	mj, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding snapshot metadata: %w", err)
+	}
+	buf := make([]byte, 0, len(snapMagic)+2+4+len(mj)+8+8*len(floats)+4)
+	buf = append(buf, snapMagic...)
+	buf = append(buf, snapVersion, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(mj)))
+	buf = append(buf, mj...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(floats)))
+	for _, v := range floats {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// decodeSnapshot validates a frame and unpacks its metadata and floats.
+func decodeSnapshot(raw []byte, wantKind byte, meta any) ([]float64, error) {
+	hdr := len(snapMagic) + 2 + 4
+	if len(raw) < hdr+8+4 {
+		return nil, fmt.Errorf("store: snapshot truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("store: not a snapshot (bad magic)")
+	}
+	if v := raw[len(snapMagic)]; v != snapVersion {
+		return nil, fmt.Errorf("store: snapshot version %d not supported (want %d)", v, snapVersion)
+	}
+	if k := raw[len(snapMagic)+1]; k != wantKind {
+		return nil, fmt.Errorf("store: snapshot kind %d, want %d", k, wantKind)
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("store: snapshot checksum mismatch (corrupt file)")
+	}
+	metaLen := int(binary.LittleEndian.Uint32(raw[len(snapMagic)+2 : hdr]))
+	if hdr+metaLen+8 > len(body) {
+		return nil, fmt.Errorf("store: snapshot metadata overruns the file")
+	}
+	if err := json.Unmarshal(raw[hdr:hdr+metaLen], meta); err != nil {
+		return nil, fmt.Errorf("store: decoding snapshot metadata: %w", err)
+	}
+	off := hdr + metaLen
+	n := binary.LittleEndian.Uint64(raw[off : off+8])
+	off += 8
+	if uint64(len(body)-off) != 8*n {
+		return nil, fmt.Errorf("store: snapshot declares %d floats, carries %d bytes", n, len(body)-off)
+	}
+	floats := make([]float64, n)
+	for i := range floats {
+		floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[off+8*i:]))
+	}
+	return floats, nil
+}
+
+// writeSnapshotFile writes a frame to a fresh temporary file in dir and
+// returns its path; the caller renames it into place (atomically, under the
+// registry lock) or removes it on failure.
+func writeSnapshotFile(dir string, kind byte, meta any, floats []float64) (string, error) {
+	buf, err := encodeSnapshot(kind, meta, floats)
+	if err != nil {
+		return "", err
+	}
+	f, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return "", fmt.Errorf("store: creating snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	return f.Name(), nil
+}
+
+// writeDatasetSnapshotTmp persists a dataset as an uninstalled temp file.
+func writeDatasetSnapshotTmp(dir string, d *Dataset) (string, error) {
+	meta := datasetMeta{
+		ID:      d.id,
+		Schema:  d.schema.Attrs,
+		Rows:    d.rows,
+		Created: d.created,
+	}
+	return writeSnapshotFile(dir, kindDataset, meta, d.counts)
+}
+
+// loadDatasetSnapshot reads and validates one dataset snapshot.
+func loadDatasetSnapshot(path string) (*Dataset, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	var meta datasetMeta
+	counts, err := decodeSnapshot(raw, kindDataset, &meta)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", filepath.Base(path), err)
+	}
+	if err := ValidateID(meta.ID); err != nil {
+		return nil, fmt.Errorf("store: %s: %w", filepath.Base(path), err)
+	}
+	schema, err := dataset.NewSchema(meta.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", filepath.Base(path), err)
+	}
+	if len(counts) != schema.DomainSize() {
+		return nil, fmt.Errorf("store: %s: %d counts for a domain of %d cells",
+			filepath.Base(path), len(counts), schema.DomainSize())
+	}
+	return &Dataset{
+		id:      meta.ID,
+		schema:  schema,
+		counts:  counts,
+		rows:    meta.Rows,
+		created: meta.Created,
+	}, nil
+}
+
+// SavePlans snapshots the cache's rebuildable plan records (cluster plans —
+// the only ones whose planning is worth a disk round trip) under the
+// store's directory. A no-op without persistence or when nothing in the
+// cache can be persisted. Returns how many records were written.
+func (s *Store) SavePlans(c *engine.PlanCache) (int, error) {
+	if s.cfg.Dir == "" || c == nil {
+		return 0, nil
+	}
+	recs := c.Records()
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	tmp, err := writeSnapshotFile(s.cfg.Dir, kindPlans, plansMeta{Plans: recs}, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.cfg.Dir, plansSnapName)); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: installing plan snapshot: %w", err)
+	}
+	return len(recs), nil
+}
+
+// LoadPlans rebuilds and installs previously saved plans into the cache,
+// returning how many were installed. A missing snapshot is not an error —
+// a fresh directory simply has no warm plans yet.
+func (s *Store) LoadPlans(c *engine.PlanCache) (int, error) {
+	if s.cfg.Dir == "" || c == nil {
+		return 0, nil
+	}
+	raw, err := os.ReadFile(filepath.Join(s.cfg.Dir, plansSnapName))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: reading plan snapshot: %w", err)
+	}
+	var meta plansMeta
+	if _, err := decodeSnapshot(raw, kindPlans, &meta); err != nil {
+		return 0, err
+	}
+	return c.Install(meta.Plans)
+}

@@ -1,0 +1,165 @@
+package store
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/engine"
+	"repro/internal/marginal"
+	"repro/internal/noise"
+	"repro/internal/strategy"
+)
+
+// TestSnapshotCodecRoundTrip pins the frame format itself.
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	type meta struct {
+		Name string `json:"name"`
+	}
+	floats := []float64{0, 1.5, -3.25, 1e300}
+	raw, err := encodeSnapshot(kindDataset, meta{Name: "x"}, floats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got meta
+	back, err := decodeSnapshot(raw, kindDataset, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "x" || len(back) != len(floats) {
+		t.Fatalf("round trip lost data: %+v %v", got, back)
+	}
+	for i := range floats {
+		if back[i] != floats[i] {
+			t.Fatalf("float %d: %v vs %v", i, back[i], floats[i])
+		}
+	}
+	if _, err := decodeSnapshot(raw, kindPlans, &got); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	raw[3] ^= 1
+	if _, err := decodeSnapshot(raw, kindDataset, &got); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+}
+
+// clusterWorkload is expensive enough to plan that persistence matters but
+// small enough for a unit test.
+func clusterWorkload() *marginal.Workload {
+	return marginal.AllKWay(8, 2)
+}
+
+// TestPlanPersistenceRoundTrip: warm cluster plans survive a simulated
+// restart — SavePlans on one cache, LoadPlans into a fresh one — and the
+// restored plan is the planner cache hit the ROADMAP item asks for, with
+// the exact group structure of a live plan.
+func TestPlanPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := clusterWorkload()
+	cfg := engine.Config{
+		Strategy:  strategy.Cluster{},
+		Budgeting: engine.OptimalBudget,
+		Privacy:   noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.AddRemove},
+	}
+	warm := engine.NewPlanCache(0)
+	livePlan, err := engine.Planner{Cache: warm}.Plan(context.Background(), w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s1.SavePlans(warm)
+	if err != nil || n != 1 {
+		t.Fatalf("SavePlans = %d, %v", n, err)
+	}
+
+	// "Restart": a fresh cache over the same directory.
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := engine.NewPlanCache(0)
+	if n, err := s2.LoadPlans(cold); err != nil || n != 1 {
+		t.Fatalf("LoadPlans = %d, %v", n, err)
+	}
+	restored, err := engine.Planner{Cache: cold}.Plan(context.Background(), w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("restored plan was not a cache hit: %+v", st)
+	}
+	if !specsEqual(livePlan.Specs, restored.Specs) {
+		t.Fatalf("restored specs differ:\nlive     %+v\nrestored %+v", livePlan.Specs, restored.Specs)
+	}
+
+	// The restored plan must recover bit-identically to the live one.
+	x := make([]float64, 1<<8)
+	for i := range x {
+		x[i] = float64((i * 7) % 11)
+	}
+	za, zb := livePlan.TrueAnswers(x), restored.TrueAnswers(x)
+	gv := make([]float64, len(livePlan.Specs))
+	for i := range gv {
+		gv[i] = 1
+	}
+	ansA, _, err := livePlan.Recover(za, gv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansB, _, err := restored.Recover(zb, gv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ansA {
+		if ansA[i] != ansB[i] {
+			t.Fatalf("answer %d: live %v, restored %v", i, ansA[i], ansB[i])
+		}
+	}
+}
+
+// TestLoadPlansMissingFile: a fresh directory has no warm plans — that is
+// not an error.
+func TestLoadPlansMissingFile(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.LoadPlans(engine.NewPlanCache(0)); n != 0 || err != nil {
+		t.Fatalf("LoadPlans on empty dir = %d, %v", n, err)
+	}
+}
+
+// TestSavePlansSkipsCheapStrategies: only plans carrying a Persist record
+// (cluster) are written; Fourier plans re-plan faster than a disk round
+// trip.
+func TestSavePlansSkipsCheapStrategies(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := clusterWorkload()
+	cache := engine.NewPlanCache(0)
+	if _, err := (engine.Planner{Cache: cache}).Plan(context.Background(), w, engine.Config{
+		Strategy: strategy.Fourier{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.SavePlans(cache); n != 0 || err != nil {
+		t.Fatalf("SavePlans persisted a Fourier plan: %d, %v", n, err)
+	}
+}
+
+func specsEqual(a, b []budget.Spec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,393 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Typed errors, tested with errors.Is. The serving layer maps ErrNotFound
+// to 404, ErrInvalidDataset to 400 and ErrStoreFull to 507.
+var (
+	// ErrNotFound reports a dataset id absent from the registry.
+	ErrNotFound = errors.New("store: dataset not found")
+	// ErrInvalidDataset reports a rejected ingestion: bad id, bad header,
+	// malformed or out-of-range row, oversized line, truncated stream.
+	ErrInvalidDataset = errors.New("store: invalid dataset")
+	// ErrStoreFull reports that the registry is at capacity and every
+	// resident dataset is pinned by in-flight handles.
+	ErrStoreFull = errors.New("store: dataset capacity reached")
+)
+
+// Config sizes a Store.
+type Config struct {
+	// Dir enables snapshot persistence when non-empty: every ingested
+	// dataset is written as a snapshot under Dir and reloaded on Open.
+	Dir string
+	// MaxDatasets bounds the registry (0 = unlimited). When a new ingest
+	// would pass the bound, the least-recently-used dataset with no active
+	// handles is evicted (memory and snapshot both); if every dataset is
+	// pinned the ingest fails with ErrStoreFull.
+	MaxDatasets int
+}
+
+// Store is the concurrency-safe dataset registry. All methods may be called
+// from any goroutine.
+type Store struct {
+	cfg Config
+
+	mu         sync.Mutex
+	datasets   map[string]*Dataset
+	useSeq     int64 // recency clock for LRU eviction
+	quarantine []string
+}
+
+// Dataset is one ingested relation, reduced to its aggregated contingency
+// vector. Immutable after registration; replacing an id registers a new
+// Dataset, and handles over the old one stay valid.
+type Dataset struct {
+	id      string
+	schema  *dataset.Schema
+	counts  []float64
+	rows    int64
+	created time.Time
+
+	refs     atomic.Int64 // active handles
+	lastUsed int64        // store.useSeq at last Get/ingest (under store.mu)
+}
+
+// Handle is a reference-counted view of a dataset. Close it when the
+// release using it finishes; an unclosed handle keeps the dataset's memory
+// alive past deletion.
+type Handle struct {
+	d      *Dataset
+	closed atomic.Bool
+}
+
+// ID returns the dataset id the handle was acquired under.
+func (h *Handle) ID() string { return h.d.id }
+
+// Schema returns the dataset's schema.
+func (h *Handle) Schema() *dataset.Schema { return h.d.schema }
+
+// Counts returns the aggregated contingency vector (length 2^d). The slice
+// is shared by every handle over this dataset and by the engine reading it:
+// treat it as read-only. (Copying 2^d floats per release would defeat the
+// upload-once design; the engine's measure/recover stages never write to
+// their input vector.)
+func (h *Handle) Counts() []float64 { return h.d.counts }
+
+// Rows returns the number of ingested tuples.
+func (h *Handle) Rows() int64 { return h.d.rows }
+
+// Created returns the ingestion time.
+func (h *Handle) Created() time.Time { return h.d.created }
+
+// Close releases the handle. Idempotent.
+func (h *Handle) Close() {
+	if h.closed.CompareAndSwap(false, true) {
+		h.d.refs.Add(-1)
+	}
+}
+
+// Info is the public description of a resident dataset.
+type Info struct {
+	ID string `json:"id"`
+	// Schema lists the attributes in declaration order.
+	Schema []dataset.Attribute `json:"schema"`
+	// Rows is the ingested tuple count; Cells is the contingency-vector
+	// length 2^d actually stored.
+	Rows  int64 `json:"rows"`
+	Cells int   `json:"cells"`
+	// ActiveHandles counts in-flight references (releases reading the
+	// dataset right now).
+	ActiveHandles int64     `json:"active_handles"`
+	Created       time.Time `json:"created"`
+	// Persisted reports whether a snapshot backs the dataset on disk.
+	Persisted bool `json:"persisted"`
+}
+
+// Stats aggregates the registry for the metrics endpoint.
+type Stats struct {
+	Datasets      int   `json:"datasets"`
+	TotalCells    int   `json:"total_cells"`
+	TotalRows     int64 `json:"total_rows"`
+	ActiveHandles int64 `json:"active_handles"`
+}
+
+// Open builds a Store. With cfg.Dir set, the directory is created if needed
+// and every dataset snapshot in it is loaded, so the registry resumes where
+// the previous process stopped.
+func Open(cfg Config) (*Store, error) {
+	s := &Store{cfg: cfg, datasets: make(map[string]*Dataset)}
+	if cfg.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", cfg.Dir, err)
+	}
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", cfg.Dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		// Sweep temp files a crash mid-ingest left behind: they were never
+		// renamed into place, so nothing references them.
+		if strings.HasPrefix(e.Name(), ".snap-") {
+			os.Remove(filepath.Join(cfg.Dir, e.Name()))
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), datasetSnapExt) {
+			continue
+		}
+		d, err := loadDatasetSnapshot(filepath.Join(cfg.Dir, e.Name()))
+		if err == nil && snapName(d.id) != e.Name() {
+			err = fmt.Errorf("store: snapshot %s declares dataset id %q", e.Name(), d.id)
+		}
+		if err != nil {
+			// Quarantine, don't crash: one corrupt snapshot must not take
+			// every healthy dataset down with the daemon. The file is left
+			// in place for forensics and reported via QuarantinedSnapshots;
+			// it is never served.
+			s.quarantine = append(s.quarantine, fmt.Sprintf("%s: %v", e.Name(), err))
+			continue
+		}
+		s.datasets[d.id] = d
+	}
+	return s, nil
+}
+
+// QuarantinedSnapshots reports snapshot files Open refused to load (and
+// why), so the operator learns about corruption instead of a silent gap in
+// the registry.
+func (s *Store) QuarantinedSnapshots() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.quarantine...)
+}
+
+// ValidateID reports whether id is an acceptable dataset id: 1–128 runes of
+// [A-Za-z0-9._-], not starting with a dot. The id doubles as the snapshot
+// file name, so the alphabet deliberately excludes path separators and
+// anything else the filesystem could reinterpret.
+func ValidateID(id string) error {
+	if id == "" || len(id) > 128 || id[0] == '.' {
+		return fmt.Errorf("%w: dataset id %q (want 1-128 chars of [A-Za-z0-9._-], no leading dot)", ErrInvalidDataset, id)
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("%w: dataset id %q contains %q", ErrInvalidDataset, id, c)
+		}
+	}
+	return nil
+}
+
+// IngestNDJSON streams the NDJSON body into a new dataset registered under
+// id, replacing any existing dataset with that id (handles over the old
+// version stay valid). The stream is aggregated with bounded memory — see
+// the package documentation for the wire format and transactionality.
+func (s *Store) IngestNDJSON(ctx context.Context, id string, r io.Reader, opts IngestOptions) (Info, error) {
+	if err := ValidateID(id); err != nil {
+		return Info{}, err
+	}
+	schema, counts, rows, err := ingestNDJSON(ctx, r, opts)
+	if err != nil {
+		return Info{}, err
+	}
+	return s.register(&Dataset{
+		id:      id,
+		schema:  schema,
+		counts:  counts,
+		rows:    rows,
+		created: time.Now().UTC(),
+	})
+}
+
+// PutCounts registers a pre-aggregated contingency vector directly (tests,
+// in-process embedders). The vector is copied.
+func (s *Store) PutCounts(id string, schema *dataset.Schema, counts []float64, rows int64) (Info, error) {
+	if err := ValidateID(id); err != nil {
+		return Info{}, err
+	}
+	if schema == nil {
+		return Info{}, fmt.Errorf("%w: nil schema", ErrInvalidDataset)
+	}
+	if len(counts) != schema.DomainSize() {
+		return Info{}, fmt.Errorf("%w: counts has %d entries, domain needs %d",
+			ErrInvalidDataset, len(counts), schema.DomainSize())
+	}
+	return s.register(&Dataset{
+		id:      id,
+		schema:  schema,
+		counts:  append([]float64(nil), counts...),
+		rows:    rows,
+		created: time.Now().UTC(),
+	})
+}
+
+// register persists the snapshot (outside the lock — file IO must not block
+// readers), then swaps the dataset into the registry and renames the
+// snapshot into place under the lock, so disk and memory always converge on
+// the same winner when two ingests race on one id.
+func (s *Store) register(d *Dataset) (Info, error) {
+	var tmp string
+	if s.cfg.Dir != "" {
+		var err error
+		if tmp, err = writeDatasetSnapshotTmp(s.cfg.Dir, d); err != nil {
+			return Info{}, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, replacing := s.datasets[d.id]; !replacing && s.cfg.MaxDatasets > 0 {
+		for len(s.datasets) >= s.cfg.MaxDatasets {
+			if !s.evictLocked() {
+				if tmp != "" {
+					os.Remove(tmp)
+				}
+				return Info{}, fmt.Errorf("%w: %d datasets resident, all with active handles",
+					ErrStoreFull, len(s.datasets))
+			}
+		}
+	}
+	if tmp != "" {
+		final := filepath.Join(s.cfg.Dir, snapName(d.id))
+		if err := os.Rename(tmp, final); err != nil {
+			os.Remove(tmp)
+			return Info{}, fmt.Errorf("store: installing snapshot: %w", err)
+		}
+	}
+	s.useSeq++
+	d.lastUsed = s.useSeq
+	s.datasets[d.id] = d
+	return s.infoLocked(d), nil
+}
+
+// evictLocked drops the least-recently-used unpinned dataset. Reports
+// whether anything could be evicted.
+func (s *Store) evictLocked() bool {
+	var victim *Dataset
+	for _, d := range s.datasets {
+		if d.refs.Load() > 0 {
+			continue
+		}
+		if victim == nil || d.lastUsed < victim.lastUsed {
+			victim = d
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(s.datasets, victim.id)
+	if s.cfg.Dir != "" {
+		os.Remove(filepath.Join(s.cfg.Dir, snapName(victim.id)))
+	}
+	return true
+}
+
+// Get acquires a reference-counted handle; the caller must Close it.
+func (s *Store) Get(id string) (*Handle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	s.useSeq++
+	d.lastUsed = s.useSeq
+	d.refs.Add(1)
+	return &Handle{d: d}, nil
+}
+
+// Delete removes the dataset from disk first, then from the registry: if
+// the snapshot removal fails the dataset stays resident and the caller sees
+// the error — deletion must never "succeed" in memory while the sensitive
+// snapshot survives a restart. In-flight handles stay valid; their memory
+// is reclaimed once the last one closes.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if s.cfg.Dir != "" {
+		if err := os.Remove(filepath.Join(s.cfg.Dir, snapName(d.id))); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: removing snapshot: %w", err)
+		}
+	}
+	delete(s.datasets, id)
+	return nil
+}
+
+// Describe returns the Info for one dataset.
+func (s *Store) Describe(id string) (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.datasets[id]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return s.infoLocked(d), nil
+}
+
+// List returns every resident dataset's Info, sorted by id.
+func (s *Store) List() []Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Info, 0, len(s.datasets))
+	for _, d := range s.datasets {
+		out = append(out, s.infoLocked(d))
+	}
+	// Insertion sort: registries are small and the dependency-free loop
+	// keeps the package's import graph flat.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Stats aggregates the registry.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Datasets: len(s.datasets)}
+	for _, d := range s.datasets {
+		st.TotalCells += len(d.counts)
+		st.TotalRows += d.rows
+		st.ActiveHandles += d.refs.Load()
+	}
+	return st
+}
+
+// Dir returns the snapshot directory ("" when persistence is off).
+func (s *Store) Dir() string { return s.cfg.Dir }
+
+func (s *Store) infoLocked(d *Dataset) Info {
+	return Info{
+		ID:            d.id,
+		Schema:        append([]dataset.Attribute(nil), d.schema.Attrs...),
+		Rows:          d.rows,
+		Cells:         len(d.counts),
+		ActiveHandles: d.refs.Load(),
+		Created:       d.created,
+		Persisted:     s.cfg.Dir != "",
+	}
+}

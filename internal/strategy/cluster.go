@@ -181,12 +181,29 @@ func (c Cluster) planFrom(w *marginal.Workload, cl *clustering, queryWeights []f
 		})
 		return out, float64(int64(1)<<uint(mu.Count()-m.Order())) * groupVar[ci], nil
 	}
+	alphas := make([]bits.Mask, len(w.Marginals))
+	for i, m := range w.Marginals {
+		alphas[i] = m.Alpha
+	}
+	var weights []float64
+	if queryWeights != nil {
+		weights = append([]float64(nil), queryWeights...)
+	}
 	return &Plan{
 		Strategy:        "C",
 		Specs:           specs,
 		TrueAnswers:     matWorkload.EvalSinglePass,
 		Recover:         recoverFromMarginals(w, rm),
 		RecoverMarginal: rm,
+		Persist: &PlanRecord{
+			Strategy:  "C",
+			MaxMerges: c.MaxMerges,
+			D:         w.D,
+			Alphas:    alphas,
+			Weights:   weights,
+			Materials: append([]bits.Mask(nil), cl.materials...),
+			Assign:    append([]int(nil), cl.assign...),
+		},
 	}, nil
 }
 

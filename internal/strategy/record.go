@@ -1,0 +1,87 @@
+package strategy
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/marginal"
+)
+
+// PlanRecord is the serializable residue of an expensive planning search:
+// everything needed to rebuild a Plan without re-running the search. Only
+// the cluster strategy produces one — its greedy agglomerative search is
+// the Θ(ℓ⁴) step the paper's Figure 6 measures, while the other strategies
+// re-plan in near-linear time and gain nothing from persistence.
+//
+// A record is a pure description (masks and indices, no closures, no data),
+// so it serialises as JSON inside the snapshot codec of internal/store and
+// survives process restarts.
+type PlanRecord struct {
+	// Strategy is the plan's short name; only "C" is currently rebuildable.
+	Strategy string `json:"strategy"`
+	// MaxMerges is the cluster search cap the plan was produced under.
+	MaxMerges int `json:"max_merges,omitempty"`
+	// D is the workload's binary dimension.
+	D int `json:"d"`
+	// Alphas are the workload marginal masks, in workload order.
+	Alphas []bits.Mask `json:"alphas"`
+	// Weights are the query weights the plan was built for (nil = uniform).
+	Weights []float64 `json:"weights,omitempty"`
+	// Materials are the chosen cluster centroid masks.
+	Materials []bits.Mask `json:"materials"`
+	// Assign maps each workload marginal index to its cluster.
+	Assign []int `json:"assign"`
+}
+
+// RebuildPlan reconstructs the Plan a record describes, skipping the search
+// entirely, and returns the workload it was rebuilt over (so the caller can
+// re-key the plan without deriving the workload a second time). The record
+// is validated structurally (assignment in range, every material covering
+// its members) so a corrupted or hand-edited record fails loudly instead of
+// producing a silently wrong strategy.
+func RebuildPlan(rec *PlanRecord) (*Plan, *marginal.Workload, error) {
+	if rec == nil {
+		return nil, nil, fmt.Errorf("strategy: nil plan record")
+	}
+	if rec.Strategy != "C" {
+		return nil, nil, fmt.Errorf("strategy: cannot rebuild plan for strategy %q (only C persists)", rec.Strategy)
+	}
+	w, err := marginal.NewWorkload(rec.D, rec.Alphas)
+	if err != nil {
+		return nil, nil, fmt.Errorf("strategy: rebuilding plan: %w", err)
+	}
+	if len(rec.Assign) != len(rec.Alphas) {
+		return nil, nil, fmt.Errorf("strategy: plan record assigns %d marginals, workload has %d",
+			len(rec.Assign), len(rec.Alphas))
+	}
+	if rec.Weights != nil && len(rec.Weights) != len(rec.Alphas) {
+		return nil, nil, fmt.Errorf("strategy: plan record has %d weights for %d marginals",
+			len(rec.Weights), len(rec.Alphas))
+	}
+	members := make([]int, len(rec.Materials))
+	for qi, ci := range rec.Assign {
+		if ci < 0 || ci >= len(rec.Materials) {
+			return nil, nil, fmt.Errorf("strategy: plan record assigns marginal %d to cluster %d of %d",
+				qi, ci, len(rec.Materials))
+		}
+		if rec.Alphas[qi]&^rec.Materials[ci] != 0 {
+			return nil, nil, fmt.Errorf("strategy: plan record material %d does not cover marginal %d", ci, qi)
+		}
+		members[ci]++
+	}
+	for ci, n := range members {
+		if n == 0 {
+			return nil, nil, fmt.Errorf("strategy: plan record cluster %d has no members", ci)
+		}
+	}
+	cl := &clustering{
+		materials: append([]bits.Mask(nil), rec.Materials...),
+		assign:    append([]int(nil), rec.Assign...),
+		members:   members,
+	}
+	plan, err := Cluster{MaxMerges: rec.MaxMerges}.planFrom(w, cl, rec.Weights)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, w, nil
+}

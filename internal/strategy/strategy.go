@@ -51,6 +51,11 @@ type Plan struct {
 	// worker count. Strategies with recovery that cannot be split per
 	// marginal leave this nil and recover serially.
 	RecoverMarginal func(i int, z []float64, groupVar []float64) (cells []float64, cellVar float64, err error)
+	// Persist, when non-nil, is the serializable residue of the planning
+	// search (see PlanRecord): enough to rebuild this plan via RebuildPlan
+	// without re-running it. Strategies whose planning is cheap leave it
+	// nil — there is nothing worth persisting.
+	Persist *PlanRecord
 }
 
 // Rows returns the total number of strategy rows.

@@ -1,6 +1,7 @@
 package transform
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -270,5 +271,64 @@ func BenchmarkMarginalFromCoefficients(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = MarginalFromCoefficients(d, alpha, coeff)
+	}
+}
+
+func TestWHTParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Sizes straddling the parallel threshold, worker counts straddling the
+	// CPU count and non-power-of-two values: every combination must be
+	// bit-identical to the serial transform.
+	for _, n := range []int{1 << 10, whtParallelMin, 1 << 16, 1 << 18} {
+		ref := randomVec(rng, n)
+		serial := append([]float64(nil), ref...)
+		WHTWorkers(serial, 1)
+		for _, workers := range []int{0, 2, 3, 4, 7, 16, 64} {
+			x := append([]float64(nil), ref...)
+			WHTWorkers(x, workers)
+			for i := range x {
+				if x[i] != serial[i] {
+					t.Fatalf("n=%d workers=%d: bit mismatch at %d: %x vs %x",
+						n, workers, i, math.Float64bits(x[i]), math.Float64bits(serial[i]))
+				}
+			}
+		}
+	}
+}
+
+func TestWHTParallelInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 1 << 16
+	x := randomVec(rng, n)
+	orig := append([]float64(nil), x...)
+	WHTWorkers(x, 8)
+	WHTWorkers(x, 3)
+	for i := range x {
+		if math.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("parallel WHT not an involution at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+// BenchmarkWHTSerialVsParallel quantifies the satellite claim that the WHT
+// is the serial bottleneck of the Fourier strategy's TrueAnswers: compare
+// wht/serial to wht/parallel at the domain sizes a release actually hits.
+func BenchmarkWHTSerialVsParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	for _, d := range []int{16, 18, 20} {
+		src := randomVec(rng, 1<<uint(d))
+		buf := make([]float64, len(src))
+		b.Run(fmt.Sprintf("d=%d/serial", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				WHTWorkers(buf, 1)
+			}
+		})
+		b.Run(fmt.Sprintf("d=%d/parallel", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(buf, src)
+				WHTWorkers(buf, 0)
+			}
+		})
 	}
 }

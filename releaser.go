@@ -293,6 +293,44 @@ func (r *Releaser) ReleaseVector(ctx context.Context, x []float64, spec ReleaseS
 	return buildResult(r.w, r.schema, rel), nil
 }
 
+// ReleaseDataset privately answers the Releaser's workload over an ingested
+// dataset — the upload-once / release-many path. The handle's pre-aggregated
+// contingency vector feeds the engine directly, skipping re-vectorization,
+// so the release is bit-identical to Release over the same rows at the same
+// spec. The caller keeps ownership of the handle (and must Close it); the
+// Releaser only reads through it for the duration of the call.
+func (r *Releaser) ReleaseDataset(ctx context.Context, h *DatasetHandle, spec ReleaseSpec) (*Result, error) {
+	if h == nil {
+		return nil, fmt.Errorf("%w: nil dataset handle", ErrInvalidOption)
+	}
+	if h.Schema().Dim() != r.w.D {
+		return nil, fmt.Errorf("%w: workload dimension %d, dataset %q dimension %d",
+			ErrDimensionMismatch, r.w.D, h.ID(), h.Schema().Dim())
+	}
+	// Two schemas can share a bit-width with different attribute layouts
+	// (one 16-ary column vs two 4-ary ones); releasing across that boundary
+	// would silently mislabel every marginal, so require attribute-level
+	// equality whenever the Releaser knows its schema.
+	if r.schema != nil && !schemasEqual(r.schema, h.Schema()) {
+		return nil, fmt.Errorf("%w: dataset %q schema does not match the Releaser's schema",
+			ErrDimensionMismatch, h.ID())
+	}
+	return r.ReleaseVector(ctx, h.Counts(), spec)
+}
+
+// schemasEqual compares attribute lists (name and cardinality, in order).
+func schemasEqual(a, b *Schema) bool {
+	if len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Synthetic converts a consistent release from this Releaser into row-level
 // synthetic microdata (see SyntheticData). Post-processing adds no privacy
 // cost: the ledger is not charged.
