@@ -54,9 +54,11 @@ func main() {
 		epsCap     = flag.Float64("epsilon-cap", 10, "total privacy budget ε the process may ever spend")
 		deltaCap   = flag.Float64("delta-cap", 1e-3, "total δ the process may ever spend (0 admits only pure-DP requests)")
 		maxWorkers = flag.Int("max-workers", 0, "per-request engine worker bound (0 = all CPUs)")
+		maxShards  = flag.Int("max-shards", 0, "per-request measure-stage shard bound (0 = engine auto-sharding)")
 		cacheSize  = flag.Int("cache-size", 0, "shared plan cache entries (0 = default)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		storeDir   = flag.String("store-dir", "", "dataset snapshot directory; empty keeps datasets in memory only")
+		planFlush  = flag.Duration("plan-flush", 0, "periodic plan-snapshot flush interval (0 = only on graceful shutdown); needs -store-dir")
 		maxData    = flag.Int("max-datasets", 0, "resident dataset bound (0 = unlimited; past it the LRU unpinned dataset is evicted)")
 	)
 	flag.Parse()
@@ -65,6 +67,7 @@ func main() {
 		EpsilonCap:  *epsCap,
 		DeltaCap:    *deltaCap,
 		MaxWorkers:  *maxWorkers,
+		MaxShards:   *maxShards,
 		CacheSize:   *cacheSize,
 		StoreDir:    *storeDir,
 		MaxDatasets: *maxData,
@@ -84,6 +87,27 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Periodic plan-snapshot flush: without it, plans planned since startup
+	// persist only on graceful shutdown, so a crash loses the warm cache.
+	if *planFlush > 0 && *storeDir != "" {
+		go func() {
+			tick := time.NewTicker(*planFlush)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if n, err := srv.FlushPlans(); err != nil {
+						fmt.Fprintln(os.Stderr, "dpcubed: plan flush:", err)
+					} else if n > 0 {
+						fmt.Fprintf(os.Stderr, "dpcubed: flushed %d warm plan(s)\n", n)
+					}
+				}
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -29,15 +29,7 @@ func ReleaseCubeContext(ctx context.Context, t *Table, maxOrder int, o Options) 
 	if err := validatePrivacy(o.Epsilon, o.Delta); err != nil {
 		return nil, err
 	}
-	return datacube.ReleaseContext(ctx, t, maxOrder, datacube.Options{
-		Epsilon:       o.Epsilon,
-		Delta:         o.Delta,
-		UniformBudget: o.UniformBudget,
-		Seed:          o.Seed,
-		Strategy:      o.Strategy.impl(),
-		Workers:       o.Workers,
-		Cache:         o.Cache,
-	})
+	return datacube.ReleaseContext(ctx, t, maxOrder, o.cubeOptions())
 }
 
 // ReleaseCubeVectorContext is ReleaseCubeContext for callers who already
@@ -49,15 +41,32 @@ func ReleaseCubeVectorContext(ctx context.Context, schema *Schema, counts []floa
 	if err := validatePrivacy(o.Epsilon, o.Delta); err != nil {
 		return nil, err
 	}
-	return datacube.ReleaseVectorContext(ctx, schema, counts, maxOrder, datacube.Options{
+	return datacube.ReleaseVectorContext(ctx, schema, counts, maxOrder, o.cubeOptions())
+}
+
+// ReleaseCubeBlockedContext is ReleaseCubeVectorContext for a sharded
+// contingency vector (a dataset-store aggregate): the cube runs without the
+// vector ever being gathered into one dense slice, bit-identical to the
+// dense path over the same cells.
+func ReleaseCubeBlockedContext(ctx context.Context, schema *Schema, counts *BlockedVector, maxOrder int, o Options) (*CubeRelease, error) {
+	if err := validatePrivacy(o.Epsilon, o.Delta); err != nil {
+		return nil, err
+	}
+	return datacube.ReleaseBlockedContext(ctx, schema, counts, maxOrder, o.cubeOptions())
+}
+
+// cubeOptions maps the flat Options onto the datacube layer's options.
+func (o Options) cubeOptions() datacube.Options {
+	return datacube.Options{
 		Epsilon:       o.Epsilon,
 		Delta:         o.Delta,
 		UniformBudget: o.UniformBudget,
 		Seed:          o.Seed,
 		Strategy:      o.Strategy.impl(),
 		Workers:       o.Workers,
+		Shards:        o.Shards,
 		Cache:         o.Cache,
-	})
+	}
 }
 
 // SyntheticData converts a consistent release into row-level synthetic

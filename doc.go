@@ -77,12 +77,14 @@
 //	[3,0]
 //	...
 //
-// Each line is decoded, validated and folded into the dataset's aggregated
-// contingency vector by a worker pool, then dropped — ingestion memory is
-// bounded no matter how many rows stream past, and a malformed stream
-// rejects atomically (no partial dataset). Ingestion never charges the
-// budget ledger: privacy is spent when answers leave, not when data
-// arrives.
+// Each line is decoded, validated and folded into the dataset's sharded
+// aggregated contingency vector by a worker pool, then dropped — ingestion
+// memory is bounded no matter how many rows stream past, and a malformed
+// stream rejects atomically (no partial dataset). A growing relation
+// appends deltas instead of re-uploading: PUT /v1/datasets/{id}?mode=append
+// sums a new stream's aggregate into the resident one (schemas must match;
+// transactional on failure). Ingestion never charges the budget ledger:
+// privacy is spent when answers leave, not when data arrives.
 //
 // After that, any number of releases reference the dataset by id instead
 // of hauling rows in every body:
@@ -110,7 +112,7 @@
 // in-process round trip, cmd/dpcubed for the daemon, and cmd/dpcube
 // -ingest for streaming a local CSV/NDJSON file up to it.
 //
-// # The staged release engine
+// # The staged, blocked release engine
 //
 // Under the hood every release runs through the staged pipeline of
 // internal/engine, mirroring the paper's three-step framework (Figure 3):
@@ -120,19 +122,32 @@
 // Plan builds (or fetches from a cache) the grouped strategy matrix;
 // Allocate computes the Step-2 noise budgets; Measure perturbs the strategy
 // answers; Recover reconstructs the marginals; Consist projects them onto a
-// mutually consistent set. Measurement and recovery fan out over a bounded
-// worker pool (WithWorkers / ReleaseSpec.Workers), and noise is drawn from
-// per-group seed substreams, so a release is a pure function of
-// (data, workload, spec): the same Seed yields a bit-identical release at
-// any worker count. Cancellation propagates into the worker pools.
+// mutually consistent set.
+//
+// The pipeline's big vectors — the 2^d contingency vector and the strategy
+// answers — travel as blocked (sharded) vectors, contiguous cell-range
+// blocks instead of one giant slice (internal/vector; BlockedVector and
+// Releaser.ReleaseBlocked are the public face). A dataset-store aggregate
+// feeds releases in its sharded form without ever being gathered; the
+// measure stage materialises answers one block per worker (WithShards /
+// ReleaseSpec.Shards bound the partition, auto-sharded above the engine's
+// threshold); and the consistency projection — historically the last
+// serial stage — fans its per-marginal transforms, per-coefficient
+// weighted average and reconstruction over the same pool. Worker counts,
+// shard counts and input blockings never change a single bit of a release:
+// noise is drawn from per-group seed substreams and every accumulation
+// order is blocking-independent, so a release is a pure function of
+// (data, workload, spec) and the same Seed is bit-reproducible at any
+// parallelism. Cancellation propagates into the worker pools.
 //
 // The internal packages follow the paper's structure: internal/strategy
 // (Step 1), internal/budget (Step 2, Section 3.1), internal/recovery and
 // internal/consistency (Step 3, Sections 3.2–3.3 and 4.3), internal/engine
-// (the staged mechanism) with internal/core as its stable facade,
-// internal/accountant (the ledger under BudgetLedger), internal/server
-// (the HTTP layer), and internal/linalg, internal/lp, internal/transform,
-// internal/noise, internal/bits and internal/dataset as self-contained
-// substrates. See DESIGN.md for the full inventory and EXPERIMENTS.md for
-// the reproduction of every table and figure in the paper's evaluation.
+// (the staged mechanism) with internal/core as its stable facade and
+// internal/vector as the sharded-vector substrate, internal/accountant
+// (the ledger under BudgetLedger), internal/server (the HTTP layer), and
+// internal/linalg, internal/lp, internal/transform, internal/noise,
+// internal/bits and internal/dataset as self-contained substrates. See
+// DESIGN.md for the full inventory and EXPERIMENTS.md for the reproduction
+// of every table and figure in the paper's evaluation.
 package repro

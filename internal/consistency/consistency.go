@@ -23,6 +23,8 @@ package consistency
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/bits"
 	"repro/internal/lp"
@@ -50,61 +52,152 @@ func L2(w *marginal.Workload, noisy []float64) (*Result, error) {
 // weight[i] applies to every cell of marginal i (use 1/variance for
 // GLS-style fusion); nil means all ones.
 func L2Weighted(w *marginal.Workload, noisy []float64, weight []float64) (*Result, error) {
+	return L2WeightedWorkers(w, noisy, weight, 0)
+}
+
+// L2WeightedWorkers is L2Weighted with an explicit worker bound — the
+// parallel form of the projection, which used to be the release pipeline's
+// last serial stage. workers 0 uses all CPUs; 1 forces serial execution.
+//
+// The three phases fan out over the pool, each with a deterministic merge
+// so the result is bit-identical at every worker count:
+//
+//  1. per-marginal small WHTs (the T_β transforms) — independent blocks,
+//     one pool task per marginal, each transform itself bit-identical at
+//     any internal worker count (transform.WHTWorkers);
+//  2. the per-coefficient weighted average — the support is sharded across
+//     the pool and every coefficient accumulates its contributions in
+//     ascending marginal order, the exact order of the serial sweep;
+//  3. reconstruction R·f̂ — independent per-marginal inverse transforms
+//     writing disjoint slices of the answer vector.
+func L2WeightedWorkers(w *marginal.Workload, noisy []float64, weight []float64, workers int) (*Result, error) {
 	if len(noisy) != w.TotalCells() {
 		return nil, fmt.Errorf("consistency: %d noisy values for %d cells", len(noisy), w.TotalCells())
 	}
 	if weight != nil && len(weight) != len(w.Marginals) {
 		return nil, fmt.Errorf("consistency: %d weights for %d marginals", len(weight), len(w.Marginals))
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	d := w.D
 	sqrtN := math.Sqrt(float64(int64(1) << uint(d)))
-	num := make(map[bits.Mask]float64)
-	den := make(map[bits.Mask]float64)
-
 	offsets := w.Offsets()
-	for i, m := range w.Marginals {
+
+	// Phase 1: transform every positively weighted marginal block. Each
+	// entry is independent, so the pool carves the marginal list up; the
+	// per-marginal transform runs serially inside its task (cross-marginal
+	// parallelism already saturates the pool; WHTWorkers would be
+	// bit-identical either way).
+	type transformed struct {
+		block    []float64
+		numScale float64
+		denTerm  float64
+	}
+	blocks := make([]transformed, len(w.Marginals))
+	for i := range w.Marginals {
+		if weight != nil && weight[i] < 0 {
+			return nil, fmt.Errorf("consistency: negative weight %v for marginal %d", weight[i], i)
+		}
+	}
+	parallelFor(len(w.Marginals), workers, func(i int) {
+		m := w.Marginals[i]
 		wi := 1.0
 		if weight != nil {
-			if weight[i] < 0 {
-				return nil, fmt.Errorf("consistency: negative weight %v for marginal %d", weight[i], i)
-			}
 			wi = weight[i]
 		}
 		if wi == 0 {
-			continue
+			return // excluded from the fusion entirely
 		}
 		k := m.Order()
 		cells := m.Cells()
 		block := make([]float64, cells)
 		copy(block, noisy[offsets[i]:offsets[i]+cells])
-		transform.WHT(block)
+		transform.WHTWorkers(block, 1)
 		// block[packed β] = 2^{−k/2}·T_β, so T_β = 2^{k/2}·block.
 		twoK := float64(int64(1) << uint(k))
-		rCoef := sqrtN / twoK                    // 2^{d/2−k}
-		numScale := wi * rCoef * math.Sqrt(twoK) // w_i·2^{d/2−k}·2^{k/2}
-		denTerm := wi * (sqrtN * sqrtN) / twoK   // w_i·2^{d−k}
-		m.Alpha.VisitSubsets(func(beta bits.Mask) {
-			idx := bits.CellIndex(m.Alpha, beta)
-			num[beta] += numScale * block[idx]
-			den[beta] += denTerm
+		rCoef := sqrtN / twoK // 2^{d/2−k}
+		blocks[i] = transformed{
+			block:    block,
+			numScale: wi * rCoef * math.Sqrt(twoK), // w_i·2^{d/2−k}·2^{k/2}
+			denTerm:  wi * (sqrtN * sqrtN) / twoK,  // w_i·2^{d−k}
+		}
+	})
+
+	// Phase 2: the per-coefficient weighted average. Either merge order
+	// below gives coefficient β its contributions in ascending marginal
+	// order — the exact floating-point sequence of the original serial
+	// sweep — so the choice is purely a cost call, never a correctness one:
+	//
+	//   - the marginal-major sweep visits each marginal's 2^k subsets once
+	//     (Σ 2^{k_i} work, no dominance tests) but is inherently serial;
+	//   - the coefficient-major sweep shards the support across the pool,
+	//     paying a dominance test per (coefficient, marginal) pair
+	//     (|F|·ℓ / workers per worker).
+	support := w.FourierSupport()
+	colOf := make(map[bits.Mask]int, len(support))
+	for c, b := range support {
+		colOf[b] = c
+	}
+	num := make([]float64, len(support))
+	den := make([]float64, len(support))
+	subsetCost, colCost := 0.0, 0.0
+	for i, m := range w.Marginals {
+		if blocks[i].block != nil {
+			subsetCost += float64(m.Cells())
+			colCost += float64(len(support)) / float64(workers)
+		}
+	}
+	if workers <= 1 || subsetCost <= colCost {
+		for i, m := range w.Marginals {
+			tb := blocks[i]
+			if tb.block == nil {
+				continue
+			}
+			m.Alpha.VisitSubsets(func(beta bits.Mask) {
+				c := colOf[beta]
+				num[c] += tb.numScale * tb.block[bits.CellIndex(m.Alpha, beta)]
+				den[c] += tb.denTerm
+			})
+		}
+	} else {
+		parallelRanges(len(support), workers, func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				beta := support[c]
+				for i, m := range w.Marginals {
+					tb := blocks[i]
+					if tb.block == nil || beta&^m.Alpha != 0 {
+						continue // zero weight, or β ⋠ α_i
+					}
+					num[c] += tb.numScale * tb.block[bits.CellIndex(m.Alpha, beta)]
+					den[c] += tb.denTerm
+				}
+			}
 		})
 	}
-
-	coeff := make(map[bits.Mask]float64, len(num))
-	for beta, n := range num {
-		coeff[beta] = n / den[beta]
+	coeff := make(map[bits.Mask]float64, len(support))
+	for c, beta := range support {
+		if den[c] != 0 {
+			coeff[beta] = num[c] / den[c]
+		}
 	}
-	answers, err := evalAnswers(w, coeff)
+
+	answers, err := evalAnswers(w, coeff, workers)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Coefficients: coeff, Answers: answers}, nil
 }
 
-// evalAnswers reconstructs every marginal from the coefficients.
-func evalAnswers(w *marginal.Workload, coeff map[bits.Mask]float64) ([]float64, error) {
-	answers := make([]float64, 0, w.TotalCells())
-	for _, m := range w.Marginals {
+// evalAnswers reconstructs every marginal from the coefficients, fanning
+// the independent per-marginal inverse transforms over the pool (each
+// writes its own disjoint slice of the concatenated answers).
+func evalAnswers(w *marginal.Workload, coeff map[bits.Mask]float64, workers int) ([]float64, error) {
+	answers := make([]float64, w.TotalCells())
+	offsets := w.Offsets()
+	errs := make([]error, len(w.Marginals))
+	parallelFor(len(w.Marginals), workers, func(i int) {
+		m := w.Marginals[i]
 		// Guard against a workload marginal that shares no coefficients
 		// (cannot happen when coeff came from the same workload).
 		missing := false
@@ -114,11 +207,70 @@ func evalAnswers(w *marginal.Workload, coeff map[bits.Mask]float64) ([]float64, 
 			}
 		})
 		if missing {
-			return nil, fmt.Errorf("consistency: coefficients missing for marginal %v", m.Alpha)
+			errs[i] = fmt.Errorf("consistency: coefficients missing for marginal %v", m.Alpha)
+			return
 		}
-		answers = append(answers, m.EvalFromFourier(w.D, coeff)...)
+		copy(answers[offsets[i]:offsets[i]+m.Cells()], m.EvalFromFourier(w.D, coeff))
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return answers, nil
+}
+
+// parallelFor runs fn(i) for i in [0, n), distributed round-robin over the
+// pool. fn must write only its own slots; with workers ≤ 1 it degenerates
+// to a plain loop.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for i := start; i < n; i += workers {
+				fn(i)
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// parallelRanges splits [0, n) into one contiguous shard per worker.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // RecoveryRows materialises the explicit K×|F| recovery matrix R of
@@ -184,7 +336,7 @@ func lpConsistency(w *marginal.Workload, noisy []float64, inf bool) (*Result, er
 	for c, b := range support {
 		coeff[b] = fhat[c]
 	}
-	answers, err := evalAnswers(w, coeff)
+	answers, err := evalAnswers(w, coeff, runtime.GOMAXPROCS(0))
 	if err != nil {
 		return nil, err
 	}

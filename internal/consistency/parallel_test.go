@@ -1,0 +1,86 @@
+package consistency
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/marginal"
+)
+
+// TestL2WeightedWorkersBitIdentity: the parallel consistency projection is
+// bit-identical to the serial one at every worker count, on workloads that
+// exercise both merge orders (many small marginals → marginal-major sweep;
+// one dominant marginal → coefficient-major sharding).
+func TestL2WeightedWorkersBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	workloads := []*marginal.Workload{
+		marginal.AllKWay(8, 2),
+		marginal.AllKWay(8, 5),
+		// One full-order marginal plus low-order companions: |F| is the whole
+		// domain, which flips the adaptive merge to the coefficient-major
+		// shard under multiple workers.
+		marginal.MustWorkload(10, []bits.Mask{bits.Full(10), 0x003, 0x300, 0x0f0}),
+	}
+	for wi, w := range workloads {
+		noisy := make([]float64, w.TotalCells())
+		for i := range noisy {
+			noisy[i] = rng.NormFloat64() * 10
+		}
+		weight := make([]float64, len(w.Marginals))
+		for i := range weight {
+			weight[i] = 0.25 + rng.Float64()
+		}
+		if wi == 2 {
+			// An excluded marginal must not contribute; legal here because
+			// the full-order marginal still observes all its coefficients.
+			weight[1] = 0
+		}
+		for _, wgt := range [][]float64{nil, weight} {
+			ref, err := L2WeightedWorkers(w, noisy, wgt, 1)
+			if err != nil {
+				t.Fatalf("workload %d: serial: %v", wi, err)
+			}
+			for _, workers := range []int{2, 4, 0} {
+				got, err := L2WeightedWorkers(w, noisy, wgt, workers)
+				if err != nil {
+					t.Fatalf("workload %d workers=%d: %v", wi, workers, err)
+				}
+				for i := range ref.Answers {
+					if math.Float64bits(got.Answers[i]) != math.Float64bits(ref.Answers[i]) {
+						t.Fatalf("workload %d workers=%d: answer %d = %v, want %v",
+							wi, workers, i, got.Answers[i], ref.Answers[i])
+					}
+				}
+				if len(got.Coefficients) != len(ref.Coefficients) {
+					t.Fatalf("workload %d workers=%d: %d coefficients, want %d",
+						wi, workers, len(got.Coefficients), len(ref.Coefficients))
+				}
+				for beta, v := range ref.Coefficients {
+					if math.Float64bits(got.Coefficients[beta]) != math.Float64bits(v) {
+						t.Fatalf("workload %d workers=%d: coefficient %v differs", wi, workers, beta)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestL2WeightedWorkersStillConsistent: the parallel projection still lands
+// on mutually consistent marginals.
+func TestL2WeightedWorkersStillConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := marginal.AllKWay(7, 3)
+	noisy := make([]float64, w.TotalCells())
+	for i := range noisy {
+		noisy[i] = rng.NormFloat64() * 5
+	}
+	res, err := L2WeightedWorkers(w, noisy, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConsistent(w, res.Answers, 1e-6) {
+		t.Fatal("parallel projection produced inconsistent marginals")
+	}
+}

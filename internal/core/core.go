@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/marginal"
+	"repro/internal/vector"
 )
 
 // Budgeting selects the Step-2 allocation rule.
@@ -78,6 +79,13 @@ func RunWith(w *marginal.Workload, x []float64, cfg Config, opts engine.Options)
 // (see engine.RunContext).
 func RunWithContext(ctx context.Context, w *marginal.Workload, x []float64, cfg Config, opts engine.Options) (*Release, error) {
 	return engine.New(opts).RunContext(ctx, w, x, cfg)
+}
+
+// RunVectorContext is RunWithContext for callers holding a sharded
+// contingency vector (see engine.RunVector): the dataset store's aggregate
+// reaches the pipeline without ever being gathered into one dense slice.
+func RunVectorContext(ctx context.Context, w *marginal.Workload, x *vector.Blocked, cfg Config, opts engine.Options) (*Release, error) {
+	return engine.New(opts).RunVector(ctx, w, x, cfg)
 }
 
 // PerMarginal splits the concatenated answers into per-marginal tables.

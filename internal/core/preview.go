@@ -65,7 +65,7 @@ func Preview(w *marginal.Workload, cfg Config) (*Forecast, error) {
 	// The variance accounting needs only zeros as data: Recover's cellVar
 	// output is data-independent for every strategy here.
 	zeros := make([]float64, plan.Rows())
-	_, cellVar, err := plan.Recover(zeros, groupVar)
+	_, cellVar, err := plan.RecoverDense(zeros, groupVar)
 	if err != nil {
 		return nil, err
 	}

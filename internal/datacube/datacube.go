@@ -22,6 +22,7 @@ import (
 	"repro/internal/marginal"
 	"repro/internal/noise"
 	"repro/internal/strategy"
+	"repro/internal/vector"
 )
 
 // Cuboid identifies one lattice node by its attribute index set (sorted).
@@ -158,6 +159,9 @@ type Options struct {
 	// Workers bounds the engine's worker pool (0 = all CPUs); the released
 	// cube is bit-identical at every setting.
 	Workers int
+	// Shards bounds the measure stage's answer partitioning (see
+	// engine.Options.Shards); bit-identical at every setting.
+	Shards int
 	// Cache optionally reuses the lattice workload's strategy plan across
 	// repeated cube releases over the same schema.
 	Cache *engine.PlanCache
@@ -196,12 +200,27 @@ func ReleaseContext(ctx context.Context, t *dataset.Table, maxOrder int, o Optio
 // release is bit-identical to the rows path over the same data: the vector
 // is exactly what Table.Vector would have produced.
 func ReleaseVectorContext(ctx context.Context, s *dataset.Schema, x []float64, maxOrder int, o Options) (*Released, error) {
+	if len(x) != s.DomainSize() {
+		return nil, fmt.Errorf("datacube: vector has %d entries, domain needs %d", len(x), s.DomainSize())
+	}
+	return ReleaseBlockedContext(ctx, s, vector.FromDense(x), maxOrder, o)
+}
+
+// ReleaseBlockedContext is ReleaseVectorContext for a sharded contingency
+// vector (the dataset store's aggregate): the cube release runs without
+// ever gathering the vector into one dense slice, bit-identical to the
+// dense path over the same cells.
+func ReleaseBlockedContext(ctx context.Context, s *dataset.Schema, x *vector.Blocked, maxOrder int, o Options) (*Released, error) {
 	l, err := NewLattice(s, maxOrder)
 	if err != nil {
 		return nil, err
 	}
-	if len(x) != s.DomainSize() {
-		return nil, fmt.Errorf("datacube: vector has %d entries, domain needs %d", len(x), s.DomainSize())
+	if x == nil || x.Len() != s.DomainSize() {
+		got := 0
+		if x != nil {
+			got = x.Len()
+		}
+		return nil, fmt.Errorf("datacube: vector has %d entries, domain needs %d", got, s.DomainSize())
 	}
 	w := l.Workload()
 	p := noise.Params{Type: noise.PureDP, Epsilon: o.Epsilon, Neighbor: noise.AddRemove}
@@ -216,13 +235,13 @@ func ReleaseVectorContext(ctx context.Context, s *dataset.Schema, x []float64, m
 	if strat == nil {
 		strat = strategy.Fourier{}
 	}
-	rel, err := core.RunWithContext(ctx, w, x, core.Config{
+	rel, err := core.RunVectorContext(ctx, w, x, core.Config{
 		Strategy:    strat,
 		Budgeting:   budgeting,
 		Consistency: core.WeightedL2Consistency,
 		Privacy:     p,
 		Seed:        o.Seed,
-	}, engine.Options{Workers: o.Workers, Cache: o.Cache})
+	}, engine.Options{Workers: o.Workers, Shards: o.Shards, Cache: o.Cache})
 	if err != nil {
 		return nil, err
 	}

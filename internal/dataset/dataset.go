@@ -78,6 +78,22 @@ func MustSchema(attrs []Attribute) *Schema {
 // Dim returns d, the total number of binary attributes.
 func (s *Schema) Dim() int { return s.dim }
 
+// Equal reports attribute-level equality: same names and cardinalities in
+// the same order. Two schemas can share a bit-width with different
+// attribute layouts (one 16-ary column vs two 4-ary ones), so releases and
+// dataset appends that must not mislabel marginals check this, not Dim.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range s.Attrs {
+		if s.Attrs[i] != o.Attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // DomainSize returns N = 2^d.
 func (s *Schema) DomainSize() int { return 1 << uint(s.dim) }
 

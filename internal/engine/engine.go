@@ -14,6 +14,7 @@ import (
 	"repro/internal/marginal"
 	"repro/internal/noise"
 	"repro/internal/strategy"
+	"repro/internal/vector"
 )
 
 // Budgeting selects the Step-2 allocation rule.
@@ -108,18 +109,71 @@ type Release struct {
 // Options tunes the engine without changing what it computes: every option
 // combination yields a bit-identical Release for the same Config.
 type Options struct {
-	// Workers bounds the measurement/recovery worker pool. 0 means
-	// runtime.GOMAXPROCS(0); 1 forces fully serial execution.
+	// Workers bounds the measurement/recovery/consistency worker pool.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces fully serial execution.
 	Workers int
+	// Shards bounds how many blocks the measured strategy-answer vector is
+	// partitioned into. 0 auto-shards: vectors with at least AutoShardRows
+	// rows split into one block per worker (more only when a block would
+	// otherwise exceed MaxShardBlockRows — the per-worker memory bound),
+	// smaller ones stay monolithic. 1 forces the monolithic path. Like
+	// Workers, the setting never changes a single bit of the release —
+	// blocks are fixed cell ranges and every per-cell accumulation order is
+	// blocking-independent. Note that for strategies whose AnswerBlock
+	// scans the input per block (Workload, Cluster), explicit shard counts
+	// far above the worker count buy nothing and cost extra input sweeps;
+	// the auto policy avoids that by construction.
+	Shards int
 	// Cache, when non-nil, memoises Step-1 plans across runs (see PlanCache).
 	Cache *PlanCache
 }
+
+// AutoShardRows is the strategy-answer length at which Options.Shards == 0
+// starts sharding the measure stage: 2^17 rows (1 MiB of float64) is where
+// the blocked bookkeeping becomes free against the per-row work.
+const AutoShardRows = 1 << 17
+
+// MaxShardBlockRows caps an auto-sharded block at 2^20 rows (8 MiB of
+// float64) — the per-worker memory bound the measure stage promises.
+const MaxShardBlockRows = 1 << 20
 
 func (o Options) workers() int {
 	if o.Workers > 0 {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// shardsFor resolves the shard count for a strategy-answer vector of the
+// given length, measured by the given worker pool. The auto policy picks
+// one block per worker — more shards than workers add no parallelism and,
+// for plans whose AnswerBlock scans the input per block, cost one extra
+// input sweep each — growing the count only when a block would otherwise
+// exceed the MaxShardBlockRows memory bound.
+func (o Options) shardsFor(rows, workers int) int {
+	switch {
+	case rows <= 0:
+		return 1
+	case o.Shards == 1:
+		return 1
+	case o.Shards > 1:
+		if o.Shards > rows {
+			return rows
+		}
+		return o.Shards
+	default:
+		if rows < AutoShardRows {
+			return 1
+		}
+		shards := workers
+		if minBlocks := (rows + MaxShardBlockRows - 1) / MaxShardBlockRows; shards < minBlocks {
+			shards = minBlocks
+		}
+		if shards > rows {
+			shards = rows
+		}
+		return shards
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -142,20 +196,24 @@ type AllocateStage interface {
 	Allocate(ctx context.Context, specs []budget.Spec, cfg Config) (*budget.SpecAllocation, error)
 }
 
-// MeasureStage computes the noisy strategy answers z = Sx + ν.
+// MeasureStage computes the noisy strategy answers z = Sx + ν. Both sides
+// are blocked vectors: x may arrive sharded (a dataset-store aggregate) and
+// z leaves sharded when the plan supports per-block answer slicing, one
+// block per worker at a time.
 type MeasureStage interface {
-	Measure(ctx context.Context, plan *strategy.Plan, x []float64, eta []float64, cfg Config, workers int) ([]float64, error)
+	Measure(ctx context.Context, plan *strategy.Plan, x *vector.Blocked, eta []float64, cfg Config, workers, shards int) (*vector.Blocked, error)
 }
 
-// RecoverStage turns noisy strategy answers into concatenated marginal
-// answers plus per-marginal cell variances.
+// RecoverStage turns noisy strategy answers (possibly sharded) into
+// concatenated marginal answers plus per-marginal cell variances.
 type RecoverStage interface {
-	Recover(ctx context.Context, w *marginal.Workload, plan *strategy.Plan, z, groupVar []float64, workers int) (answers, cellVar []float64, err error)
+	Recover(ctx context.Context, w *marginal.Workload, plan *strategy.Plan, z *vector.Blocked, groupVar []float64, workers int) (answers, cellVar []float64, err error)
 }
 
-// ConsistStage applies the Step-3 consistency projection (possibly a no-op).
+// ConsistStage applies the Step-3 consistency projection (possibly a
+// no-op), fanning the projection's independent pieces over workers.
 type ConsistStage interface {
-	Consist(ctx context.Context, w *marginal.Workload, answers, cellVar []float64, cfg Config) ([]float64, map[bits.Mask]float64, error)
+	Consist(ctx context.Context, w *marginal.Workload, answers, cellVar []float64, cfg Config, workers int) ([]float64, map[bits.Mask]float64, error)
 }
 
 // Stages bundles one implementation per pipeline step. A nil field selects
@@ -216,6 +274,15 @@ func (e *Engine) Run(w *marginal.Workload, x []float64, cfg Config) (*Release, e
 // ctx.Err() (possibly wrapped) and no release; cancellation never yields a
 // partial Release.
 func (e *Engine) RunContext(ctx context.Context, w *marginal.Workload, x []float64, cfg Config) (*Release, error) {
+	return e.RunVector(ctx, w, vector.FromDense(x), cfg)
+}
+
+// RunVector is RunContext for callers holding a sharded contingency vector
+// — the dataset store's aggregate feeds the pipeline here without ever
+// being gathered into one dense slice. The release is a pure function of
+// (w, cells of x, cfg): the blocking of x, the worker count, the shard
+// count and the plan cache never change a single bit of the output.
+func (e *Engine) RunVector(ctx context.Context, w *marginal.Workload, x *vector.Blocked, cfg Config) (*Release, error) {
 	start := time.Now()
 	if cfg.Strategy == nil {
 		return nil, fmt.Errorf("engine: no strategy configured")
@@ -223,8 +290,8 @@ func (e *Engine) RunContext(ctx context.Context, w *marginal.Workload, x []float
 	if err := cfg.Privacy.Validate(); err != nil {
 		return nil, err
 	}
-	if len(x) != 1<<uint(w.D) {
-		return nil, fmt.Errorf("engine: data vector has %d entries, domain needs %d", len(x), 1<<uint(w.D))
+	if x.Len() != 1<<uint(w.D) {
+		return nil, fmt.Errorf("engine: data vector has %d entries, domain needs %d", x.Len(), 1<<uint(w.D))
 	}
 	workers := e.opts.workers()
 
@@ -241,7 +308,7 @@ func (e *Engine) RunContext(ctx context.Context, w *marginal.Workload, x []float
 	}
 	groupVar := budget.SpecVariances(alloc.Eta, cfg.Privacy)
 
-	z, err := e.stages.Measure.Measure(ctx, plan, x, alloc.Eta, cfg, workers)
+	z, err := e.stages.Measure.Measure(ctx, plan, x, alloc.Eta, cfg, workers, e.opts.shardsFor(plan.Rows(), workers))
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +328,7 @@ func (e *Engine) RunContext(ctx context.Context, w *marginal.Workload, x []float
 		TotalVariance:  TotalCellVariance(w, cellVar),
 		StrategyName:   plan.Strategy,
 	}
-	consistent, coeffs, err := e.stages.Consist.Consist(ctx, w, answers, cellVar, cfg)
+	consistent, coeffs, err := e.stages.Consist.Consist(ctx, w, answers, cellVar, cfg, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -388,23 +455,75 @@ func verifyPrivacy(specs []budget.Spec, eta []float64, p noise.Params) error {
 
 // Measurer is the default MeasureStage: exact strategy answers plus
 // substream-seeded per-group noise, fanned out over the worker pool.
+//
+// When the plan supports per-block answer slicing (strategy.Plan.
+// AnswerBlock) and shards > 1, the answer vector is built block by block:
+// each worker materialises only the blocks vector.Schedule assigns it, one
+// at a time, so no contiguous full-length slice ever exists and the
+// per-worker scratch is one block. Plans without AnswerBlock (the Fourier
+// transform is global) fall back to TrueAnswers, which parallelises and
+// bounds memory internally. Either way the noise pass then perturbs the
+// blocked vector in the fixed noiseBlock partition — the shard count never
+// touches a substream boundary, so the release is bit-identical at every
+// (workers, shards) setting.
 type Measurer struct{}
 
 // Measure implements MeasureStage.
-func (Measurer) Measure(ctx context.Context, plan *strategy.Plan, x []float64, eta []float64, cfg Config, workers int) ([]float64, error) {
+func (Measurer) Measure(ctx context.Context, plan *strategy.Plan, x *vector.Blocked, eta []float64, cfg Config, workers, shards int) (*vector.Blocked, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	z := plan.TrueAnswers(x)
+	var z *vector.Blocked
+	if shards > 1 && plan.AnswerBlock != nil {
+		z = vector.New(plan.Rows(), shards)
+		if err := answerBlocks(ctx, plan, x, z, workers); err != nil {
+			return nil, err
+		}
+	} else {
+		z = vector.FromDense(plan.TrueAnswers(x, workers))
+	}
 	offsets := plan.GroupOffsets()
 	groups := make([]NoiseGroup, len(plan.Specs))
 	for g, spec := range plan.Specs {
 		groups[g] = NoiseGroup{Start: offsets[g], Count: spec.Count, Eta: eta[g]}
 	}
-	if err := PerturbContext(ctx, z, groups, cfg.Privacy, cfg.Seed, workers); err != nil {
+	if err := PerturbVectorContext(ctx, z, groups, cfg.Privacy, cfg.Seed, workers); err != nil {
 		return nil, err
 	}
 	return z, nil
+}
+
+// answerBlocks fills the blocked answer vector through plan.AnswerBlock,
+// each worker walking the blocks vector.Schedule assigns it in order.
+// Cancellation is honoured between blocks.
+func answerBlocks(ctx context.Context, plan *strategy.Plan, x *vector.Blocked, z *vector.Blocked, workers int) error {
+	sched := vector.Schedule(z.Blocks(), workers)
+	if len(sched) == 1 {
+		for _, bi := range sched[0] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			lo, hi := z.BlockRange(bi)
+			plan.AnswerBlock(x, lo, hi, z.Block(bi))
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	for _, list := range sched {
+		wg.Add(1)
+		go func(list []int) {
+			defer wg.Done()
+			for _, bi := range list {
+				if ctx.Err() != nil {
+					return
+				}
+				lo, hi := z.BlockRange(bi)
+				plan.AnswerBlock(x, lo, hi, z.Block(bi))
+			}
+		}(list)
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // NoiseGroup describes one contiguous run of strategy rows sharing a budget.
@@ -437,6 +556,15 @@ func Perturb(z []float64, groups []NoiseGroup, p noise.Params, seed int64, worke
 // noiseBlock rows) and ctx.Err() is returned. On cancellation z is left
 // partially perturbed and must be discarded.
 func PerturbContext(ctx context.Context, z []float64, groups []NoiseGroup, p noise.Params, seed int64, workers int) error {
+	return PerturbVectorContext(ctx, vector.FromDense(z), groups, p, seed, workers)
+}
+
+// PerturbVectorContext is PerturbContext over a blocked answer vector: the
+// substream partition is the fixed noiseBlock row grid, which a noise block
+// walks across storage-block boundaries through Segments, so the vector's
+// blocking is invisible to the draws — one more axis of the determinism
+// contract (noise depends only on seed, group and row).
+func PerturbVectorContext(ctx context.Context, z *vector.Blocked, groups []NoiseGroup, p noise.Params, seed int64, workers int) error {
 	type block struct {
 		off, n int
 		eta    float64
@@ -457,9 +585,11 @@ func PerturbContext(ctx context.Context, z []float64, groups []NoiseGroup, p noi
 	}
 	perturbBlock := func(bl block) {
 		src := noise.NewSubstream(seed, bl.sub)
-		for r := 0; r < bl.n; r++ {
-			z[bl.off+r] += p.RowNoise(src, bl.eta)
-		}
+		z.Segments(bl.off, bl.off+bl.n, func(_ int, seg []float64) {
+			for i := range seg {
+				seg[i] += p.RowNoise(src, bl.eta)
+			}
+		})
 	}
 	done := ctx.Done()
 	if workers <= 1 || len(blocks) <= 1 {
@@ -503,7 +633,9 @@ feed:
 
 // Recoverer is the default RecoverStage. When the plan supports per-marginal
 // recovery and more than one worker is available, marginals recover
-// concurrently; the serial path and the parallel path are bit-identical
+// concurrently, each reading the shards of z it needs (merged shard
+// contributions — the blocked accessors gather exactly the answer ranges a
+// marginal touches); the serial path and the parallel path are bit-identical
 // because strategy.Plan's contract requires Recover to equal the
 // concatenation of RecoverMarginal outputs (both accumulate in the same
 // order per output cell).
@@ -511,7 +643,7 @@ type Recoverer struct{}
 
 // Recover implements RecoverStage. Cancellation is honoured between
 // marginals: no new per-marginal recovery starts after ctx is done.
-func (Recoverer) Recover(ctx context.Context, w *marginal.Workload, plan *strategy.Plan, z, groupVar []float64, workers int) ([]float64, []float64, error) {
+func (Recoverer) Recover(ctx context.Context, w *marginal.Workload, plan *strategy.Plan, z *vector.Blocked, groupVar []float64, workers int) ([]float64, []float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -567,11 +699,17 @@ feed:
 }
 
 // Consister is the default ConsistStage: the Section 3.3/4.3 projections.
+// The L2 projections — historically the pipeline's last serial stage — fan
+// their per-marginal transforms, the sharded per-coefficient weighted
+// average and the reconstruction over the worker pool
+// (consistency.L2WeightedWorkers), bit-identical at every worker count.
+// The L1/L∞ LPs remain monolithic solves.
 type Consister struct{}
 
-// Consist implements ConsistStage. The projections are monolithic linear
-// solves, so cancellation is only checked on entry.
-func (Consister) Consist(ctx context.Context, w *marginal.Workload, answers, cellVar []float64, cfg Config) ([]float64, map[bits.Mask]float64, error) {
+// Consist implements ConsistStage. Cancellation is checked on entry; the
+// projection itself runs to completion (its pieces are too fine-grained to
+// poll a context profitably).
+func (Consister) Consist(ctx context.Context, w *marginal.Workload, answers, cellVar []float64, cfg Config, workers int) ([]float64, map[bits.Mask]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -579,7 +717,7 @@ func (Consister) Consist(ctx context.Context, w *marginal.Workload, answers, cel
 	case NoConsistency:
 		return answers, nil, nil
 	case L2Consistency:
-		res, err := consistency.L2(w, answers)
+		res, err := consistency.L2WeightedWorkers(w, answers, nil, workers)
 		if err != nil {
 			return nil, nil, fmt.Errorf("engine: consistency: %w", err)
 		}
@@ -593,7 +731,7 @@ func (Consister) Consist(ctx context.Context, w *marginal.Workload, answers, cel
 				weights[i] = 1 / v
 			}
 		}
-		res, err := consistency.L2Weighted(w, answers, weights)
+		res, err := consistency.L2WeightedWorkers(w, answers, weights, workers)
 		if err != nil {
 			return nil, nil, fmt.Errorf("engine: consistency: %w", err)
 		}

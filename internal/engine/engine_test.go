@@ -12,6 +12,7 @@ import (
 	"repro/internal/marginal"
 	"repro/internal/noise"
 	"repro/internal/strategy"
+	"repro/internal/vector"
 )
 
 func pureParams(eps float64) noise.Params {
@@ -207,8 +208,8 @@ func (c *countingPlanner) Plan(ctx context.Context, w *marginal.Workload, cfg Co
 // zeroMeasurer replaces measurement with the exact (noiseless) answers.
 type zeroMeasurer struct{}
 
-func (zeroMeasurer) Measure(ctx context.Context, plan *strategy.Plan, x []float64, eta []float64, cfg Config, workers int) ([]float64, error) {
-	return plan.TrueAnswers(x), nil
+func (zeroMeasurer) Measure(ctx context.Context, plan *strategy.Plan, x *vector.Blocked, eta []float64, cfg Config, workers, shards int) (*vector.Blocked, error) {
+	return vector.FromDense(plan.TrueAnswers(x, workers)), nil
 }
 
 // TestStagesIndividuallyConstructible: each stage can be swapped out without
@@ -265,14 +266,14 @@ func TestDefaultStagesMatchMonolith(t *testing.T) {
 		t.Fatal(err)
 	}
 	groupVar := budget.SpecVariances(alloc.Eta, p)
-	z := plan.TrueAnswers(x)
+	z := plan.Answers(x)
 	offsets := plan.GroupOffsets()
 	groups := make([]NoiseGroup, len(plan.Specs))
 	for g, spec := range plan.Specs {
 		groups[g] = NoiseGroup{Start: offsets[g], Count: spec.Count, Eta: alloc.Eta[g]}
 	}
 	Perturb(z, groups, p, cfg.Seed, 1)
-	answers, _, err := plan.Recover(z, groupVar)
+	answers, _, err := plan.RecoverDense(z, groupVar)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,79 @@
+package marginal
+
+import (
+	"repro/internal/bits"
+	"repro/internal/vector"
+)
+
+// Blocked-vector evaluation. Every function here accumulates each output
+// cell over ascending domain indices — the same floating-point order Eval
+// and EvalSinglePass use — so the blocked and dense paths are bit-identical
+// at any block count. That invariant is what lets the engine answer a
+// marginal from a sharded contingency vector without ever gathering it.
+
+// EvalVector computes Cα x over a blocked contingency vector, bit-identical
+// to Eval on the gathered dense vector.
+func (m Marginal) EvalVector(x *vector.Blocked) []float64 {
+	out := make([]float64, m.Cells())
+	x.Visit(func(gamma int, v float64) {
+		if v == 0 {
+			return
+		}
+		out[bits.CellIndex(m.Alpha, bits.Mask(gamma)&m.Alpha)] += v
+	})
+	return out
+}
+
+// EvalSinglePassVector answers every marginal exactly with one pass over
+// the blocked vector, bit-identical to EvalSinglePass on the gathered
+// dense vector.
+func (w *Workload) EvalSinglePassVector(x *vector.Blocked) []float64 {
+	offsets := w.Offsets()
+	out := make([]float64, w.TotalCells())
+	x.Visit(func(gamma int, v float64) {
+		if v == 0 {
+			return
+		}
+		g := bits.Mask(gamma)
+		for i, m := range w.Marginals {
+			out[offsets[i]+bits.CellIndex(m.Alpha, g&m.Alpha)] += v
+		}
+	})
+	return out
+}
+
+// EvalRangeVector computes rows [lo, hi) of the concatenated exact answers
+// into out (len hi−lo), reading only the marginals whose cell blocks
+// intersect the range. Per output cell the accumulation order is ascending
+// domain index, so tiling [0, TotalCells()) with EvalRangeVector calls is
+// bit-identical to EvalSinglePassVector — the per-block answer-slicing
+// contract the sharded measure stage relies on.
+func (w *Workload) EvalRangeVector(x *vector.Blocked, lo, hi int, out []float64) {
+	if hi-lo != len(out) {
+		panic("marginal: EvalRangeVector output length mismatch")
+	}
+	offsets := w.Offsets()
+	// The marginals overlapping [lo, hi), with their global cell offsets.
+	type slot struct {
+		m   Marginal
+		off int
+	}
+	var active []slot
+	for i, m := range w.Marginals {
+		if offsets[i] < hi && offsets[i]+m.Cells() > lo {
+			active = append(active, slot{m: m, off: offsets[i]})
+		}
+	}
+	x.Visit(func(gamma int, v float64) {
+		if v == 0 {
+			return
+		}
+		g := bits.Mask(gamma)
+		for _, s := range active {
+			idx := s.off + bits.CellIndex(s.m.Alpha, g&s.m.Alpha)
+			if idx >= lo && idx < hi {
+				out[idx-lo] += v
+			}
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package marginal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+// TestBlockedEvalBitIdentity: EvalVector / EvalSinglePassVector /
+// EvalRangeVector reproduce their dense counterparts bit-for-bit at every
+// block count and range tiling.
+func TestBlockedEvalBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := 8
+	n := 1 << uint(d)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(rng.Intn(7)) * rng.Float64()
+	}
+	w := AllKWay(d, 2)
+	wantAll := w.EvalSinglePass(x)
+	for _, blocks := range []int{1, 3, 8, 64} {
+		bv := vector.New(n, blocks)
+		bv.Scatter(x)
+		gotAll := w.EvalSinglePassVector(bv)
+		for i := range wantAll {
+			if math.Float64bits(gotAll[i]) != math.Float64bits(wantAll[i]) {
+				t.Fatalf("blocks=%d: EvalSinglePassVector differs at %d", blocks, i)
+			}
+		}
+		for _, m := range w.Marginals[:5] {
+			want := m.Eval(x)
+			got := m.EvalVector(bv)
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("blocks=%d: EvalVector(%v) differs at %d", blocks, m.Alpha, i)
+				}
+			}
+		}
+		// Tile the concatenated answers with uneven ranges.
+		for _, step := range []int{1, 7, 64, w.TotalCells()} {
+			tiled := make([]float64, w.TotalCells())
+			for lo := 0; lo < len(tiled); lo += step {
+				hi := lo + step
+				if hi > len(tiled) {
+					hi = len(tiled)
+				}
+				w.EvalRangeVector(bv, lo, hi, tiled[lo:hi])
+			}
+			for i := range wantAll {
+				if math.Float64bits(tiled[i]) != math.Float64bits(wantAll[i]) {
+					t.Fatalf("blocks=%d step=%d: EvalRangeVector tiling differs at %d", blocks, step, i)
+				}
+			}
+		}
+	}
+}

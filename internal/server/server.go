@@ -7,6 +7,7 @@
 // Endpoints:
 //
 //	PUT    /v1/datasets/{id} — ingest a dataset as streaming NDJSON
+//	                           (?mode=append sums a delta stream into it)
 //	GET    /v1/datasets      — list resident datasets
 //	GET    /v1/datasets/{id} — describe one dataset
 //	DELETE /v1/datasets/{id} — remove a dataset (in-flight releases finish)
@@ -61,6 +62,9 @@ type Config struct {
 	// MaxWorkers bounds per-request engine parallelism; a request asking
 	// for more is clamped. 0 means all CPUs.
 	MaxWorkers int
+	// MaxShards bounds per-request measure-stage sharding; a request asking
+	// for more is clamped. 0 leaves the engine's auto-sharding in charge.
+	MaxShards int
 	// CacheSize bounds the shared plan cache (0 = default).
 	CacheSize int
 	// MaxReleasers bounds the Releaser registry (0 = default 256). The key
@@ -194,12 +198,20 @@ func (s *Server) CacheStats() repro.CacheStats { return s.cache.Stats() }
 // Store exposes the dataset store (tests, embedders).
 func (s *Server) Store() *store.Store { return s.store }
 
+// FlushPlans persists the plan cache's rebuildable plans through the store
+// (a no-op without StoreDir), returning how many records were written. The
+// daemon calls it periodically (-plan-flush) so a crash no longer loses the
+// warm cache built since startup.
+func (s *Server) FlushPlans() (int, error) {
+	return s.store.SavePlans(s.cache)
+}
+
 // Close persists the plan cache's rebuildable plans through the store (a
 // no-op without StoreDir) so the next process skips the expensive cluster
 // planning on schemas this one already served. Dataset snapshots were
 // already written at ingest time; Close adds no dataset work.
 func (s *Server) Close() error {
-	_, err := s.store.SavePlans(s.cache)
+	_, err := s.FlushPlans()
 	return err
 }
 
@@ -241,6 +253,7 @@ type releaseRequest struct {
 	UniformBudget   bool   `json:"uniform_budget,omitempty"`
 	SkipConsistency bool   `json:"skip_consistency,omitempty"`
 	Workers         int    `json:"workers,omitempty"`
+	Shards          int    `json:"shards,omitempty"`
 	Label           string `json:"label,omitempty"`
 
 	// SyntheticSeed seeds tuple sampling on /v1/synthetic.
@@ -333,7 +346,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
-	res, err := rel.ReleaseVector(r.Context(), x, s.spec(req))
+	res, err := rel.ReleaseBlocked(r.Context(), x, s.spec(req))
 	if err != nil {
 		s.fail(w, r, err)
 		return
@@ -365,7 +378,7 @@ func (s *Server) handleSynthetic(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
-	res, err := rel.ReleaseVector(r.Context(), x, s.spec(req))
+	res, err := rel.ReleaseBlocked(r.Context(), x, s.spec(req))
 	if err != nil {
 		s.fail(w, r, err)
 		return
@@ -425,13 +438,14 @@ func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, fmt.Errorf("%w: %v", repro.ErrBudgetExhausted, err))
 		return
 	}
-	cube, err := repro.ReleaseCubeVectorContext(r.Context(), schema, x, req.MaxOrder, repro.Options{
+	cube, err := repro.ReleaseCubeBlockedContext(r.Context(), schema, x, req.MaxOrder, repro.Options{
 		Epsilon:       req.Epsilon,
 		Delta:         req.Delta,
 		Strategy:      kind,
 		UniformBudget: req.UniformBudget,
 		Seed:          req.Seed,
 		Workers:       s.workers(req.Workers),
+		Shards:        s.shards(req.Shards),
 		Cache:         s.cache,
 	})
 	if err != nil {
@@ -478,7 +492,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleDatasetPut streams the NDJSON body into the store. Ingestion never
+// handleDatasetPut streams the NDJSON body into the store: mode empty or
+// "replace" registers (or replaces) the dataset, mode=append sums the
+// stream's aggregated counts into the existing dataset (schemas must
+// match; transactional — a failed stream changes nothing). Ingestion never
 // touches the ledger: budget is spent when answers leave, not when data
 // arrives.
 func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
@@ -486,9 +503,19 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.MaxIngestBytes > 0 {
 		body = http.MaxBytesReader(w, body, s.cfg.MaxIngestBytes)
 	}
-	info, err := s.store.IngestNDJSON(r.Context(), r.PathValue("id"), body, store.IngestOptions{
-		Workers: s.cfg.MaxWorkers,
-	})
+	opts := store.IngestOptions{Workers: s.cfg.MaxWorkers}
+	var (
+		info store.Info
+		err  error
+	)
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "replace":
+		info, err = s.store.IngestNDJSON(r.Context(), r.PathValue("id"), body, opts)
+	case "append":
+		info, err = s.store.AppendNDJSON(r.Context(), r.PathValue("id"), body, opts)
+	default:
+		err = fmt.Errorf("%w: unknown ingest mode %q (want replace or append)", repro.ErrInvalidOption, mode)
+	}
 	if err != nil {
 		s.fail(w, r, err)
 		return
@@ -529,7 +556,7 @@ func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
 // With dataset_id the returned handle pins the dataset for the request's
 // duration — the caller must Close it; a concurrent DELETE then never tears
 // the release mid-run.
-func (s *Server) decodeData(w http.ResponseWriter, r *http.Request, needVector bool) (*releaseRequest, *repro.Schema, []float64, *store.Handle, error) {
+func (s *Server) decodeData(w http.ResponseWriter, r *http.Request, needVector bool) (*releaseRequest, *repro.Schema, *repro.BlockedVector, *store.Handle, error) {
 	var req releaseRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(body)
@@ -563,9 +590,9 @@ func (s *Server) decodeData(w http.ResponseWriter, r *http.Request, needVector b
 			return nil, nil, nil, nil, fmt.Errorf("%w: request schema does not match dataset %q",
 				repro.ErrInvalidOption, req.DatasetID)
 		}
-		var x []float64
+		var x *repro.BlockedVector
 		if needVector {
-			x = h.Counts()
+			x = h.Vector()
 		}
 		return &req, h.Schema(), x, h, nil
 	}
@@ -584,20 +611,20 @@ func (s *Server) decodeData(w http.ResponseWriter, r *http.Request, needVector b
 	if !needVector {
 		return &req, schema, nil, nil, nil
 	}
-	var x []float64
+	var dense []float64
 	if req.Counts != nil {
 		if len(req.Counts) != schema.DomainSize() {
 			return nil, nil, nil, nil, fmt.Errorf("%w: counts has %d entries, domain needs %d",
 				repro.ErrDimensionMismatch, len(req.Counts), schema.DomainSize())
 		}
-		x = req.Counts
+		dense = req.Counts
 	} else {
 		tab := &repro.Table{Schema: schema, Rows: req.Rows}
-		if x, err = tab.Vector(); err != nil {
+		if dense, err = tab.Vector(); err != nil {
 			return nil, nil, nil, nil, fmt.Errorf("%w: %v", repro.ErrInvalidOption, err)
 		}
 	}
-	return &req, schema, x, nil, nil
+	return &req, schema, repro.NewBlockedVector(dense), nil, nil
 }
 
 // schemaMatches reports whether the inline schema names exactly the
@@ -783,25 +810,42 @@ func releaserKey(schema *repro.Schema, req *releaseRequest, kind repro.StrategyK
 	return b.String()
 }
 
-// spec maps the request's per-call parameters, clamping workers to the
-// server bound.
+// spec maps the request's per-call parameters, clamping workers and shards
+// to the server bounds.
 func (s *Server) spec(req *releaseRequest) repro.ReleaseSpec {
 	return repro.ReleaseSpec{
 		Epsilon: req.Epsilon,
 		Delta:   req.Delta,
 		Seed:    req.Seed,
 		Workers: s.workers(req.Workers),
+		Shards:  s.shards(req.Shards),
 		Label:   req.Label,
 	}
 }
 
 // workers clamps a requested per-request worker count to the server bound.
+// An absent request value adopts the bound itself: 0 would mean "all CPUs"
+// downstream, which is exactly what MaxWorkers exists to cap.
 func (s *Server) workers(requested int) int {
 	max := s.cfg.MaxWorkers
 	if requested <= 0 {
 		return max
 	}
 	if max > 0 && requested > max {
+		return max
+	}
+	return requested
+}
+
+// shards caps a requested per-request shard count at the server bound.
+// Unlike workers, an absent value stays 0 — the engine's auto-sharding —
+// because MaxShards guards against fragmentation, and forcing every
+// request to the cap would itself fragment small releases.
+func (s *Server) shards(requested int) int {
+	if requested <= 0 {
+		return 0
+	}
+	if max := s.cfg.MaxShards; max > 0 && requested > max {
 		return max
 	}
 	return requested

@@ -1,0 +1,178 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestAppendSumsAggregates: mode=append delta ingestion sums the new
+// stream's counts into the resident aggregate — equal to one combined
+// upload, cell for cell, bit for bit.
+func TestAppendSumsAggregates(t *testing.T) {
+	ctx := context.Background()
+	first, second := testRows(500), testRows(900)[500:]
+
+	s := memStore(t)
+	if _, err := s.IngestNDJSON(ctx, "d", strings.NewReader(ndjsonBody(first)), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.AppendNDJSON(ctx, "d", strings.NewReader(ndjsonBody(second)), IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 900 {
+		t.Fatalf("appended dataset reports %d rows, want 900", info.Rows)
+	}
+
+	combined := memStore(t)
+	if _, err := combined.IngestNDJSON(ctx, "d", strings.NewReader(ndjsonBody(testRows(900))), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ha, _ := s.Get("d")
+	defer ha.Close()
+	hb, _ := combined.Get("d")
+	defer hb.Close()
+	got, want := ha.Counts(), hb.Counts()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("cell %d: appended %v, combined upload %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAppendTransactional: schema mismatches, malformed streams and missing
+// datasets leave the resident aggregate untouched.
+func TestAppendTransactional(t *testing.T) {
+	ctx := context.Background()
+	s := memStore(t)
+	rows := testRows(100)
+	if _, err := s.IngestNDJSON(ctx, "d", strings.NewReader(ndjsonBody(rows)), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := s.Get("d")
+	before := h.Counts()
+	h.Close()
+
+	// Missing dataset.
+	if _, err := s.AppendNDJSON(ctx, "nope", strings.NewReader(ndjsonBody(rows)), IngestOptions{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("append to missing dataset: %v", err)
+	}
+	// Mismatched schema.
+	other := `{"schema":[{"name":"color","cardinality":3},{"name":"size","cardinality":2},{"name":"grade","cardinality":5}]}` + "\n[0,0,0]\n"
+	if _, err := s.AppendNDJSON(ctx, "d", strings.NewReader(other), IngestOptions{}); !errors.Is(err, ErrInvalidDataset) {
+		t.Fatalf("append with mismatched schema: %v", err)
+	}
+	// Malformed row mid-stream.
+	bad := testHeader + "\n[0,0,0]\n[9,9]\n"
+	if _, err := s.AppendNDJSON(ctx, "d", strings.NewReader(bad), IngestOptions{}); !errors.Is(err, ErrInvalidDataset) {
+		t.Fatalf("append with malformed row: %v", err)
+	}
+
+	h, _ = s.Get("d")
+	defer h.Close()
+	after := h.Counts()
+	info, _ := s.Describe("d")
+	if info.Rows != 100 {
+		t.Fatalf("failed appends changed the row count to %d", info.Rows)
+	}
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("failed appends changed cell %d", i)
+		}
+	}
+}
+
+// TestAppendHandlesSurviveAndConcurrency: handles over the pre-append
+// version keep their counts; concurrent appends all land (optimistic
+// retry), summing like a single combined stream.
+func TestAppendHandlesSurviveAndConcurrency(t *testing.T) {
+	ctx := context.Background()
+	s := memStore(t)
+	base := testRows(50)
+	if _, err := s.IngestNDJSON(ctx, "d", strings.NewReader(ndjsonBody(base)), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	old, _ := s.Get("d")
+	defer old.Close()
+	oldCounts := append([]float64(nil), old.Counts()...)
+
+	const appends = 8
+	var wg sync.WaitGroup
+	errs := make([]error, appends)
+	for i := 0; i < appends; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.AppendNDJSON(ctx, "d", strings.NewReader(testHeader+"\n[1,1,1]\n"), IngestOptions{Workers: 1})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	// The pinned handle still reads the pre-append aggregate.
+	for i, v := range old.Counts() {
+		if v != oldCounts[i] {
+			t.Fatalf("pinned handle changed at cell %d", i)
+		}
+	}
+	// The resident aggregate gained exactly `appends` tuples of [1,1,1].
+	schema := testSchema(t)
+	idx, err := schema.Encode([]int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := s.Get("d")
+	defer h.Close()
+	if got, want := h.Counts()[idx], oldCounts[idx]+appends; got != want {
+		t.Fatalf("cell [1,1,1] = %v, want %v", got, want)
+	}
+	if info, _ := s.Describe("d"); info.Rows != int64(len(base)+appends) {
+		t.Fatalf("rows = %d, want %d", info.Rows, len(base)+appends)
+	}
+}
+
+// TestAppendPersistsSnapshot: an append rewrites the snapshot, so a restart
+// serves the merged aggregate.
+func TestAppendPersistsSnapshot(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	s1, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.IngestNDJSON(ctx, "d", strings.NewReader(ndjsonBody(testRows(40))), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.AppendNDJSON(ctx, "d", strings.NewReader(testHeader+"\n[2,1,3]\n[2,1,3]\n"), IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := s1.Get("d")
+	want := h1.Counts()
+	h1.Close()
+
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s2.Get("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	got := h2.Counts()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("restarted store differs at cell %d", i)
+		}
+	}
+	if info, _ := s2.Describe("d"); info.Rows != 42 {
+		t.Fatalf("restarted rows = %d, want 42", info.Rows)
+	}
+}

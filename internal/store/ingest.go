@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dataset"
+	"repro/internal/vector"
 )
 
 // IngestOptions tunes the streaming decoder. The zero value is ready to
@@ -57,10 +58,61 @@ type batch struct {
 	lines []int64 // row i came from input line lines[i]
 }
 
+// accumBlockLen is the cell count of one ingest-accumulator shard (and of
+// every stored dataset vector): a power of two, so the cell→shard map is a
+// shift and the shards can feed transforms directly.
+const accumBlockLen = vector.DefaultBlockLen
+
+// accumulator is the sharded contingency accumulator: fixed cell-range
+// shards of int64 counters, each counter updated with a lock-free atomic
+// add (cell granularity — the shards exist for allocation and for feeding
+// vector.Blocked, not for locking). No contiguous 2^d slice is ever
+// allocated; the float conversion hands the shards to the release pipeline
+// block for block.
+type accumulator struct {
+	n      int
+	blocks [][]int64
+}
+
+func newAccumulator(n int) *accumulator {
+	a := &accumulator{n: n}
+	for lo := 0; lo < n; lo += accumBlockLen {
+		hi := lo + accumBlockLen
+		if hi > n {
+			hi = n
+		}
+		a.blocks = append(a.blocks, make([]int64, hi-lo))
+	}
+	return a
+}
+
+func (a *accumulator) add(idx int, c int64) {
+	atomic.AddInt64(&a.blocks[idx/accumBlockLen][idx%accumBlockLen], c)
+}
+
+// vector converts the aggregate into the blocked float vector the engine
+// consumes, shard by shard.
+func (a *accumulator) vector() *vector.Blocked {
+	fblocks := make([][]float64, len(a.blocks))
+	for i, bl := range a.blocks {
+		fb := make([]float64, len(bl))
+		for j, c := range bl {
+			fb[j] = float64(c)
+		}
+		fblocks[i] = fb
+	}
+	bv, err := vector.FromSlices(fblocks)
+	if err != nil {
+		// The shards are uniform by construction.
+		panic(err)
+	}
+	return bv
+}
+
 // ingestNDJSON streams the reader into an aggregated contingency vector.
-// Returns the schema from the header line, the counts (length 2^d) and the
-// row count. Any error rejects the whole stream.
-func ingestNDJSON(ctx context.Context, r io.Reader, opts IngestOptions) (*dataset.Schema, []float64, int64, error) {
+// Returns the schema from the header line, the sharded counts (2^d cells)
+// and the row count. Any error rejects the whole stream.
+func ingestNDJSON(ctx context.Context, r io.Reader, opts IngestOptions) (*dataset.Schema, *vector.Blocked, int64, error) {
 	maxLine := opts.MaxLineBytes
 	if maxLine <= 0 {
 		maxLine = DefaultMaxLineBytes
@@ -77,12 +129,10 @@ func ingestNDJSON(ctx context.Context, r io.Reader, opts IngestOptions) (*datase
 		return nil, nil, 0, err
 	}
 
-	// The contingency accumulator: one dense int64 vector, sharded at cell
-	// granularity — every cell is its own shard, updated with a lock-free
-	// atomic add. Workers pre-aggregate each batch in a local map first, so
-	// repeated tuples (the common case in low-cardinality relations) cost
-	// one atomic add per distinct cell per batch, not one per row.
-	counts := make([]int64, schema.DomainSize())
+	// Workers pre-aggregate each batch in a local map first, so repeated
+	// tuples (the common case in low-cardinality relations) cost one atomic
+	// add per distinct cell per batch, not one per row.
+	counts := newAccumulator(schema.DomainSize())
 	var rows atomic.Int64
 
 	work := make(chan batch, batchQueue)
@@ -112,7 +162,7 @@ func ingestNDJSON(ctx context.Context, r io.Reader, opts IngestOptions) (*datase
 					continue
 				}
 				for idx, c := range local {
-					atomic.AddInt64(&counts[idx], c)
+					counts.add(idx, c)
 				}
 				rows.Add(n)
 			}
@@ -131,11 +181,7 @@ func ingestNDJSON(ctx context.Context, r io.Reader, opts IngestOptions) (*datase
 	if feedErr != nil {
 		return nil, nil, 0, feedErr
 	}
-	out := make([]float64, len(counts))
-	for i, c := range counts {
-		out[i] = float64(c)
-	}
-	return schema, out, rows.Load(), nil
+	return schema, counts.vector(), rows.Load(), nil
 }
 
 // bufferFor sizes the bufio.Reader so ReadSlice's buffer-full condition is

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/strategy"
+	"repro/internal/vector"
 )
 
 // Snapshot codec — one frame per file; see the package documentation for
@@ -50,27 +51,40 @@ func snapName(id string) string { return id + datasetSnapExt }
 
 // encodeSnapshot assembles a complete frame in memory. Snapshot sizes are
 // bounded by the 2^d vector the process already holds, so one contiguous
-// buffer is fine and keeps the CRC and the atomic-rename write trivial.
-func encodeSnapshot(kind byte, meta any, floats []float64) ([]byte, error) {
+// frame buffer is fine and keeps the CRC and the atomic-rename write
+// trivial; the float payload is appended straight from the vector's shards
+// (nil for frames without a payload), so the vector itself is never
+// gathered.
+func encodeSnapshot(kind byte, meta any, vec *vector.Blocked) ([]byte, error) {
 	mj, err := json.Marshal(meta)
 	if err != nil {
 		return nil, fmt.Errorf("store: encoding snapshot metadata: %w", err)
 	}
-	buf := make([]byte, 0, len(snapMagic)+2+4+len(mj)+8+8*len(floats)+4)
+	n := 0
+	if vec != nil {
+		n = vec.Len()
+	}
+	buf := make([]byte, 0, len(snapMagic)+2+4+len(mj)+8+8*n+4)
 	buf = append(buf, snapMagic...)
 	buf = append(buf, snapVersion, kind)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(mj)))
 	buf = append(buf, mj...)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(floats)))
-	for _, v := range floats {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
+	if vec != nil {
+		for bi := 0; bi < vec.Blocks(); bi++ {
+			for _, v := range vec.Block(bi) {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+			}
+		}
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 	return buf, nil
 }
 
 // decodeSnapshot validates a frame and unpacks its metadata and floats.
-func decodeSnapshot(raw []byte, wantKind byte, meta any) ([]float64, error) {
+// The payload is decoded into the store's sharded vector layout (nil when
+// the frame carries none), never into one giant slice.
+func decodeSnapshot(raw []byte, wantKind byte, meta any) (*vector.Blocked, error) {
 	hdr := len(snapMagic) + 2 + 4
 	if len(raw) < hdr+8+4 {
 		return nil, fmt.Errorf("store: snapshot truncated (%d bytes)", len(raw))
@@ -101,18 +115,25 @@ func decodeSnapshot(raw []byte, wantKind byte, meta any) ([]float64, error) {
 	if uint64(len(body)-off) != 8*n {
 		return nil, fmt.Errorf("store: snapshot declares %d floats, carries %d bytes", n, len(body)-off)
 	}
-	floats := make([]float64, n)
-	for i := range floats {
-		floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[off+8*i:]))
+	if n == 0 {
+		return nil, nil
 	}
-	return floats, nil
+	vec := vector.NewBlockLen(int(n), accumBlockLen)
+	for bi := 0; bi < vec.Blocks(); bi++ {
+		bl := vec.Block(bi)
+		for i := range bl {
+			bl[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[off:]))
+			off += 8
+		}
+	}
+	return vec, nil
 }
 
 // writeSnapshotFile writes a frame to a fresh temporary file in dir and
 // returns its path; the caller renames it into place (atomically, under the
 // registry lock) or removes it on failure.
-func writeSnapshotFile(dir string, kind byte, meta any, floats []float64) (string, error) {
-	buf, err := encodeSnapshot(kind, meta, floats)
+func writeSnapshotFile(dir string, kind byte, meta any, vec *vector.Blocked) (string, error) {
+	buf, err := encodeSnapshot(kind, meta, vec)
 	if err != nil {
 		return "", err
 	}
@@ -161,9 +182,13 @@ func loadDatasetSnapshot(path string) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %s: %w", filepath.Base(path), err)
 	}
-	if len(counts) != schema.DomainSize() {
+	if counts == nil || counts.Len() != schema.DomainSize() {
+		got := 0
+		if counts != nil {
+			got = counts.Len()
+		}
 		return nil, fmt.Errorf("store: %s: %d counts for a domain of %d cells",
-			filepath.Base(path), len(counts), schema.DomainSize())
+			filepath.Base(path), got, schema.DomainSize())
 	}
 	return &Dataset{
 		id:      meta.ID,

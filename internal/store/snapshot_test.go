@@ -9,6 +9,7 @@ import (
 	"repro/internal/marginal"
 	"repro/internal/noise"
 	"repro/internal/strategy"
+	"repro/internal/vector"
 )
 
 // TestSnapshotCodecRoundTrip pins the frame format itself.
@@ -17,7 +18,7 @@ func TestSnapshotCodecRoundTrip(t *testing.T) {
 		Name string `json:"name"`
 	}
 	floats := []float64{0, 1.5, -3.25, 1e300}
-	raw, err := encodeSnapshot(kindDataset, meta{Name: "x"}, floats)
+	raw, err := encodeSnapshot(kindDataset, meta{Name: "x"}, vector.FromDense(floats))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,12 +27,12 @@ func TestSnapshotCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Name != "x" || len(back) != len(floats) {
+	if got.Name != "x" || back == nil || back.Len() != len(floats) {
 		t.Fatalf("round trip lost data: %+v %v", got, back)
 	}
 	for i := range floats {
-		if back[i] != floats[i] {
-			t.Fatalf("float %d: %v vs %v", i, back[i], floats[i])
+		if back.At(i) != floats[i] {
+			t.Fatalf("float %d: %v vs %v", i, back.At(i), floats[i])
 		}
 	}
 	if _, err := decodeSnapshot(raw, kindPlans, &got); err == nil {
@@ -100,16 +101,16 @@ func TestPlanPersistenceRoundTrip(t *testing.T) {
 	for i := range x {
 		x[i] = float64((i * 7) % 11)
 	}
-	za, zb := livePlan.TrueAnswers(x), restored.TrueAnswers(x)
+	za, zb := livePlan.Answers(x), restored.Answers(x)
 	gv := make([]float64, len(livePlan.Specs))
 	for i := range gv {
 		gv[i] = 1
 	}
-	ansA, _, err := livePlan.Recover(za, gv)
+	ansA, _, err := livePlan.RecoverDense(za, gv)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ansB, _, err := restored.Recover(zb, gv)
+	ansB, _, err := restored.RecoverDense(zb, gv)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/vector"
 )
 
 // Typed errors, tested with errors.Is. The serving layer maps ErrNotFound
@@ -52,12 +53,14 @@ type Store struct {
 }
 
 // Dataset is one ingested relation, reduced to its aggregated contingency
-// vector. Immutable after registration; replacing an id registers a new
-// Dataset, and handles over the old one stay valid.
+// vector — stored sharded (vector.Blocked), exactly as the ingest
+// accumulator built it, so releases feed the engine without ever gathering
+// one giant slice. Immutable after registration; replacing or appending to
+// an id registers a new Dataset, and handles over the old one stay valid.
 type Dataset struct {
 	id      string
 	schema  *dataset.Schema
-	counts  []float64
+	counts  *vector.Blocked
 	rows    int64
 	created time.Time
 
@@ -79,12 +82,18 @@ func (h *Handle) ID() string { return h.d.id }
 // Schema returns the dataset's schema.
 func (h *Handle) Schema() *dataset.Schema { return h.d.schema }
 
-// Counts returns the aggregated contingency vector (length 2^d). The slice
-// is shared by every handle over this dataset and by the engine reading it:
-// treat it as read-only. (Copying 2^d floats per release would defeat the
-// upload-once design; the engine's measure/recover stages never write to
-// their input vector.)
-func (h *Handle) Counts() []float64 { return h.d.counts }
+// Vector returns the aggregated contingency vector (2^d cells) in its
+// sharded form. The storage is shared by every handle over this dataset and
+// by the engine reading it: treat it as read-only. (Copying 2^d floats per
+// release would defeat the upload-once design; the engine's measure/recover
+// stages never write to their input vector.)
+func (h *Handle) Vector() *vector.Blocked { return h.d.counts }
+
+// Counts gathers the contingency vector into one dense slice — a
+// convenience for tests and small datasets; release paths read through
+// Vector instead, which never densifies. The result is a fresh copy when
+// the dataset spans multiple shards (treat it as read-only either way).
+func (h *Handle) Counts() []float64 { return h.d.counts.Dense() }
 
 // Rows returns the number of ingested tuples.
 func (h *Handle) Rows() int64 { return h.d.rows }
@@ -219,7 +228,8 @@ func (s *Store) IngestNDJSON(ctx context.Context, id string, r io.Reader, opts I
 }
 
 // PutCounts registers a pre-aggregated contingency vector directly (tests,
-// in-process embedders). The vector is copied.
+// in-process embedders). The vector is copied into the store's sharded
+// layout.
 func (s *Store) PutCounts(id string, schema *dataset.Schema, counts []float64, rows int64) (Info, error) {
 	if err := ValidateID(id); err != nil {
 		return Info{}, err
@@ -231,13 +241,65 @@ func (s *Store) PutCounts(id string, schema *dataset.Schema, counts []float64, r
 		return Info{}, fmt.Errorf("%w: counts has %d entries, domain needs %d",
 			ErrInvalidDataset, len(counts), schema.DomainSize())
 	}
+	bv := vector.NewBlockLen(len(counts), accumBlockLen)
+	bv.Scatter(counts)
 	return s.register(&Dataset{
 		id:      id,
 		schema:  schema,
-		counts:  append([]float64(nil), counts...),
+		counts:  bv,
 		rows:    rows,
 		created: time.Now().UTC(),
 	})
+}
+
+// AppendNDJSON streams an NDJSON body (same wire format as IngestNDJSON,
+// header line included) and sums its aggregated counts into the existing
+// dataset registered under id — delta ingestion for relations that grow.
+// The header schema must equal the resident dataset's schema exactly.
+//
+// Append is transactional: any decode, validation or persistence failure
+// leaves the resident dataset untouched, and a failed stream registers
+// nothing. The merged aggregate is installed as a new immutable Dataset
+// (snapshot rewritten atomically), so handles over the pre-append version
+// keep reading the counts they admitted. Concurrent appends serialise via
+// optimistic retry — each recomputes its sum against the current winner.
+func (s *Store) AppendNDJSON(ctx context.Context, id string, r io.Reader, opts IngestOptions) (Info, error) {
+	if err := ValidateID(id); err != nil {
+		return Info{}, err
+	}
+	schema, delta, rows, err := ingestNDJSON(ctx, r, opts)
+	if err != nil {
+		return Info{}, err
+	}
+	for {
+		s.mu.Lock()
+		old, ok := s.datasets[id]
+		s.mu.Unlock()
+		if !ok {
+			return Info{}, fmt.Errorf("%w: %q (append needs an existing dataset)", ErrNotFound, id)
+		}
+		if !old.schema.Equal(schema) {
+			return Info{}, fmt.Errorf("%w: append schema does not match dataset %q", ErrInvalidDataset, id)
+		}
+		// Datasets are immutable, so the sum over the grabbed snapshot is
+		// stable; per cell the order is resident + delta.
+		merged, err := vector.Sum(old.counts, delta)
+		if err != nil {
+			return Info{}, fmt.Errorf("%w: %v", ErrInvalidDataset, err)
+		}
+		next := &Dataset{
+			id:      id,
+			schema:  old.schema,
+			counts:  merged,
+			rows:    old.rows + rows,
+			created: time.Now().UTC(),
+		}
+		info, installed, err := s.registerIfCurrent(next, old)
+		if err != nil || installed {
+			return info, err
+		}
+		// A racing replace/append won; recompute against the new resident.
+	}
 }
 
 // register persists the snapshot (outside the lock — file IO must not block
@@ -245,22 +307,41 @@ func (s *Store) PutCounts(id string, schema *dataset.Schema, counts []float64, r
 // snapshot into place under the lock, so disk and memory always converge on
 // the same winner when two ingests race on one id.
 func (s *Store) register(d *Dataset) (Info, error) {
+	info, _, err := s.registerWhen(d, nil, false)
+	return info, err
+}
+
+// registerIfCurrent is register gated on the registry still holding expect
+// under d's id — the install step of an optimistic append. Reports whether
+// the install happened; a false return with nil error means the caller lost
+// a race and should recompute.
+func (s *Store) registerIfCurrent(d *Dataset, expect *Dataset) (Info, bool, error) {
+	return s.registerWhen(d, expect, true)
+}
+
+func (s *Store) registerWhen(d *Dataset, expect *Dataset, conditional bool) (Info, bool, error) {
 	var tmp string
 	if s.cfg.Dir != "" {
 		var err error
 		if tmp, err = writeDatasetSnapshotTmp(s.cfg.Dir, d); err != nil {
-			return Info{}, err
+			return Info{}, false, err
 		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if conditional && s.datasets[d.id] != expect {
+		if tmp != "" {
+			os.Remove(tmp)
+		}
+		return Info{}, false, nil
+	}
 	if _, replacing := s.datasets[d.id]; !replacing && s.cfg.MaxDatasets > 0 {
 		for len(s.datasets) >= s.cfg.MaxDatasets {
 			if !s.evictLocked() {
 				if tmp != "" {
 					os.Remove(tmp)
 				}
-				return Info{}, fmt.Errorf("%w: %d datasets resident, all with active handles",
+				return Info{}, false, fmt.Errorf("%w: %d datasets resident, all with active handles",
 					ErrStoreFull, len(s.datasets))
 			}
 		}
@@ -269,13 +350,13 @@ func (s *Store) register(d *Dataset) (Info, error) {
 		final := filepath.Join(s.cfg.Dir, snapName(d.id))
 		if err := os.Rename(tmp, final); err != nil {
 			os.Remove(tmp)
-			return Info{}, fmt.Errorf("store: installing snapshot: %w", err)
+			return Info{}, false, fmt.Errorf("store: installing snapshot: %w", err)
 		}
 	}
 	s.useSeq++
 	d.lastUsed = s.useSeq
 	s.datasets[d.id] = d
-	return s.infoLocked(d), nil
+	return s.infoLocked(d), true, nil
 }
 
 // evictLocked drops the least-recently-used unpinned dataset. Reports
@@ -370,7 +451,7 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	st := Stats{Datasets: len(s.datasets)}
 	for _, d := range s.datasets {
-		st.TotalCells += len(d.counts)
+		st.TotalCells += d.counts.Len()
 		st.TotalRows += d.rows
 		st.ActiveHandles += d.refs.Load()
 	}
@@ -385,7 +466,7 @@ func (s *Store) infoLocked(d *Dataset) Info {
 		ID:            d.id,
 		Schema:        append([]dataset.Attribute(nil), d.schema.Attrs...),
 		Rows:          d.rows,
-		Cells:         len(d.counts),
+		Cells:         d.counts.Len(),
 		ActiveHandles: d.refs.Load(),
 		Created:       d.created,
 		Persisted:     s.cfg.Dir != "",

@@ -1,0 +1,79 @@
+package strategy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/marginal"
+	"repro/internal/vector"
+)
+
+// TestAnswerBlockTilesTrueAnswers: for every strategy exposing per-block
+// answer slicing, tiling [0, Rows()) with AnswerBlock over a sharded input
+// vector is bit-identical to TrueAnswers over the dense input — the
+// contract the engine's sharded measure stage is built on.
+func TestAnswerBlockTilesTrueAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := 9
+	n := 1 << uint(d)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(rng.Intn(11)) * rng.Float64()
+	}
+	w := marginal.AllKWay(d, 2)
+	for _, s := range []Strategy{Identity{}, Workload{}, Cluster{}} {
+		plan, err := s.Plan(w)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if plan.AnswerBlock == nil {
+			t.Fatalf("%s: expected per-block answer slicing", s.Name())
+		}
+		want := plan.Answers(x)
+		for _, shards := range []int{1, 3, 8} {
+			for _, xblocks := range []int{1, 5} {
+				xv := vector.New(n, xblocks)
+				xv.Scatter(x)
+				rows := plan.Rows()
+				got := make([]float64, rows)
+				step := (rows + shards - 1) / shards
+				for lo := 0; lo < rows; lo += step {
+					hi := lo + step
+					if hi > rows {
+						hi = rows
+					}
+					plan.AnswerBlock(xv, lo, hi, got[lo:hi])
+				}
+				for i := range want {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("%s shards=%d xblocks=%d: row %d = %v, want %v",
+							s.Name(), shards, xblocks, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	// Fourier has no per-block slicing (the transform is global) but must be
+	// bit-identical across input blockings and worker counts.
+	plan, err := Fourier{}.Plan(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AnswerBlock != nil {
+		t.Fatal("fourier unexpectedly claims per-block answer slicing")
+	}
+	want := plan.Answers(x)
+	for _, xblocks := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 3} {
+			xv := vector.New(n, xblocks)
+			xv.Scatter(x)
+			got := plan.TrueAnswers(xv, workers)
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("fourier xblocks=%d workers=%d: coefficient %d differs", xblocks, workers, i)
+				}
+			}
+		}
+	}
+}

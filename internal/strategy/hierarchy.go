@@ -8,6 +8,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/marginal"
 	"repro/internal/transform"
+	"repro/internal/vector"
 )
 
 // HierarchyMarginal answers marginal workloads through the binary-tree
@@ -69,18 +70,20 @@ func (HierarchyMarginal) Plan(w *marginal.Workload) (*Plan, error) {
 	return &Plan{
 		Strategy: "H",
 		Specs:    specs,
-		TrueAnswers: func(x []float64) []float64 {
-			if len(x) != n {
-				panic(fmt.Sprintf("strategy: hierarchy expects %d cells, got %d", n, len(x)))
+		TrueAnswers: func(xv *vector.Blocked, _ int) []float64 {
+			if xv.Len() != n {
+				panic(fmt.Sprintf("strategy: hierarchy expects %d cells, got %d", n, xv.Len()))
 			}
 			// Heap layout is level-major from the root, matching the
-			// group-major spec layout.
-			return h.Answer(x)
+			// group-major spec layout. Answer builds its own 2N−1 output, so
+			// the gathered view is the only full-length read.
+			return h.Answer(xv.Dense())
 		},
-		Recover: func(z []float64, groupVar []float64) ([]float64, []float64, error) {
-			if len(z) != h.Rows() || len(groupVar) != levels {
-				return nil, nil, fmt.Errorf("strategy: hierarchy recover got %d answers, %d variances", len(z), len(groupVar))
+		Recover: func(zv *vector.Blocked, groupVar []float64) ([]float64, []float64, error) {
+			if zv.Len() != h.Rows() || len(groupVar) != levels {
+				return nil, nil, fmt.Errorf("strategy: hierarchy recover got %d answers, %d variances", zv.Len(), len(groupVar))
 			}
+			z := zv.Dense()
 			answers := make([]float64, 0, w.TotalCells())
 			cellVar := make([]float64, len(w.Marginals))
 			for i, m := range w.Marginals {

@@ -79,7 +79,7 @@ func TestHierarchyLosesToFourierOnMarginals(t *testing.T) {
 			t.Fatal(err)
 		}
 		groupVar := budget.SpecVariances(alloc.Eta, p)
-		_, cellVar, err := plan.Recover(plan.TrueAnswers(make([]float64, 1<<uint(d))), groupVar)
+		_, cellVar, err := plan.RecoverDense(plan.Answers(make([]float64, 1<<uint(d))), groupVar)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,14 +119,14 @@ func TestHierarchyEmpiricalVariance(t *testing.T) {
 	sumSq := make([]float64, len(truth))
 	var cellVar []float64
 	for tr := 0; tr < trials; tr++ {
-		z := plan.TrueAnswers(x)
+		z := plan.Answers(x)
 		for g, spec := range plan.Specs {
 			for r := 0; r < spec.Count; r++ {
 				z[offsets[g]+r] += p.RowNoise(src, alloc.Eta[g])
 			}
 		}
 		var answers []float64
-		answers, cellVar, err = plan.Recover(z, groupVar)
+		answers, cellVar, err = plan.RecoverDense(z, groupVar)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +179,7 @@ func TestWaveletLosesToFourierOnMarginals(t *testing.T) {
 			t.Fatal(err)
 		}
 		groupVar := budget.SpecVariances(alloc.Eta, p)
-		_, cellVar, err := plan.Recover(plan.TrueAnswers(make([]float64, 1<<uint(d))), groupVar)
+		_, cellVar, err := plan.RecoverDense(plan.Answers(make([]float64, 1<<uint(d))), groupVar)
 		if err != nil {
 			t.Fatal(err)
 		}

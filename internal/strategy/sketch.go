@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/marginal"
+	"repro/internal/vector"
 )
 
 // Sketch is the sparse-random-projection strategy of [5]: t independent
@@ -69,28 +70,30 @@ func (s Sketch) Plan(w *marginal.Workload) (*Plan, error) {
 	return &Plan{
 		Strategy: "S",
 		Specs:    specs,
-		TrueAnswers: func(x []float64) []float64 {
-			if len(x) != n {
-				panic(fmt.Sprintf("strategy: sketch expects %d cells, got %d", n, len(x)))
+		TrueAnswers: func(xv *vector.Blocked, _ int) []float64 {
+			if xv.Len() != n {
+				panic(fmt.Sprintf("strategy: sketch expects %d cells, got %d", n, xv.Len()))
 			}
 			out := make([]float64, t*b)
 			for r := 0; r < t; r++ {
 				base := r * b
-				for j, v := range x {
+				xv.Visit(func(j int, v float64) {
 					if v == 0 {
-						continue
+						return
 					}
 					out[base+int(bucket[r][j])] += float64(sign[r][j]) * v
-				}
+				})
 			}
 			return out
 		},
-		Recover: func(z []float64, groupVar []float64) ([]float64, []float64, error) {
-			if len(z) != t*b || len(groupVar) != t {
-				return nil, nil, fmt.Errorf("strategy: sketch recover got %d answers, %d variances", len(z), len(groupVar))
+		Recover: func(zv *vector.Blocked, groupVar []float64) ([]float64, []float64, error) {
+			if zv.Len() != t*b || len(groupVar) != t {
+				return nil, nil, fmt.Errorf("strategy: sketch recover got %d answers, %d variances", zv.Len(), len(groupVar))
 			}
 			// Per-cell estimates averaged over repetitions, then aggregated
-			// into the requested marginals.
+			// into the requested marginals. The sketch answer vector is tiny
+			// (t·b rows), so gathering it dense is free.
+			z := zv.Dense()
 			xhat := make([]float64, n)
 			for j := 0; j < n; j++ {
 				est := 0.0

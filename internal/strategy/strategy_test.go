@@ -31,7 +31,7 @@ func noiselessRoundTrip(t *testing.T, s Strategy, w *marginal.Workload, x []floa
 	if err != nil {
 		t.Fatal(err)
 	}
-	z := plan.TrueAnswers(x)
+	z := plan.Answers(x)
 	if len(z) != plan.Rows() {
 		t.Fatalf("%s: TrueAnswers length %d != Rows %d", s.Name(), len(z), plan.Rows())
 	}
@@ -39,7 +39,7 @@ func noiselessRoundTrip(t *testing.T, s Strategy, w *marginal.Workload, x []floa
 	for i := range groupVar {
 		groupVar[i] = 1 // nominal; zero noise injected
 	}
-	answers, cellVar, err := plan.Recover(z, groupVar)
+	answers, cellVar, err := plan.RecoverDense(z, groupVar)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,13 +226,13 @@ func TestEndToEndVarianceMatchesAnalytic(t *testing.T) {
 	offsets := plan.GroupOffsets()
 	sumSq := make([]float64, len(truth))
 	for tr := 0; tr < trials; tr++ {
-		z := plan.TrueAnswers(x)
+		z := plan.Answers(x)
 		for g, spec := range plan.Specs {
 			for r := 0; r < spec.Count; r++ {
 				z[offsets[g]+r] += p.RowNoise(src, alloc.Eta[g])
 			}
 		}
-		answers, _, err := plan.Recover(z, groupVar)
+		answers, _, err := plan.RecoverDense(z, groupVar)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,7 +241,7 @@ func TestEndToEndVarianceMatchesAnalytic(t *testing.T) {
 			sumSq[i] += dd * dd
 		}
 	}
-	_, cellVar, _ := plan.Recover(plan.TrueAnswers(x), groupVar)
+	_, cellVar, _ := plan.RecoverDense(plan.Answers(x), groupVar)
 	_ = cellVar
 	wOffsets := w.Offsets()
 	for mi := range w.Marginals {
@@ -259,8 +259,8 @@ func TestEndToEndVarianceMatchesAnalytic(t *testing.T) {
 func TestIdentityCellVarianceScalesWithOrder(t *testing.T) {
 	w := marginal.MustWorkload(6, []bits.Mask{0b000001, 0b000111})
 	plan, _ := Identity{}.Plan(w)
-	z := plan.TrueAnswers(make([]float64, 64))
-	_, cellVar, err := plan.Recover(z, []float64{3})
+	z := plan.Answers(make([]float64, 64))
+	_, cellVar, err := plan.RecoverDense(z, []float64{3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,9 +285,9 @@ func TestSketchRecoversSparsePointQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	z := plan.TrueAnswers(x)
+	z := plan.Answers(x)
 	groupVar := make([]float64, len(plan.Specs))
-	answers, _, err := plan.Recover(z, groupVar)
+	answers, _, err := plan.RecoverDense(z, groupVar)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +319,7 @@ func TestSketchDeterministicBySeed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return plan.TrueAnswers(x)
+		return plan.Answers(x)
 	}
 	a, b := mk(1), mk(1)
 	for i := range a {
@@ -348,7 +348,7 @@ func TestRecoverInputValidation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := plan.Recover([]float64{1}, []float64{1}); err == nil {
+		if _, _, err := plan.RecoverDense([]float64{1}, []float64{1}); err == nil {
 			t.Errorf("%s accepted malformed recover input", s.Name())
 		}
 	}

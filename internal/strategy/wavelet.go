@@ -8,6 +8,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/marginal"
 	"repro/internal/transform"
+	"repro/internal/vector"
 )
 
 // WaveletMarginal answers marginal workloads through the 1-D Haar wavelet
@@ -79,22 +80,23 @@ func (WaveletMarginal) Plan(w *marginal.Workload) (*Plan, error) {
 	return &Plan{
 		Strategy: "W",
 		Specs:    specs,
-		TrueAnswers: func(x []float64) []float64 {
-			if len(x) != n {
-				panic(fmt.Sprintf("strategy: wavelet expects %d cells, got %d", n, len(x)))
+		TrueAnswers: func(xv *vector.Blocked, _ int) []float64 {
+			if xv.Len() != n {
+				panic(fmt.Sprintf("strategy: wavelet expects %d cells, got %d", n, xv.Len()))
 			}
 			// Haar coefficients in natural order, which is level-major:
 			// level 0 = {0}, level l ≥ 1 = [2^{l−1}, 2^l) — matching the
 			// group-major spec layout the engine assumes.
 			out := make([]float64, n)
-			copy(out, x)
+			xv.CopyTo(out)
 			transform.Haar(out)
 			return out
 		},
-		Recover: func(z []float64, groupVar []float64) ([]float64, []float64, error) {
-			if len(z) != n || len(groupVar) != levels {
-				return nil, nil, fmt.Errorf("strategy: wavelet recover got %d answers, %d variances", len(z), len(groupVar))
+		Recover: func(zv *vector.Blocked, groupVar []float64) ([]float64, []float64, error) {
+			if zv.Len() != n || len(groupVar) != levels {
+				return nil, nil, fmt.Errorf("strategy: wavelet recover got %d answers, %d variances", zv.Len(), len(groupVar))
 			}
+			z := zv.Dense()
 			answers := make([]float64, totalCells)
 			cellVarByRow := make([]float64, totalCells)
 			for r, wr := range weightsRows {

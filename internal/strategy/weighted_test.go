@@ -95,7 +95,7 @@ func TestWeightedBudgetingShiftsNoise(t *testing.T) {
 				t.Fatal(err)
 			}
 			groupVar := budget.SpecVariances(alloc.Eta, p)
-			_, cellVar, err := plan.Recover(plan.TrueAnswers(make([]float64, 64)), groupVar)
+			_, cellVar, err := plan.RecoverDense(plan.Answers(make([]float64, 64)), groupVar)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -124,7 +124,7 @@ func TestWeightedObjectiveOptimality(t *testing.T) {
 			t.Fatal(err)
 		}
 		groupVar := budget.SpecVariances(alloc.Eta, p)
-		_, cellVar, err := plan.Recover(plan.TrueAnswers(make([]float64, 64)), groupVar)
+		_, cellVar, err := plan.RecoverDense(plan.Answers(make([]float64, 64)), groupVar)
 		if err != nil {
 			t.Fatal(err)
 		}

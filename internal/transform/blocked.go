@@ -1,0 +1,102 @@
+package transform
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/vector"
+)
+
+// WHTBlocked applies the orthonormal Walsh–Hadamard transform in place to a
+// blocked vector whose length and block length are both powers of two. The
+// butterfly network is data-independent, so the output is bit-identical to
+// WHT on the gathered dense vector at every block and worker count — but no
+// contiguous full-length slice is ever needed: stages with span below the
+// block length run block-locally (one worker pass over memory it owns), and
+// the remaining log₂(blocks) stages pair whole blocks at equal offsets,
+// barriered between stages to preserve the serial network's ascending-span
+// order. workers ≤ 0 uses one goroutine per block (bounded by the block
+// count); 1 runs serially.
+func WHTBlocked(b *vector.Blocked, workers int) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("transform: length %d is not a power of two", n))
+	}
+	bl := b.BlockLen()
+	if bl&(bl-1) != 0 {
+		panic(fmt.Sprintf("transform: block length %d is not a power of two", bl))
+	}
+	nb := b.Blocks()
+	if workers <= 0 || workers > nb {
+		workers = nb
+	}
+	scale := 1 / math.Sqrt(float64(n))
+	if nb == 1 {
+		seg := b.Block(0)
+		whtButterflies(seg)
+		for i := range seg {
+			seg[i] *= scale
+		}
+		return
+	}
+
+	// Stage 1: the h < blockLen butterflies stay inside one block; every
+	// worker runs the full local network on the blocks it owns.
+	sched := vector.Schedule(nb, workers)
+	var wg sync.WaitGroup
+	for _, list := range sched {
+		wg.Add(1)
+		go func(list []int) {
+			defer wg.Done()
+			for _, bi := range list {
+				whtButterflies(b.Block(bi))
+			}
+		}(list)
+	}
+	wg.Wait()
+
+	// Stage 2: spans h = blockLen, 2·blockLen, …, n/2 pair whole blocks: the
+	// partner of cell j is j+h, which sits at the same offset in block
+	// bi + h/blockLen. The lower block of each pair owns the butterfly and
+	// updates both halves; a barrier between spans preserves the serial
+	// order. (Same ownership rule as the dense WHTWorkers.)
+	for h := bl; h < n; h <<= 1 {
+		stride := h / bl
+		for _, list := range sched {
+			wg.Add(1)
+			go func(list []int) {
+				defer wg.Done()
+				for _, bi := range list {
+					if bi&stride != 0 {
+						continue // upper partner; its pair's owner updates it
+					}
+					lower, upper := b.Block(bi), b.Block(bi+stride)
+					for j := range lower {
+						a, c := lower[j], upper[j]
+						lower[j], upper[j] = a+c, a-c
+					}
+				}
+			}(list)
+		}
+		wg.Wait()
+	}
+
+	// Orthonormal scaling, block-parallel.
+	for _, list := range sched {
+		wg.Add(1)
+		go func(list []int) {
+			defer wg.Done()
+			for _, bi := range list {
+				seg := b.Block(bi)
+				for i := range seg {
+					seg[i] *= scale
+				}
+			}
+		}(list)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,49 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+// TestWHTBlockedBitIdentical: the blocked transform equals the serial dense
+// transform bit-for-bit at every (block, worker) combination.
+func TestWHTBlockedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, logN := range []int{0, 3, 8, 12} {
+		n := 1 << uint(logN)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := append([]float64(nil), x...)
+		WHTWorkers(want, 1)
+		for _, blockLen := range []int{n, n / 2, n / 8, 1 << 5, 1} {
+			if blockLen < 1 || blockLen > n {
+				continue
+			}
+			for _, workers := range []int{0, 1, 3, 8} {
+				b := vector.NewBlockLen(n, blockLen)
+				b.Scatter(x)
+				WHTBlocked(b, workers)
+				for i := 0; i < n; i++ {
+					if math.Float64bits(b.At(i)) != math.Float64bits(want[i]) {
+						t.Fatalf("n=%d blockLen=%d workers=%d: cell %d = %v, want %v",
+							n, blockLen, workers, i, b.At(i), want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWHTBlockedRejectsBadShapes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two block length accepted")
+		}
+	}()
+	WHTBlocked(vector.NewBlockLen(16, 3), 2)
+}

@@ -10,7 +10,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/noise"
+	"repro/internal/vector"
 )
+
+// BlockedVector is a contingency vector stored as contiguous cell-range
+// shards (see internal/vector): the form dataset aggregates take, and the
+// form ReleaseBlocked consumes without ever gathering one dense 2^d slice.
+type BlockedVector = vector.Blocked
+
+// NewBlockedVector copies a dense contingency vector into the sharded form.
+func NewBlockedVector(x []float64) *BlockedVector {
+	b := vector.NewBlockLen(len(x), vector.DefaultBlockLen)
+	b.Scatter(x)
+	return b
+}
 
 // Releaser is the long-lived service object of the package: constructed
 // once per (schema, workload) pair, it pre-plans the Step-1 strategy
@@ -36,6 +49,7 @@ type Releaser struct {
 	modifyNeighbors bool
 	queryWeights    []float64
 	workers         int
+	shards          int
 	cache           *PlanCache
 	ledger          *BudgetLedger
 	noPreplan       bool
@@ -68,6 +82,20 @@ func WithWorkers(n int) ReleaserOption {
 			return fmt.Errorf("%w: negative worker count %d", ErrInvalidOption, n)
 		}
 		r.workers = n
+		return nil
+	}
+}
+
+// WithShards bounds how many blocks the engine's measure stage partitions
+// the strategy-answer vector into. 0 (the default) auto-shards above the
+// engine's row threshold, 1 forces the monolithic path. Like WithWorkers,
+// the setting never changes a single bit of the release.
+func WithShards(n int) ReleaserOption {
+	return func(r *Releaser) error {
+		if n < 0 {
+			return fmt.Errorf("%w: negative shard count %d", ErrInvalidOption, n)
+		}
+		r.shards = n
 		return nil
 	}
 }
@@ -230,6 +258,10 @@ type ReleaseSpec struct {
 	// call (a server bounding per-request parallelism); 0 keeps the
 	// Releaser's setting.
 	Workers int
+	// Shards optionally overrides the Releaser's measure-stage shard bound
+	// for this call; 0 keeps the Releaser's setting. Like Workers, shards
+	// never change a single bit of the release.
+	Shards int
 	// Label names the release in the budget ledger; empty generates
 	// "release-N".
 	Label string
@@ -257,12 +289,29 @@ func (r *Releaser) Release(ctx context.Context, t *Table, spec ReleaseSpec) (*Re
 // ReleaseVector is Release for callers who already hold the contingency
 // vector.
 func (r *Releaser) ReleaseVector(ctx context.Context, x []float64, spec ReleaseSpec) (*Result, error) {
-	if err := validatePrivacy(spec.Epsilon, spec.Delta); err != nil {
-		return nil, err
-	}
 	if len(x) != 1<<uint(r.w.D) {
 		return nil, fmt.Errorf("%w: data vector has %d entries, domain needs %d",
 			ErrDimensionMismatch, len(x), 1<<uint(r.w.D))
+	}
+	return r.ReleaseBlocked(ctx, vector.FromDense(x), spec)
+}
+
+// ReleaseBlocked is ReleaseVector for callers holding the contingency
+// vector in sharded form — the dataset store's aggregate reaches the engine
+// here without ever being gathered into one dense slice. Bit-identical to
+// ReleaseVector over the same cells at the same spec, whatever the
+// blocking.
+func (r *Releaser) ReleaseBlocked(ctx context.Context, x *BlockedVector, spec ReleaseSpec) (*Result, error) {
+	if err := validatePrivacy(spec.Epsilon, spec.Delta); err != nil {
+		return nil, err
+	}
+	if x == nil || x.Len() != 1<<uint(r.w.D) {
+		got := 0
+		if x != nil {
+			got = x.Len()
+		}
+		return nil, fmt.Errorf("%w: data vector has %d entries, domain needs %d",
+			ErrDimensionMismatch, got, 1<<uint(r.w.D))
 	}
 	if err := r.charge(spec); err != nil {
 		return nil, err
@@ -279,14 +328,18 @@ func (r *Releaser) ReleaseVector(ctx context.Context, x []float64, spec ReleaseS
 	if spec.Workers > 0 {
 		workers = spec.Workers
 	}
-	rel, err := core.RunWithContext(ctx, r.w, x, core.Config{
+	shards := r.shards
+	if spec.Shards > 0 {
+		shards = spec.Shards
+	}
+	rel, err := core.RunVectorContext(ctx, r.w, x, core.Config{
 		Strategy:     r.strategy.impl(),
 		Budgeting:    budgeting,
 		Consistency:  cons,
 		Privacy:      r.params(spec),
 		Seed:         spec.Seed,
 		QueryWeights: r.queryWeights,
-	}, engine.Options{Workers: workers, Cache: r.cache})
+	}, engine.Options{Workers: workers, Shards: shards, Cache: r.cache})
 	if err != nil {
 		return nil, err
 	}
@@ -311,24 +364,11 @@ func (r *Releaser) ReleaseDataset(ctx context.Context, h *DatasetHandle, spec Re
 	// (one 16-ary column vs two 4-ary ones); releasing across that boundary
 	// would silently mislabel every marginal, so require attribute-level
 	// equality whenever the Releaser knows its schema.
-	if r.schema != nil && !schemasEqual(r.schema, h.Schema()) {
+	if r.schema != nil && !r.schema.Equal(h.Schema()) {
 		return nil, fmt.Errorf("%w: dataset %q schema does not match the Releaser's schema",
 			ErrDimensionMismatch, h.ID())
 	}
-	return r.ReleaseVector(ctx, h.Counts(), spec)
-}
-
-// schemasEqual compares attribute lists (name and cardinality, in order).
-func schemasEqual(a, b *Schema) bool {
-	if len(a.Attrs) != len(b.Attrs) {
-		return false
-	}
-	for i := range a.Attrs {
-		if a.Attrs[i] != b.Attrs[i] {
-			return false
-		}
-	}
-	return true
+	return r.ReleaseBlocked(ctx, h.Vector(), spec)
 }
 
 // Synthetic converts a consistent release from this Releaser into row-level
