@@ -2,8 +2,8 @@
 // synthetic-data releases over JSON/HTTP — the long-lived deployment shape
 // of the paper's mechanisms, where the expensive strategy planning is done
 // once per (schema, workload) and amortised across requests through a
-// shared plan cache, while a budget ledger enforces a global (ε, δ) cap
-// across everything the process ever releases.
+// shared plan cache, while budget ledgers enforce per-tenant and global
+// (ε, δ) caps across everything the process ever releases.
 //
 // Endpoints (see internal/server):
 //
@@ -24,14 +24,26 @@
 //	    -d '{"dataset_id":"people","workload":{"k":2},"epsilon":0.5,"seed":1}'
 //	curl -s localhost:8080/v1/budget
 //
+// Multi-tenant serving: -api-keys names a file of "key [ε-cap [δ-cap]]"
+// lines (or set DPCUBED_API_KEYS to comma-separated key[:ε[:δ]] entries);
+// every request must then present its key via X-API-Key or a Bearer
+// token, and spends against that key's own ledger while the global cap
+// still binds across all keys. -composition zcdp switches the ledgers to
+// Rényi/zCDP accounting (-target-delta sets the reporting δ, default the
+// δ cap), under which long sequences of small Gaussian releases compose
+// far tighter than plain summation.
+//
 // With -store-dir, ingested datasets are persisted as snapshots (schema +
 // aggregated counts, never raw rows) and reloaded on restart, so the
 // daemon answers releases for previously ingested datasets without
-// re-upload; warm cluster plans are persisted on graceful shutdown too.
+// re-upload; warm cluster plans and the ledgers' charge histories are
+// persisted on graceful shutdown (and every -plan-flush interval), so
+// neither planning work nor privacy spend is lost across restarts.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get -drain to finish, new connections are refused, and the final budget
-// ledger is printed to stderr so the spend survives in the logs.
+// ledgers (global and per key) are printed to stderr so the spend
+// survives in the logs.
 package main
 
 import (
@@ -58,10 +70,19 @@ func main() {
 		cacheSize  = flag.Int("cache-size", 0, "shared plan cache entries (0 = default)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		storeDir   = flag.String("store-dir", "", "dataset snapshot directory; empty keeps datasets in memory only")
-		planFlush  = flag.Duration("plan-flush", 0, "periodic plan-snapshot flush interval (0 = only on graceful shutdown); needs -store-dir")
+		planFlush  = flag.Duration("plan-flush", 0, "periodic plan+ledger snapshot flush interval (0 = only on graceful shutdown); needs -store-dir")
 		maxData    = flag.Int("max-datasets", 0, "resident dataset bound (0 = unlimited; past it the LRU unpinned dataset is evicted)")
+		apiKeys    = flag.String("api-keys", "", "API key file: one 'key [epsilon-cap [delta-cap]]' per line; empty falls back to $DPCUBED_API_KEYS, and with neither the server runs single-tenant and unauthenticated")
+		compMode   = flag.String("composition", "basic", "budget accounting: basic ((ε,δ) summation) or zcdp (Rényi/zCDP, tight composition of many small releases)")
+		targetDel  = flag.Float64("target-delta", 0, "δ at which zcdp accounting reports composed ε (0 = the delta cap)")
 	)
 	flag.Parse()
+
+	keys, err := loadKeys(*apiKeys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpcubed:", err)
+		os.Exit(2)
+	}
 
 	srv, err := server.New(server.Config{
 		EpsilonCap:  *epsCap,
@@ -71,6 +92,9 @@ func main() {
 		CacheSize:   *cacheSize,
 		StoreDir:    *storeDir,
 		MaxDatasets: *maxData,
+		APIKeys:     keys,
+		Composition: *compMode,
+		TargetDelta: *targetDel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpcubed:", err)
@@ -88,8 +112,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Periodic plan-snapshot flush: without it, plans planned since startup
-	// persist only on graceful shutdown, so a crash loses the warm cache.
+	// Periodic snapshot flush: without it, plans planned — and budget
+	// charged — since startup persist only on graceful shutdown, so a
+	// crash loses the warm cache and up to one interval of recorded spend.
 	if *planFlush > 0 && *storeDir != "" {
 		go func() {
 			tick := time.NewTicker(*planFlush)
@@ -104,6 +129,9 @@ func main() {
 					} else if n > 0 {
 						fmt.Fprintf(os.Stderr, "dpcubed: flushed %d warm plan(s)\n", n)
 					}
+					if _, err := srv.FlushLedgers(); err != nil {
+						fmt.Fprintln(os.Stderr, "dpcubed: ledger flush:", err)
+					}
 				}
 			}
 		}()
@@ -111,7 +139,11 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "dpcubed: serving on %s (ε cap %g, δ cap %g)\n", *addr, *epsCap, *deltaCap)
+		fmt.Fprintf(os.Stderr, "dpcubed: serving on %s (ε cap %g, δ cap %g, %s composition)\n",
+			*addr, *epsCap, *deltaCap, *compMode)
+		if len(keys) > 0 {
+			fmt.Fprintf(os.Stderr, "dpcubed: %d API key(s) configured; requests must authenticate\n", len(keys))
+		}
 		if st := srv.Store().Stats(); st.Datasets > 0 {
 			fmt.Fprintf(os.Stderr, "dpcubed: recovered %d dataset(s), %d stored cells from %s\n",
 				st.Datasets, st.TotalCells, *storeDir)
@@ -136,10 +168,23 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	// Persist warm plans so the next process skips re-planning; the spend
-	// is the one thing that must not vanish with the process.
+	// Persist warm plans and ledger histories so the next process skips
+	// re-planning and resumes every tenant's spend — the one thing that
+	// must not vanish with the process.
 	if err := srv.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "dpcubed: persisting plans:", err)
+		fmt.Fprintln(os.Stderr, "dpcubed: persisting snapshots:", err)
 	}
-	fmt.Fprint(os.Stderr, srv.Ledger().Summary())
+	fmt.Fprint(os.Stderr, srv.Budgets().Summary())
+}
+
+// loadKeys resolves the API key set: the -api-keys file when given,
+// otherwise the DPCUBED_API_KEYS environment variable, otherwise none.
+func loadKeys(path string) ([]server.KeyConfig, error) {
+	if path != "" {
+		return server.LoadAPIKeys(path)
+	}
+	if env := os.Getenv("DPCUBED_API_KEYS"); env != "" {
+		return server.ParseAPIKeysEnv(env)
+	}
+	return nil, nil
 }

@@ -50,13 +50,34 @@
 // across many Releasers — a serving process enforcing one budget over all
 // its schemas and workloads).
 //
+// How charges fold into total spend is pluggable (WithComposition):
+// BasicComposition is plain (ε, δ)-summation; ZCDPComposition accounts in
+// zero-concentrated DP — each charge converts to a ρ cost (exactly, when
+// the charge carries the Gaussian σ; otherwise from its (ε, δ) under this
+// package's noise calibration), ρ adds up, and spend reports as the tight
+// (ε, δ) at a target δ. Under zCDP a long sequence of small Gaussian
+// releases fits under caps that plain summation exhausts — fifty
+// (ε=0.05, δ=1e-9) releases compose to roughly ε≈0.29 at δ=1e-6 instead
+// of the summed ε=2.5.
+//
+// Multi-tenant accounting: WithBudgetCaps attaches a BudgetRegistry — one
+// ledger per key, each under its own (or the inherited global) cap, plus
+// the global ledger that every charge also passes through. A release
+// names its tenant with ReleaseSpec.Key; admission is all-or-nothing
+// across the key's ledger and the global one, so one tenant exhausting
+// its budget neither consumes nor unblocks another's, while the global
+// cap still bounds the whole deployment. The HTTP layer keys this by API
+// key (see below).
+//
 // The semantics of "spend": every admitted Release/ReleaseVector call
 // charges exactly its ReleaseSpec (ε, δ), atomically, before the mechanism
 // runs — concurrent releases can never jointly pass the cap, and a refused
 // release (ErrBudgetExhausted) spends nothing and never touches the data.
 // A release that fails after admission (including context cancellation)
 // stays charged: the conservative reading that keeps the guarantee sound
-// under partial executions. Post-processing is free: the consistency
+// under partial executions — noise may already have been drawn against the
+// data when the failure surfaced, and refunding would let a caller replay
+// aborted releases for free. Post-processing is free: the consistency
 // projection (or skipping it via WithoutConsistency) and synthetic-data
 // generation (Releaser.Synthetic, SyntheticData) never change what a
 // release costs.
@@ -92,8 +113,15 @@
 //	POST /v1/release    {"dataset_id":"people","workload":{"k":2},"epsilon":0.5,"seed":1}
 //	POST /v1/cube       {"dataset_id":"people","max_order":2,"epsilon":1}
 //	POST /v1/synthetic  {"dataset_id":"people","workload":{"k":1},"epsilon":0.5}
-//	GET  /v1/budget     — cumulative spend against the cap
-//	GET  /v1/metrics    — per-endpoint counters, spend, cache and store stats
+//	GET  /v1/budget     — the caller's spend against its cap (plus the global view)
+//	GET  /v1/metrics    — per-endpoint counters, per-key spend, cache and store stats
+//
+// The daemon is multi-tenant: with API keys configured (dpcubed
+// -api-keys, or server.Config.APIKeys) every request authenticates and
+// spends against its own per-key ledger under a still-binding global cap,
+// and ledger charge histories persist through the same snapshot codec as
+// datasets, so no tenant's spend resets on restart. dpcubed -composition
+// zcdp switches all ledgers to zCDP accounting.
 //
 // A dataset_id release is bit-identical to the equivalent rows-in-body
 // request at the same seed: the stored aggregate is exactly what

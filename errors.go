@@ -37,17 +37,72 @@ var (
 type BudgetLedger = accountant.Accountant
 
 // BudgetCharge is one ledger entry: a label, its (ε, δ) cost and an
-// optional population partition for parallel composition.
+// optional population partition for parallel composition. A charge may also
+// carry an explicit Gaussian (σ, sensitivity) pair, which the zCDP
+// composition prefers over the (ε, δ) conversion.
 type BudgetCharge = accountant.Charge
 
-// NewBudgetLedger returns a ledger with the given total (ε, δ) cap. A zero
-// deltaCap permits only pure-DP releases.
+// Composition selects how a ledger folds individual charges into total
+// spend: BasicComposition is plain (ε, δ)-summation with parallel
+// composition; ZCDPComposition converts each charge to a zCDP ρ, composes
+// by summation, and reports the tight (ε, δ) at a target δ — long
+// sequences of small releases pay far less than their sum.
+type Composition = accountant.Composition
+
+// BasicComposition is the default accounting: (ε, δ) summation within each
+// partition, the maximum across partitions.
+func BasicComposition() Composition { return accountant.Basic{} }
+
+// ZCDPComposition returns Rényi/zCDP accounting reporting composed spend as
+// the tight (ε, targetDelta). targetDelta must be in (0, 1) and no larger
+// than the δ cap of any ledger using it.
+func ZCDPComposition(targetDelta float64) (Composition, error) {
+	z, err := accountant.NewZCDP(targetDelta)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
+	}
+	return z, nil
+}
+
+// NewBudgetLedger returns a ledger with the given total (ε, δ) cap and the
+// basic composition. A zero deltaCap permits only pure-DP releases.
 func NewBudgetLedger(epsilonCap, deltaCap float64) (*BudgetLedger, error) {
-	l, err := accountant.New(epsilonCap, deltaCap)
+	return NewBudgetLedgerComposed(epsilonCap, deltaCap, BasicComposition())
+}
+
+// NewBudgetLedgerComposed is NewBudgetLedger under an explicit composition.
+func NewBudgetLedgerComposed(epsilonCap, deltaCap float64, comp Composition) (*BudgetLedger, error) {
+	l, err := accountant.NewComposed(epsilonCap, deltaCap, comp)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
 	}
 	return l, nil
+}
+
+// BudgetRegistry is the multi-tenant ledger: one BudgetLedger per
+// registered key, each under its own cap, plus a global ledger every charge
+// also passes through — admission is all-or-nothing across the pair. The
+// serving layer keys it by API key; library callers attach one to a
+// Releaser with WithBudgetCaps and route releases with ReleaseSpec.Key.
+type BudgetRegistry = accountant.Registry
+
+// BudgetKeyCaps caps one key's ledger in a BudgetRegistry; the zero value
+// inherits the registry's global caps.
+type BudgetKeyCaps = accountant.KeyCaps
+
+// NewBudgetRegistry builds a multi-tenant ledger registry with the given
+// global cap, composition (nil = basic) and per-key caps.
+func NewBudgetRegistry(epsilonCap, deltaCap float64, comp Composition, perKey map[string]BudgetKeyCaps) (*BudgetRegistry, error) {
+	r, err := accountant.NewRegistry(epsilonCap, deltaCap, comp)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
+	}
+	for key, caps := range perKey {
+		if err := r.SetKeyCaps(key, caps); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
+		}
+	}
+	return r, nil
 }
 
 // validatePrivacy applies the shared (ε, δ) admission checks.

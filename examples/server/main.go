@@ -1,13 +1,15 @@
-// Example server: the upload-once / release-many serving flow, in process.
-// A dataset is ingested exactly once as streaming NDJSON; every release
-// after that references it by id, so request bodies stop carrying the
-// relation. The programmatic equivalent of
+// Example server: the multi-tenant upload-once / release-many serving
+// flow, in process. A dataset is ingested exactly once as streaming
+// NDJSON; after that, two tenants — each authenticating with its own API
+// key — release against it, each spending its own budget ledger under a
+// still-binding global cap. The programmatic equivalent of
 //
-//	dpcubed -addr :8080 -epsilon-cap 2 &
+//	printf 'alice 0.75\nbob\n' > keys.txt
+//	dpcubed -addr :8080 -epsilon-cap 2 -delta-cap 1e-6 -api-keys keys.txt -composition zcdp &
 //	dpcube -ingest people.csv -server http://localhost:8080 -dataset people
-//	curl -s -X POST localhost:8080/v1/release \
+//	curl -s -X POST -H 'X-API-Key: alice' localhost:8080/v1/release \
 //	    -d '{"dataset_id":"people","workload":{"k":1},"epsilon":0.25,"seed":1}'
-//	curl -s localhost:8080/v1/budget
+//	curl -s -H 'X-API-Key: alice' localhost:8080/v1/budget
 //
 // Run with: go run ./examples/server
 package main
@@ -24,9 +26,19 @@ import (
 )
 
 func main() {
-	// One server = one dataset store + one plan cache + one budget ledger.
-	// Every request below shares all three.
-	srv, err := server.New(server.Config{EpsilonCap: 2, DeltaCap: 0})
+	// One server = one dataset store + one plan cache + one budget-ledger
+	// registry (a ledger per API key, plus the global ε=2 cap binding
+	// across both tenants). zCDP accounting composes the small Gaussian
+	// releases below far tighter than plain (ε, δ) summation would.
+	srv, err := server.New(server.Config{
+		EpsilonCap:  2,
+		DeltaCap:    1e-6,
+		Composition: "zcdp",
+		APIKeys: []server.KeyConfig{
+			{Key: "alice", EpsilonCap: 0.75, DeltaCap: 1e-6},
+			{Key: "bob"}, // inherits the global caps
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,42 +47,58 @@ func main() {
 
 	// Upload once: the body streams as NDJSON — a schema header line, then
 	// one JSON array per tuple. The daemon aggregates on the fly and never
-	// buffers the rows; ingestion is free (no privacy spent).
+	// buffers the rows; ingestion is free (no privacy spent), but like
+	// every request it must authenticate.
 	var nd strings.Builder
 	nd.WriteString(`{"schema":[{"name":"age-band","cardinality":8},{"name":"smoker","cardinality":2}]}` + "\n")
 	for i := 0; i < 200; i++ {
 		fmt.Fprintf(&nd, "[%d,%d]\n", i%8, (i/3)%2)
 	}
 	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/datasets/people", strings.NewReader(nd.String()))
+	req.Header.Set("X-API-Key", "alice")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	show("PUT /v1/datasets/people", resp)
+	show("PUT /v1/datasets/people (alice)", resp)
 
-	// Release many: two different workloads and budgets over the stored
-	// aggregate — no rows in either body. The same seed would reproduce a
+	// Release many: each tenant spends its own ledger over the stored
+	// aggregate — no rows in any body. The same seed would reproduce a
 	// rows-in-body release bit for bit.
-	for _, body := range []string{
-		`{"dataset_id":"people","workload":{"k":1},"epsilon":0.25,"seed":1}`,
-		`{"dataset_id":"people","workload":{"k":2},"epsilon":0.5,"seed":2}`,
+	for _, call := range []struct{ key, body string }{
+		{"alice", `{"dataset_id":"people","workload":{"k":1},"epsilon":0.25,"delta":1e-9,"seed":1}`},
+		{"bob", `{"dataset_id":"people","workload":{"k":2},"epsilon":0.5,"delta":1e-9,"seed":2}`},
 	} {
-		resp, err := http.Post(ts.URL+"/v1/release", "application/json", strings.NewReader(body))
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/release", strings.NewReader(call.body))
+		req.Header.Set("X-API-Key", call.key)
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			log.Fatal(err)
 		}
-		show("POST /v1/release", resp)
+		show("POST /v1/release ("+call.key+")", resp)
 	}
 
-	// The ledger saw both releases (0.75 of the 2.0 cap); the metrics
-	// endpoint shows the same plus cache and store counters.
+	// Each tenant sees its own spend plus the global view; the metrics
+	// endpoint breaks spend out per key next to cache and store counters.
+	// Note the zCDP budget: both releases together report composed spend
+	// at δ=1e-6, well under their summed ε.
 	for _, path := range []string{"/v1/budget", "/v1/metrics"} {
-		resp, err := http.Get(ts.URL + path)
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		req.Header.Set("X-API-Key", "alice")
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			log.Fatal(err)
 		}
-		show("GET "+path, resp)
+		show("GET "+path+" (alice)", resp)
 	}
+
+	// A missing or unknown key is a 401: tenancy is not optional once
+	// keys are configured.
+	resp, err = http.Get(ts.URL + "/v1/budget")
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("GET /v1/budget (no key)", resp)
 }
 
 func show(what string, resp *http.Response) {

@@ -11,6 +11,16 @@
 // The accountant is a ledger with a hard cap: Charge refuses any release
 // that would push the total past the cap, which turns accidental budget
 // overruns into errors instead of silent privacy loss.
+//
+// How charges fold into total spend is pluggable (Composition): Basic is
+// the plain sequential+parallel accountant above, ZCDP composes in
+// zero-concentrated DP so many small releases pay the tight advanced-
+// composition price instead of their (ε, δ)-sum.
+//
+// A multi-tenant service holds one Registry instead of one Accountant: a
+// ledger per API key, each with its own cap, plus a global ledger that
+// every charge passes through — one tenant exhausting its budget never
+// touches another's, while the process-wide cap still binds (see Registry).
 package accountant
 
 import (
@@ -23,42 +33,77 @@ import (
 // ErrBudgetExceeded is returned when a charge would pass the cap.
 var ErrBudgetExceeded = errors.New("accountant: privacy budget exceeded")
 
-// Charge records one release's cost.
+// Charge records one release's cost. The JSON tags are the stable wire form
+// of ledger snapshots (internal/store persists charge histories so spend
+// survives daemon restarts).
 type Charge struct {
-	Label   string
-	Epsilon float64
-	Delta   float64
+	Label   string  `json:"label,omitempty"`
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta,omitempty"`
 	// Partition names the disjoint population slice the release touched;
 	// charges with the same non-empty Partition compose sequentially with
 	// each other but in parallel across partitions. An empty Partition
 	// means the whole population.
-	Partition string
+	Partition string `json:"partition,omitempty"`
+	// Sigma, when positive, additionally describes the charge as a Gaussian
+	// mechanism with noise σ = Sigma and L2 sensitivity Sensitivity
+	// (default 1): the ZCDP composition then uses the exact ρ = Δ²/(2σ²)
+	// instead of converting from (ε, δ). Basic composition ignores both.
+	Sigma       float64 `json:"sigma,omitempty"`
+	Sensitivity float64 `json:"sensitivity,omitempty"`
 }
 
 // Accountant is a concurrency-safe privacy ledger. The zero value is not
-// usable; construct with New.
+// usable; construct with New or NewComposed.
 type Accountant struct {
 	mu      sync.Mutex
 	epsCap  float64
 	delCap  float64
+	comp    Composition
 	charges []Charge
 }
 
-// New builds an accountant with the given total (ε, δ) cap. A zero δ cap
-// permits only pure-DP releases.
+// New builds an accountant with the given total (ε, δ) cap and the Basic
+// composition. A zero δ cap permits only pure-DP releases.
 func New(epsilonCap, deltaCap float64) (*Accountant, error) {
+	return NewComposed(epsilonCap, deltaCap, Basic{})
+}
+
+// NewComposed is New with an explicit composition. A ZCDP composition whose
+// target δ exceeds the δ cap is refused: its composed δ would bounce every
+// single charge off the cap.
+func NewComposed(epsilonCap, deltaCap float64, comp Composition) (*Accountant, error) {
 	if epsilonCap <= 0 {
 		return nil, fmt.Errorf("accountant: epsilon cap must be positive, got %v", epsilonCap)
 	}
 	if deltaCap < 0 || deltaCap >= 1 {
 		return nil, fmt.Errorf("accountant: delta cap must be in [0,1), got %v", deltaCap)
 	}
-	return &Accountant{epsCap: epsilonCap, delCap: deltaCap}, nil
+	if comp == nil {
+		return nil, fmt.Errorf("accountant: nil composition")
+	}
+	if z, ok := comp.(ZCDP); ok {
+		if _, err := NewZCDP(z.TargetDelta); err != nil {
+			return nil, err
+		}
+		if z.TargetDelta > deltaCap {
+			return nil, fmt.Errorf("accountant: zCDP target delta %v above the delta cap %v (every charge would be refused)",
+				z.TargetDelta, deltaCap)
+		}
+	}
+	return &Accountant{epsCap: epsilonCap, delCap: deltaCap, comp: comp}, nil
 }
 
-// Spent returns the current composed cost: within each partition charges
-// add up (sequential composition); across partitions the maximum applies
-// (parallel composition); whole-population charges add to every partition.
+// Composition returns the ledger's accounting mode.
+func (a *Accountant) Composition() Composition { return a.comp }
+
+// Caps returns the configured (ε, δ) cap.
+func (a *Accountant) Caps() (epsilon, delta float64) { return a.epsCap, a.delCap }
+
+// Spent returns the current composed cost under the ledger's composition:
+// within each partition charges compose sequentially, across partitions the
+// maximum applies (parallel composition), and whole-population charges add
+// to every partition.
 func (a *Accountant) Spent() (epsilon, delta float64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -66,44 +111,23 @@ func (a *Accountant) Spent() (epsilon, delta float64) {
 }
 
 func (a *Accountant) spentLocked() (float64, float64) {
-	var globalEps, globalDel float64
-	perPartEps := map[string]float64{}
-	perPartDel := map[string]float64{}
-	for _, c := range a.charges {
-		if c.Partition == "" {
-			globalEps += c.Epsilon
-			globalDel += c.Delta
-			continue
-		}
-		perPartEps[c.Partition] += c.Epsilon
-		perPartDel[c.Partition] += c.Delta
-	}
-	maxEps, maxDel := 0.0, 0.0
-	for p, e := range perPartEps {
-		if e > maxEps {
-			maxEps = e
-		}
-		if d := perPartDel[p]; d > maxDel {
-			maxDel = d
-		}
-	}
-	return globalEps + maxEps, globalDel + maxDel
+	return a.comp.Compose(a.charges)
 }
 
-// Remaining returns the unspent budget.
+// Remaining returns the unspent budget, clamped at zero: the admission
+// tolerance in Charge can leave composed spend a few ulps past the cap,
+// and a ledger must report that as "nothing left", never as negative
+// budget.
 func (a *Accountant) Remaining() (epsilon, delta float64) {
 	e, d := a.Spent()
-	return a.epsCap - e, a.delCap - d
+	return max(0, a.epsCap-e), max(0, a.delCap-d)
 }
 
 // Charge records a release if it fits under the cap; otherwise it returns
 // ErrBudgetExceeded and records nothing.
 func (a *Accountant) Charge(c Charge) error {
-	if c.Epsilon <= 0 {
-		return fmt.Errorf("accountant: charge epsilon must be positive, got %v", c.Epsilon)
-	}
-	if c.Delta < 0 || c.Delta >= 1 {
-		return fmt.Errorf("accountant: charge delta must be in [0,1), got %v", c.Delta)
+	if err := validateCharge(c); err != nil {
+		return err
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -111,9 +135,60 @@ func (a *Accountant) Charge(c Charge) error {
 	eps, del := a.spentLocked()
 	if eps > a.epsCap+1e-12 || del > a.delCap+1e-15 {
 		a.charges = a.charges[:len(a.charges)-1]
-		return fmt.Errorf("%w: charge %q needs (ε=%v, δ=%v) beyond cap (%v, %v); spent (%v, %v)",
-			ErrBudgetExceeded, c.Label, c.Epsilon, c.Delta, a.epsCap, a.delCap, eps-c.Epsilon, del-c.Delta)
+		// Prior spend is recomputed with the candidate popped — only on
+		// this rare refusal path, keeping admission at one Compose. Under
+		// parallel composition (and zCDP's non-additive conversion) the
+		// composed total minus the charge's own (ε, δ) is NOT the prior
+		// spend: a refused charge in a non-maximal partition would report
+		// garbage, possibly negative.
+		priorEps, priorDel := a.spentLocked()
+		return fmt.Errorf("%w: charge %q (ε=%v, δ=%v) would raise spend from (%v, %v) to (%v, %v), beyond cap (%v, %v)",
+			ErrBudgetExceeded, c.Label, c.Epsilon, c.Delta, priorEps, priorDel, eps, del, a.epsCap, a.delCap)
 	}
+	return nil
+}
+
+func validateCharge(c Charge) error {
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("accountant: charge epsilon must be positive, got %v", c.Epsilon)
+	}
+	if c.Delta < 0 || c.Delta >= 1 {
+		return fmt.Errorf("accountant: charge delta must be in [0,1), got %v", c.Delta)
+	}
+	if c.Sigma < 0 || c.Sensitivity < 0 {
+		return fmt.Errorf("accountant: charge sigma/sensitivity must be non-negative, got (%v, %v)", c.Sigma, c.Sensitivity)
+	}
+	return nil
+}
+
+// refund removes the most recently recorded charge equal to c. It exists
+// for multi-ledger admission (Registry): when a charge admitted by a
+// per-key ledger is then refused by the global one, the local admission
+// must be undone or the key pays for a release that never ran.
+func (a *Accountant) refund(c Charge) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := len(a.charges) - 1; i >= 0; i-- {
+		if a.charges[i] == c {
+			a.charges = append(a.charges[:i], a.charges[i+1:]...)
+			return
+		}
+	}
+}
+
+// restore appends previously recorded charges without the cap admission
+// check — the replay path for ledger snapshots. Spend history is a fact:
+// if the caps shrank since the snapshot was written, the history still
+// stands and future charges are what the (now tighter) cap refuses.
+func (a *Accountant) restore(charges []Charge) error {
+	for _, c := range charges {
+		if err := validateCharge(c); err != nil {
+			return fmt.Errorf("accountant: restoring ledger: %w", err)
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.charges = append(a.charges, charges...)
 	return nil
 }
 
@@ -131,8 +206,8 @@ func (a *Accountant) Summary() string {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	eps, del := a.spentLocked()
-	s := fmt.Sprintf("privacy spent: ε=%.4g/%.4g, δ=%.3g/%.3g over %d releases\n",
-		eps, a.epsCap, del, a.delCap, len(a.charges))
+	s := fmt.Sprintf("privacy spent (%s composition): ε=%.4g/%.4g, δ=%.3g/%.3g over %d releases\n",
+		a.comp.Name(), eps, a.epsCap, del, a.delCap, len(a.charges))
 	byPart := map[string][]Charge{}
 	for _, c := range a.charges {
 		byPart[c.Partition] = append(byPart[c.Partition], c)

@@ -1,0 +1,39 @@
+package accountant
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkLedgerSpent measures a composed Spent over a 10k-charge history
+// — the admission-path cost of a long-lived multi-tenant daemon, tracked
+// per PR through the CI bench artifact.
+func BenchmarkLedgerSpent(b *testing.B) {
+	charges := make([]Charge, 10_000)
+	for i := range charges {
+		charges[i] = Charge{
+			Label:     "r",
+			Epsilon:   0.001,
+			Delta:     1e-9,
+			Partition: fmt.Sprintf("p%d", i%16),
+		}
+	}
+	for _, comp := range []Composition{Basic{}, ZCDP{TargetDelta: 1e-6}} {
+		b.Run(comp.Name(), func(b *testing.B) {
+			a, err := NewComposed(1e9, 1e-3, comp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := a.restore(charges); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if e, _ := a.Spent(); e <= 0 {
+					b.Fatal("zero spend")
+				}
+			}
+		})
+	}
+}

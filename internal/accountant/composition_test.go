@@ -1,0 +1,197 @@
+package accountant
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestChargeErrorReportsPriorSpend pins the satellite bugfix: a refused
+// charge reports the spend that stood BEFORE it, not the composed total
+// minus its own (ε, δ) — which under parallel composition is wrong whenever
+// the refused charge sits in a non-maximal partition.
+func TestChargeErrorReportsPriorSpend(t *testing.T) {
+	a, err := New(1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Charge(Charge{Label: "big", Epsilon: 0.9, Partition: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Charge(Charge{Label: "small", Epsilon: 0.05, Partition: "B"}); err != nil {
+		t.Fatal(err)
+	}
+	// Composed spend is max(0.9, 0.05) = 0.9. Adding 0.3 to B keeps the
+	// max at... 0.9 still, admitted. Adding 0.99 to B flips the max to
+	// 1.04 > cap: refused. The buggy report was 1.04-0.99 = 0.05; the true
+	// prior spend is 0.9.
+	err = a.Charge(Charge{Label: "flip", Epsilon: 0.99, Partition: "B"})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("expected refusal, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "from (0.9, 0)") {
+		t.Fatalf("refusal must report the true prior spend 0.9, got: %v", err)
+	}
+	if strings.Contains(err.Error(), "0.05000000000000004") || strings.Contains(err.Error(), "from (0.05") {
+		t.Fatalf("refusal reports composed-minus-charge instead of prior spend: %v", err)
+	}
+}
+
+// TestRemainingClampsAtZero: the 1e-12 admission tolerance can leave
+// composed spend a few ulps past the cap (0.1+0.2 > 0.3 in float64);
+// Remaining must clamp at zero instead of going negative.
+func TestRemainingClampsAtZero(t *testing.T) {
+	a, err := New(0.3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Charge(Charge{Label: "a", Epsilon: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Charge(Charge{Label: "b", Epsilon: 0.2}); err != nil {
+		t.Fatalf("0.1+0.2 is within the admission tolerance of cap 0.3: %v", err)
+	}
+	if eps, _ := a.Spent(); eps <= 0.3 {
+		t.Skipf("float sum %v did not overshoot the cap on this platform", eps)
+	}
+	if e, d := a.Remaining(); e < 0 || d < 0 {
+		t.Fatalf("Remaining went negative: (%v, %v)", e, d)
+	} else if e != 0 {
+		t.Fatalf("Remaining epsilon = %v, want exactly 0 after clamping", e)
+	}
+}
+
+// TestSpentPartitionPermutationInvariance is the property test: composed
+// spend is a function of the charge multiset, not of arrival order, for
+// both compositions. (Bitwise equality is not promised — float addition
+// reorders — so the tolerance is tight but not zero.)
+func TestSpentPartitionPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	parts := []string{"", "A", "B", "C", "D"}
+	for _, comp := range []Composition{Basic{}, ZCDP{TargetDelta: 1e-6}} {
+		for trial := 0; trial < 25; trial++ {
+			n := 5 + rng.Intn(40)
+			charges := make([]Charge, n)
+			for i := range charges {
+				charges[i] = Charge{
+					Label:     "c",
+					Epsilon:   0.01 + rng.Float64()*0.2,
+					Delta:     float64(rng.Intn(2)) * 1e-9,
+					Partition: parts[rng.Intn(len(parts))],
+				}
+			}
+			refEps, refDel := comp.Compose(charges)
+			for p := 0; p < 8; p++ {
+				shuffled := append([]Charge(nil), charges...)
+				rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+				eps, del := comp.Compose(shuffled)
+				if math.Abs(eps-refEps) > 1e-9*(1+refEps) || math.Abs(del-refDel) > 1e-15 {
+					t.Fatalf("%s: permutation changed spend: (%v, %v) vs (%v, %v)",
+						comp.Name(), eps, del, refEps, refDel)
+				}
+			}
+			// Cross-check Basic against an independent per-partition fold.
+			if comp.Name() == "basic" {
+				var global, maxPart float64
+				sums := map[string]float64{}
+				for _, c := range charges {
+					if c.Partition == "" {
+						global += c.Epsilon
+					} else {
+						sums[c.Partition] += c.Epsilon
+					}
+				}
+				for _, v := range sums {
+					maxPart = math.Max(maxPart, v)
+				}
+				if math.Abs(refEps-(global+maxPart)) > 1e-9 {
+					t.Fatalf("basic composition disagrees with reference: %v vs %v", refEps, global+maxPart)
+				}
+			}
+		}
+	}
+}
+
+// TestZCDPAdmitsWhatSummationRefuses is the acceptance sequence: 50 small
+// Gaussian releases (ε=0.05, δ=1e-9) fit under (ε=1, δ=1e-6) with zCDP
+// accounting, while plain summation (Σε = 2.5) refuses long before the
+// 50th.
+func TestZCDPAdmitsWhatSummationRefuses(t *testing.T) {
+	comp, err := NewZCDP(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zc, err := NewComposed(1.0, 1e-6, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, err := New(1.0, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Charge{Label: "g", Epsilon: 0.05, Delta: 1e-9}
+	basicRefusedAt := -1
+	for i := 0; i < 50; i++ {
+		if err := zc.Charge(c); err != nil {
+			t.Fatalf("zCDP refused charge %d: %v", i, err)
+		}
+		if basicRefusedAt < 0 {
+			if err := basic.Charge(c); errors.Is(err, ErrBudgetExceeded) {
+				basicRefusedAt = i
+			}
+		}
+	}
+	if basicRefusedAt < 0 {
+		t.Fatal("basic summation admitted all 50 charges; the sequence does not discriminate")
+	}
+	eps, del := zc.Spent()
+	if eps >= 1.0 || del != 1e-6 {
+		t.Fatalf("zCDP spent (%v, %v), want ε under the 1.0 cap at δ=1e-6", eps, del)
+	}
+	// Sanity: the composed ε is the analytic ρ-sum conversion.
+	rho := 50 * Rho(c)
+	want := rho + 2*math.Sqrt(rho*math.Log(1e6))
+	if math.Abs(eps-want) > 1e-12 {
+		t.Fatalf("composed ε %v, analytic %v", eps, want)
+	}
+}
+
+// TestRhoConversions pins the three per-charge conversions.
+func TestRhoConversions(t *testing.T) {
+	// Pure DP: ε-DP ⇒ ε²/2.
+	if got, want := Rho(Charge{Epsilon: 0.4}), 0.08; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("pure-DP rho %v, want %v", got, want)
+	}
+	// (ε, δ): matches the noise package's σ = √(2·ln(2/δ))/ε calibration.
+	c := Charge{Epsilon: 0.5, Delta: 1e-6}
+	if got, want := Rho(c), 0.25/(4*math.Log(2e6)); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("(ε,δ) rho %v, want %v", got, want)
+	}
+	// Explicit σ wins over (ε, δ): exact Δ²/(2σ²).
+	g := Charge{Epsilon: 9, Delta: 0.5, Sigma: 2, Sensitivity: 1}
+	if got, want := Rho(g), 0.125; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("sigma rho %v, want %v", got, want)
+	}
+	// Default sensitivity is 1.
+	if Rho(Charge{Sigma: 2}) != Rho(g) {
+		t.Fatal("missing sensitivity must default to 1")
+	}
+}
+
+// TestZCDPValidation: constructor and cap-fit checks.
+func TestZCDPValidation(t *testing.T) {
+	if _, err := NewZCDP(0); err == nil {
+		t.Error("target delta 0 accepted")
+	}
+	if _, err := NewZCDP(1); err == nil {
+		t.Error("target delta 1 accepted")
+	}
+	if _, err := NewComposed(1, 1e-9, ZCDP{TargetDelta: 1e-6}); err == nil {
+		t.Error("target delta above the delta cap accepted (every charge would be refused)")
+	}
+	if _, err := NewComposed(1, 0, nil); err == nil {
+		t.Error("nil composition accepted")
+	}
+}

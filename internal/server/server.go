@@ -1,8 +1,8 @@
 // Package server is the JSON-over-HTTP serving layer over the repro
 // service API: a long-lived process holding one Releaser per
 // (schema, workload, mechanism) key, one shared plan cache across all of
-// them, one shared budget ledger enforcing a global (ε, δ) cap, and one
-// dataset store for the upload-once / release-many flow.
+// them, a budget-ledger registry enforcing per-tenant and global (ε, δ)
+// caps, and one dataset store for the upload-once / release-many flow.
 //
 // Endpoints:
 //
@@ -14,7 +14,7 @@
 //	POST   /v1/release       — private marginals (rows, counts or dataset_id)
 //	POST   /v1/cube          — private datacube (all cuboids up to max_order)
 //	POST   /v1/synthetic     — release + row-level synthetic microdata
-//	GET    /v1/budget        — cumulative privacy spend against the cap
+//	GET    /v1/budget        — the caller's privacy spend against its cap
 //	GET    /v1/metrics       — request/error counters, spend, cache, store
 //
 // Release-shaped requests carry their data as exactly one of rows (tuples
@@ -23,10 +23,42 @@
 // request bodies stop hauling the relation around). The heavy,
 // privacy-independent planning work is keyed on (schema, workload,
 // strategy) and amortised across requests through the shared PlanCache.
-// Every release charges the ledger on admission; once the cap would be
-// passed the server answers 429 without touching the data. Ingestion is
-// free: PUT /v1/datasets never charges the ledger — privacy is spent when
-// answers leave, not when data arrives.
+//
+// # Multi-tenant budget accounting
+//
+// With Config.APIKeys set, every request must present a known key in an
+// X-API-Key header (or Authorization: Bearer); an unknown or missing key
+// is 401. Each key spends against its own ledger — per-key caps from the
+// key file, or the global caps by default — while the global cap still
+// binds across all of them: a charge is admitted by both ledgers or by
+// neither, so one tenant's 429 never consumes (or unblocks) another's
+// budget. GET /v1/budget answers with the caller's own spend plus the
+// global view, and /v1/metrics breaks spend out per key. Without APIKeys
+// the server runs single-tenant against the global ledger, as before.
+//
+// How charges compose is configurable (Config.Composition): "basic" sums
+// (ε, δ) with parallel composition across partitions; "zcdp" converts
+// each charge to a zCDP ρ, sums, and reports the tight (ε, δ) at
+// Config.TargetDelta — long sequences of small Gaussian releases then fit
+// under caps that plain summation would exhaust.
+//
+// The charge-at-admission contract: every release charges its (ε, δ)
+// atomically BEFORE the mechanism runs — concurrent requests can never
+// jointly pass a cap, and a refused request (429) spends nothing and
+// never touches the data. The flip side is deliberate: a charge admitted
+// for a release that then fails (client disconnect → 499, engine fault →
+// 500) is retained, because noise may already have been drawn against the
+// data by the time the failure surfaces. The error body says so
+// explicitly. Requests that fail validation (400) are always free —
+// validation runs before admission. Ingestion is free too: PUT
+// /v1/datasets never charges a ledger; privacy is spent when answers
+// leave, not when data arrives.
+//
+// With persistence (Config.StoreDir), every ledger's charge history is
+// snapshotted through the store codec — periodically via FlushLedgers and
+// on Close — and replayed on startup, so per-key spend survives a daemon
+// restart; a corrupt ledger snapshot refuses startup rather than silently
+// handing tenants a fresh budget.
 //
 // Typed errors from the repro package map onto status codes: invalid
 // parameters (ErrInvalidEpsilon, ErrInvalidDelta, ErrDimensionMismatch,
@@ -38,6 +70,8 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -49,6 +83,7 @@ import (
 	"sync/atomic"
 
 	"repro"
+	"repro/internal/accountant"
 	"repro/internal/store"
 )
 
@@ -85,6 +120,20 @@ type Config struct {
 	// MaxDatasets bounds the dataset registry (0 = unlimited); past it the
 	// least-recently-used unpinned dataset is evicted on ingest.
 	MaxDatasets int
+	// APIKeys enables multi-tenant authentication when non-empty: every
+	// request must present one of these keys (X-API-Key header or
+	// Authorization: Bearer) and spends against that key's own ledger,
+	// with the global (EpsilonCap, DeltaCap) still binding across all
+	// keys. Empty runs the server single-tenant and unauthenticated.
+	APIKeys []KeyConfig
+	// Composition selects the ledger accounting: "basic" (default —
+	// plain (ε, δ) summation with parallel composition) or "zcdp"
+	// (Rényi/zCDP: charges convert to ρ, compose by summation, and spend
+	// reports as the tight (ε, δ) at TargetDelta).
+	Composition string
+	// TargetDelta is the δ at which zcdp accounting reports composed ε
+	// (0 = the DeltaCap). Ignored for basic.
+	TargetDelta float64
 }
 
 const (
@@ -95,11 +144,13 @@ const (
 // Server is the HTTP handler. Construct with New; it is safe for
 // concurrent use.
 type Server struct {
-	cfg    Config
-	ledger *repro.BudgetLedger
-	cache  *repro.PlanCache
-	store  *store.Store
-	mux    *http.ServeMux
+	cfg     Config
+	ledgers *repro.BudgetRegistry
+	keys    map[string]bool // valid API keys; empty map = auth disabled
+	cache   *repro.PlanCache
+	store   *store.Store
+	mux     *http.ServeMux
+	relSeq  atomic.Uint64 // default ledger-label counter
 
 	mu        sync.Mutex
 	releasers map[string]*repro.Releaser
@@ -117,7 +168,23 @@ type endpointMetrics struct {
 
 // New validates the configuration and builds a ready-to-serve handler.
 func New(cfg Config) (*Server, error) {
-	ledger, err := repro.NewBudgetLedger(cfg.EpsilonCap, cfg.DeltaCap)
+	comp, err := compositionFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	perKey := make(map[string]repro.BudgetKeyCaps, len(cfg.APIKeys))
+	keys := make(map[string]bool, len(cfg.APIKeys))
+	for _, kc := range cfg.APIKeys {
+		if kc.Key == "" {
+			return nil, fmt.Errorf("%w: empty API key", repro.ErrInvalidOption)
+		}
+		if keys[kc.Key] {
+			return nil, fmt.Errorf("%w: duplicate API key %q", repro.ErrInvalidOption, kc.Key)
+		}
+		keys[kc.Key] = true
+		perKey[kc.Key] = kc.caps()
+	}
+	ledgers, err := repro.NewBudgetRegistry(cfg.EpsilonCap, cfg.DeltaCap, comp, perKey)
 	if err != nil {
 		return nil, err
 	}
@@ -131,9 +198,17 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Replay the previous process's privacy spend. Unlike plans (below), a
+	// corrupt ledger snapshot refuses startup: serving with a silently
+	// zeroed ledger would hand every tenant a fresh budget over the same
+	// data.
+	if _, err := st.LoadLedgers(ledgers); err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:       cfg,
-		ledger:    ledger,
+		ledgers:   ledgers,
+		keys:      keys,
 		cache:     repro.NewPlanCacheSize(cfg.CacheSize),
 		store:     st,
 		releasers: map[string]*repro.Releaser{},
@@ -155,8 +230,24 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// route registers a handler wrapped in per-endpoint request/error counters;
-// the pattern itself is the metrics key.
+// compositionFor maps the wire name onto a ledger composition.
+func compositionFor(cfg Config) (repro.Composition, error) {
+	switch strings.ToLower(cfg.Composition) {
+	case "", "basic":
+		return repro.BasicComposition(), nil
+	case "zcdp":
+		target := cfg.TargetDelta
+		if target == 0 {
+			target = cfg.DeltaCap
+		}
+		return repro.ZCDPComposition(target)
+	default:
+		return nil, fmt.Errorf("%w: unknown composition %q (want basic or zcdp)", repro.ErrInvalidOption, cfg.Composition)
+	}
+}
+
+// route registers a handler wrapped in authentication and per-endpoint
+// request/error counters; the pattern itself is the metrics key.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	m := &endpointMetrics{}
 	s.metricNames = append(s.metricNames, pattern)
@@ -164,11 +255,53 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		m.requests.Add(1)
 		sw := &statusWriter{ResponseWriter: w}
-		h(sw, r)
+		if key, err := s.authenticate(r); err != nil {
+			writeJSON(sw, http.StatusUnauthorized, errorResponse{Error: err.Error()})
+		} else {
+			h(sw, r.WithContext(withAPIKey(r.Context(), key)))
+		}
 		if sw.status >= 400 {
 			m.errors.Add(1)
 		}
 	})
+}
+
+// authenticate resolves the caller's API key. With auth disabled every
+// request maps to the anonymous key "" (the global, single-tenant ledger);
+// with auth enabled a missing or unknown key is refused. The error never
+// echoes the presented key.
+func (s *Server) authenticate(r *http.Request) (string, error) {
+	if len(s.keys) == 0 {
+		return "", nil
+	}
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		if ah := r.Header.Get("Authorization"); strings.HasPrefix(ah, "Bearer ") {
+			key = strings.TrimPrefix(ah, "Bearer ")
+		}
+	}
+	if key == "" {
+		return "", errors.New("missing API key (X-API-Key header or Authorization: Bearer)")
+	}
+	if !s.keys[key] {
+		return "", errors.New("unknown API key")
+	}
+	return key, nil
+}
+
+// apiKeyCtx carries the authenticated key through the request context.
+type apiKeyCtx struct{}
+
+func withAPIKey(ctx context.Context, key string) context.Context {
+	if key == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, apiKeyCtx{}, key)
+}
+
+func apiKeyFrom(ctx context.Context) string {
+	key, _ := ctx.Value(apiKeyCtx{}).(string)
+	return key
 }
 
 // statusWriter records the first status written so the metrics wrapper can
@@ -188,9 +321,12 @@ func (w *statusWriter) WriteHeader(code int) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Ledger exposes the shared budget ledger (cmd/dpcubed prints a summary on
-// shutdown).
-func (s *Server) Ledger() *repro.BudgetLedger { return s.ledger }
+// Ledger exposes the global budget ledger (every charge, all keys).
+func (s *Server) Ledger() *repro.BudgetLedger { return s.ledgers.Global() }
+
+// Budgets exposes the full ledger registry (cmd/dpcubed prints its summary
+// on shutdown; tests read per-key spend).
+func (s *Server) Budgets() *repro.BudgetRegistry { return s.ledgers }
 
 // CacheStats exposes the shared plan cache counters.
 func (s *Server) CacheStats() repro.CacheStats { return s.cache.Stats() }
@@ -206,13 +342,24 @@ func (s *Server) FlushPlans() (int, error) {
 	return s.store.SavePlans(s.cache)
 }
 
-// Close persists the plan cache's rebuildable plans through the store (a
-// no-op without StoreDir) so the next process skips the expensive cluster
-// planning on schemas this one already served. Dataset snapshots were
-// already written at ingest time; Close adds no dataset work.
+// FlushLedgers persists every ledger's charge history through the store
+// (a no-op without StoreDir), returning the number of global charges
+// written. The daemon calls it periodically alongside FlushPlans so a
+// crash loses at most one flush interval of spend — and Close calls it so
+// a graceful restart loses none.
+func (s *Server) FlushLedgers() (int, error) {
+	return s.store.SaveLedgers(s.ledgers)
+}
+
+// Close persists the plan cache's rebuildable plans and the budget
+// ledgers through the store (no-ops without StoreDir): the next process
+// skips the expensive cluster planning and resumes every tenant's spend
+// where this one stopped. Dataset snapshots were already written at
+// ingest time; Close adds no dataset work.
 func (s *Server) Close() error {
-	_, err := s.FlushPlans()
-	return err
+	_, perr := s.FlushPlans()
+	_, lerr := s.FlushLedgers()
+	return errors.Join(perr, lerr)
 }
 
 // ---------------------------------------------------------------------------
@@ -255,6 +402,10 @@ type releaseRequest struct {
 	Workers         int    `json:"workers,omitempty"`
 	Shards          int    `json:"shards,omitempty"`
 	Label           string `json:"label,omitempty"`
+	// Partition names the disjoint population slice this release touches,
+	// for parallel composition in the ledger; empty means the whole
+	// population.
+	Partition string `json:"partition,omitempty"`
 
 	// SyntheticSeed seeds tuple sampling on /v1/synthetic.
 	SyntheticSeed int64 `json:"synthetic_seed,omitempty"`
@@ -274,6 +425,15 @@ type budgetJSON struct {
 	DeltaSpent   float64 `json:"delta_spent"`
 	DeltaCap     float64 `json:"delta_cap"`
 	Releases     int     `json:"releases"`
+}
+
+// budgetResponse is GET /v1/budget: the caller's own ledger (the global
+// one when auth is off), plus — for authenticated tenants — the global
+// view their charges also count against.
+type budgetResponse struct {
+	budgetJSON
+	Key    string      `json:"key,omitempty"`
+	Global *budgetJSON `json:"global,omitempty"`
 }
 
 type releaseResponse struct {
@@ -319,10 +479,12 @@ type metricsBudgetJSON struct {
 }
 
 type metricsResponse struct {
-	Endpoints map[string]endpointJSON `json:"endpoints"`
-	Budget    metricsBudgetJSON       `json:"budget"`
-	PlanCache cacheJSON               `json:"plan_cache"`
-	Datasets  store.Stats             `json:"datasets"`
+	Endpoints   map[string]endpointJSON      `json:"endpoints"`
+	Budget      metricsBudgetJSON            `json:"budget"`
+	Composition string                       `json:"composition"`
+	PerKey      map[string]metricsBudgetJSON `json:"per_key_budget,omitempty"`
+	PlanCache   cacheJSON                    `json:"plan_cache"`
+	Datasets    store.Stats                  `json:"datasets"`
 }
 
 type datasetListResponse struct {
@@ -346,16 +508,27 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
+	// Admission: validation first (a malformed request must be a free
+	// 400), then the atomic two-level charge. Everything after the charge
+	// is on the retained-charge side of the contract.
+	if err := validateSpec(req); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	if err := s.charge(r, req, "release"); err != nil {
+		s.fail(w, r, err)
+		return
+	}
 	res, err := rel.ReleaseBlocked(r.Context(), x, s.spec(req))
 	if err != nil {
-		s.fail(w, r, err)
+		s.failRetained(w, r, err, req)
 		return
 	}
 	writeJSON(w, http.StatusOK, releaseResponse{
 		Strategy:      res.Strategy,
 		TotalVariance: res.TotalVariance,
 		Tables:        tablesJSON(res),
-		Budget:        s.budget(),
+		Budget:        s.budgetFor(apiKeyFrom(r.Context())),
 	})
 }
 
@@ -378,15 +551,23 @@ func (s *Server) handleSynthetic(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
+	if err := validateSpec(req); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	if err := s.charge(r, req, "synthetic"); err != nil {
+		s.fail(w, r, err)
+		return
+	}
 	res, err := rel.ReleaseBlocked(r.Context(), x, s.spec(req))
 	if err != nil {
-		s.fail(w, r, err)
+		s.failRetained(w, r, err, req)
 		return
 	}
 	// Sampling is free post-processing: no further ledger spend.
 	syn, err := rel.Synthetic(r.Context(), res, req.SyntheticSeed)
 	if err != nil {
-		s.fail(w, r, err)
+		s.failRetained(w, r, err, req)
 		return
 	}
 	rows := syn.Rows
@@ -397,7 +578,7 @@ func (s *Server) handleSynthetic(w http.ResponseWriter, r *http.Request) {
 		Strategy: res.Strategy,
 		Count:    syn.Count(),
 		Rows:     rows,
-		Budget:   s.budget(),
+		Budget:   s.budgetFor(apiKeyFrom(r.Context())),
 	})
 }
 
@@ -428,14 +609,10 @@ func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
-	// The cube path charges the shared ledger directly (it does not go
-	// through a Releaser): admission first, then the mechanism.
-	label := req.Label
-	if label == "" {
-		label = fmt.Sprintf("cube-%d-way", req.MaxOrder)
-	}
-	if err := s.ledger.Charge(repro.BudgetCharge{Label: label, Epsilon: req.Epsilon, Delta: req.Delta}); err != nil {
-		s.fail(w, r, fmt.Errorf("%w: %v", repro.ErrBudgetExhausted, err))
+	// Admission first, then the mechanism; a post-admission failure keeps
+	// the charge (see failRetained).
+	if err := s.charge(r, req, fmt.Sprintf("cube-%d-way", req.MaxOrder)); err != nil {
+		s.fail(w, r, err)
 		return
 	}
 	cube, err := repro.ReleaseCubeBlockedContext(r.Context(), schema, x, req.MaxOrder, repro.Options{
@@ -449,7 +626,7 @@ func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
 		Cache:         s.cache,
 	})
 	if err != nil {
-		s.fail(w, r, err)
+		s.failRetained(w, r, err, req)
 		return
 	}
 	cuboids := make([]marginalJSON, len(cube.Lattice.Cuboids))
@@ -464,12 +641,22 @@ func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
 		MaxOrder:      req.MaxOrder,
 		TotalVariance: cube.TotalVariance,
 		Cuboids:       cuboids,
-		Budget:        s.budget(),
+		Budget:        s.budgetFor(apiKeyFrom(r.Context())),
 	})
 }
 
 func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.budget())
+	key := apiKeyFrom(r.Context())
+	if key == "" {
+		writeJSON(w, http.StatusOK, budgetResponse{budgetJSON: s.budget()})
+		return
+	}
+	global := s.budget()
+	writeJSON(w, http.StatusOK, budgetResponse{
+		budgetJSON: s.budgetFor(key),
+		Key:        key,
+		Global:     &global,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -478,18 +665,57 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m := s.metrics[name]
 		eps[name] = endpointJSON{Requests: m.requests.Load(), Errors: m.errors.Load()}
 	}
-	b := s.budget()
+	var perKey map[string]metricsBudgetJSON
+	if keys := s.ledgers.Keys(); len(keys) > 0 {
+		perKey = make(map[string]metricsBudgetJSON, len(keys))
+		for _, k := range keys {
+			l, err := s.ledgers.Ledger(k)
+			if err != nil {
+				continue
+			}
+			// Keys are credentials shared with no one but their tenant:
+			// the per-key breakdown is labelled by redacted identifiers,
+			// never the raw keys — any single authenticated tenant can
+			// read /v1/metrics and must not learn the others' secrets.
+			perKey[redactKey(k)] = metricsBudget(l)
+		}
+	}
 	cs := s.cache.Stats()
 	writeJSON(w, http.StatusOK, metricsResponse{
-		Endpoints: eps,
-		Budget: metricsBudgetJSON{
-			budgetJSON:       b,
-			EpsilonRemaining: s.cfg.EpsilonCap - b.EpsilonSpent,
-			DeltaRemaining:   s.cfg.DeltaCap - b.DeltaSpent,
-		},
-		PlanCache: cacheJSON{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries},
-		Datasets:  s.store.Stats(),
+		Endpoints:   eps,
+		Budget:      metricsBudget(s.ledgers.Global()),
+		Composition: s.ledgers.Composition().Name(),
+		PerKey:      perKey,
+		PlanCache:   cacheJSON{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries},
+		Datasets:    s.store.Stats(),
 	})
+}
+
+// redactKey maps an API key to a stable non-secret identifier: the first
+// four characters (enough for an operator to recognise their own naming
+// scheme) plus a short SHA-256 fingerprint (enough to disambiguate, and
+// recomputable by anyone who holds the key file).
+func redactKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	prefix := key
+	if len(prefix) > 4 {
+		prefix = prefix[:4]
+	}
+	return prefix + "…" + hex.EncodeToString(sum[:4])
+}
+
+// metricsBudget reads one ledger's spend and remaining budget. Remaining
+// comes from the ledger itself — the single source of truth, clamped at
+// zero there — not from re-deriving caps-minus-spent here, which went
+// stale (and slightly negative, via the admission tolerance) the moment
+// ledgers stopped being one global object.
+func metricsBudget(l *repro.BudgetLedger) metricsBudgetJSON {
+	er, dr := l.Remaining()
+	return metricsBudgetJSON{
+		budgetJSON:       ledgerJSON(l),
+		EpsilonRemaining: er,
+		DeltaRemaining:   dr,
+	}
 }
 
 // handleDatasetPut streams the NDJSON body into the store: mode empty or
@@ -724,10 +950,12 @@ func (s *Server) releaser(ctx context.Context, schema *repro.Schema, req *releas
 	if ok {
 		return r, nil
 	}
+	// No ledger is attached: admission is the server's job (s.charge), a
+	// single point that knows the caller's key — Releasers here are pure
+	// mechanism runners shared across tenants.
 	opts := []repro.ReleaserOption{
 		repro.WithStrategy(kind),
 		repro.WithCache(s.cache),
-		repro.WithBudgetLedger(s.ledger),
 	}
 	if req.UniformBudget {
 		opts = append(opts, repro.WithUniformBudget())
@@ -851,14 +1079,64 @@ func (s *Server) shards(requested int) int {
 	return requested
 }
 
-func (s *Server) budget() budgetJSON {
-	eps, del := s.ledger.Spent()
+// charge is the single admission point of every release-shaped endpoint:
+// one atomic two-level charge (the caller's ledger and the global one, or
+// neither) before the mechanism runs. A refusal maps to ErrBudgetExhausted
+// (429) with the refusing cap named in the message.
+func (s *Server) charge(r *http.Request, req *releaseRequest, defaultLabel string) error {
+	label := req.Label
+	if label == "" {
+		label = fmt.Sprintf("%s-%d", defaultLabel, s.relSeq.Add(1))
+	}
+	err := s.ledgers.Charge(apiKeyFrom(r.Context()), repro.BudgetCharge{
+		Label:     label,
+		Epsilon:   req.Epsilon,
+		Delta:     req.Delta,
+		Partition: req.Partition,
+	})
+	if err != nil {
+		if errors.Is(err, accountant.ErrBudgetExceeded) {
+			return fmt.Errorf("%w: %v", repro.ErrBudgetExhausted, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// failRetained reports a post-admission failure — client disconnect (499),
+// engine fault (500) — whose charge is deliberately kept: by the time the
+// failure surfaced, noise may already have been drawn against the data, so
+// refunding would let a client replay aborted releases for free. The error
+// body states the contract so the retained charge is documented behavior,
+// not a surprise in the next GET /v1/budget.
+func (s *Server) failRetained(w http.ResponseWriter, r *http.Request, err error, req *releaseRequest) {
+	s.fail(w, r, fmt.Errorf(
+		"%w (the admitted charge ε=%v, δ=%v is retained: budget is spent at admission, not on completion)",
+		err, req.Epsilon, req.Delta))
+}
+
+// budget reads the global ledger; budgetFor reads the caller's own.
+func (s *Server) budget() budgetJSON { return ledgerJSON(s.ledgers.Global()) }
+
+func (s *Server) budgetFor(key string) budgetJSON {
+	l, err := s.ledgers.Ledger(key)
+	if err != nil {
+		// Unreachable in practice: authentication only admits registered
+		// keys. Fall back to the global view rather than panic.
+		return s.budget()
+	}
+	return ledgerJSON(l)
+}
+
+func ledgerJSON(l *repro.BudgetLedger) budgetJSON {
+	eps, del := l.Spent()
+	epsCap, delCap := l.Caps()
 	return budgetJSON{
 		EpsilonSpent: eps,
-		EpsilonCap:   s.cfg.EpsilonCap,
+		EpsilonCap:   epsCap,
 		DeltaSpent:   del,
-		DeltaCap:     s.cfg.DeltaCap,
-		Releases:     s.ledger.Count(),
+		DeltaCap:     delCap,
+		Releases:     l.Count(),
 	}
 }
 

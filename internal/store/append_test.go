@@ -36,7 +36,7 @@ func TestAppendSumsAggregates(t *testing.T) {
 	defer ha.Close()
 	hb, _ := combined.Get("d")
 	defer hb.Close()
-	got, want := ha.Counts(), hb.Counts()
+	got, want := DenseCounts(ha), DenseCounts(hb)
 	for i := range want {
 		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
 			t.Fatalf("cell %d: appended %v, combined upload %v", i, got[i], want[i])
@@ -54,7 +54,7 @@ func TestAppendTransactional(t *testing.T) {
 		t.Fatal(err)
 	}
 	h, _ := s.Get("d")
-	before := h.Counts()
+	before := DenseCounts(h)
 	h.Close()
 
 	// Missing dataset.
@@ -74,7 +74,7 @@ func TestAppendTransactional(t *testing.T) {
 
 	h, _ = s.Get("d")
 	defer h.Close()
-	after := h.Counts()
+	after := DenseCounts(h)
 	info, _ := s.Describe("d")
 	if info.Rows != 100 {
 		t.Fatalf("failed appends changed the row count to %d", info.Rows)
@@ -98,7 +98,7 @@ func TestAppendHandlesSurviveAndConcurrency(t *testing.T) {
 	}
 	old, _ := s.Get("d")
 	defer old.Close()
-	oldCounts := append([]float64(nil), old.Counts()...)
+	oldCounts := append([]float64(nil), DenseCounts(old)...)
 
 	const appends = 8
 	var wg sync.WaitGroup
@@ -117,7 +117,7 @@ func TestAppendHandlesSurviveAndConcurrency(t *testing.T) {
 		}
 	}
 	// The pinned handle still reads the pre-append aggregate.
-	for i, v := range old.Counts() {
+	for i, v := range DenseCounts(old) {
 		if v != oldCounts[i] {
 			t.Fatalf("pinned handle changed at cell %d", i)
 		}
@@ -130,7 +130,7 @@ func TestAppendHandlesSurviveAndConcurrency(t *testing.T) {
 	}
 	h, _ := s.Get("d")
 	defer h.Close()
-	if got, want := h.Counts()[idx], oldCounts[idx]+appends; got != want {
+	if got, want := DenseCounts(h)[idx], oldCounts[idx]+appends; got != want {
 		t.Fatalf("cell [1,1,1] = %v, want %v", got, want)
 	}
 	if info, _ := s.Describe("d"); info.Rows != int64(len(base)+appends) {
@@ -154,7 +154,7 @@ func TestAppendPersistsSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	h1, _ := s1.Get("d")
-	want := h1.Counts()
+	want := DenseCounts(h1)
 	h1.Close()
 
 	s2, err := Open(Config{Dir: dir})
@@ -166,7 +166,7 @@ func TestAppendPersistsSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer h2.Close()
-	got := h2.Counts()
+	got := DenseCounts(h2)
 	for i := range want {
 		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
 			t.Fatalf("restarted store differs at cell %d", i)

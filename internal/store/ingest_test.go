@@ -83,7 +83,7 @@ func TestIngestMatchesTableVector(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := h.Counts()
+		got := DenseCounts(h)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("workers=%d: cell %d: ingested %v, Vector %v", workers, i, got[i], want[i])
@@ -230,7 +230,7 @@ func TestConcurrentPutDeleteRelease(t *testing.T) {
 					// A handle's view must be a complete, immutable
 					// aggregate regardless of what PUT/DELETE do next.
 					total := 0.0
-					for _, c := range h.Counts() {
+					for _, c := range DenseCounts(h) {
 						total += c
 					}
 					if total != 200 {

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/accountant"
+)
+
+func ledgerRegistry(t *testing.T, keys map[string]accountant.KeyCaps) *accountant.Registry {
+	t.Helper()
+	reg, err := accountant.NewRegistry(10, 1e-3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, caps := range keys {
+		if err := reg.SetKeyCaps(k, caps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// TestLedgerSnapshotRoundTrip: SaveLedgers → LoadLedgers reproduces global
+// and per-key spend exactly, through the store's CRC-checked codec.
+func TestLedgerSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]accountant.KeyCaps{"alice": {Epsilon: 2, Delta: 1e-4}, "bob": {}}
+	reg := ledgerRegistry(t, keys)
+	charges := []struct {
+		key string
+		c   accountant.Charge
+	}{
+		{"alice", accountant.Charge{Label: "r1", Epsilon: 0.5, Delta: 1e-6}},
+		{"bob", accountant.Charge{Label: "r2", Epsilon: 1.25, Partition: "west"}},
+		{"", accountant.Charge{Label: "r3", Epsilon: 0.1}},
+	}
+	for _, ch := range charges {
+		if err := reg.Charge(ch.key, ch.c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.SaveLedgers(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("saved %d global charges, want 3", n)
+	}
+
+	reg2 := ledgerRegistry(t, keys)
+	if n, err := s.LoadLedgers(reg2); err != nil || n != 3 {
+		t.Fatalf("load: n=%d err=%v", n, err)
+	}
+	ge1, gd1 := reg.Global().Spent()
+	ge2, gd2 := reg2.Global().Spent()
+	if ge1 != ge2 || gd1 != gd2 {
+		t.Fatalf("global spend (%v, %v) restored as (%v, %v)", ge1, gd1, ge2, gd2)
+	}
+	for key := range keys {
+		l1, err := reg.Ledger(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := reg2.Ledger(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1, _ := l1.Spent()
+		e2, _ := l2.Spent()
+		if math.Float64bits(e1) != math.Float64bits(e2) {
+			t.Fatalf("key %s: spend %v restored as %v", key, e1, e2)
+		}
+	}
+	// History details survive, not just totals.
+	if h := reg2.Global().History(); h[1].Partition != "west" || h[0].Delta != 1e-6 {
+		t.Fatalf("restored history lost charge fields: %+v", h)
+	}
+}
+
+// TestLedgerSnapshotMissingAndCorrupt: a missing snapshot is a clean zero;
+// a corrupt one is a hard error (a silently zeroed ledger would under-count
+// privacy spend).
+func TestLedgerSnapshotMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := ledgerRegistry(t, nil)
+	if n, err := s.LoadLedgers(reg); err != nil || n != 0 {
+		t.Fatalf("missing snapshot: n=%d err=%v", n, err)
+	}
+	if err := reg.Charge("", accountant.Charge{Label: "x", Epsilon: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SaveLedgers(reg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, ledgersSnapName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadLedgers(ledgerRegistry(t, nil)); err == nil {
+		t.Fatal("corrupt ledger snapshot loaded silently")
+	}
+	// Memory-only store: both directions are no-ops.
+	mem, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := mem.SaveLedgers(reg); err != nil || n != 0 {
+		t.Fatalf("memory-only save: n=%d err=%v", n, err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/accountant"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/strategy"
@@ -28,9 +29,11 @@ const (
 
 	kindDataset byte = 1
 	kindPlans   byte = 2
+	kindLedgers byte = 3
 
-	datasetSnapExt = ".dpds"
-	plansSnapName  = "plans.dpps"
+	datasetSnapExt  = ".dpds"
+	plansSnapName   = "plans.dpps"
+	ledgersSnapName = "ledgers.dplg"
 )
 
 // datasetMeta is the JSON metadata of a dataset snapshot. Deliberately no
@@ -45,6 +48,16 @@ type datasetMeta struct {
 // plansMeta is the JSON metadata of a plan-set snapshot.
 type plansMeta struct {
 	Plans []*strategy.PlanRecord `json:"plans"`
+}
+
+// ledgersMeta is the JSON metadata of a budget-ledger snapshot: the global
+// charge history (every charge once, whichever key made it) plus each
+// per-key ledger's history. Charges carry only privacy parameters and
+// operator-chosen labels — like dataset snapshots, nothing row-level.
+type ledgersMeta struct {
+	Composition string                         `json:"composition"`
+	Global      []accountant.Charge            `json:"global"`
+	PerKey      map[string][]accountant.Charge `json:"per_key,omitempty"`
 }
 
 func snapName(id string) string { return id + datasetSnapExt }
@@ -220,6 +233,69 @@ func (s *Store) SavePlans(c *engine.PlanCache) (int, error) {
 		return 0, fmt.Errorf("store: installing plan snapshot: %w", err)
 	}
 	return len(recs), nil
+}
+
+// SaveLedgers snapshots a budget registry's complete charge history —
+// global and per-key — under the store's directory, atomically replacing
+// the previous snapshot. Privacy spend is the one piece of server state
+// that must never regress: a restarted daemon that forgot its spend would
+// hand every tenant a fresh budget over the same data. A no-op without
+// persistence. Returns the number of global charges written.
+func (s *Store) SaveLedgers(reg *accountant.Registry) (int, error) {
+	if s.cfg.Dir == "" || reg == nil {
+		return 0, nil
+	}
+	global, perKey := reg.History()
+	meta := ledgersMeta{
+		Composition: reg.Composition().Name(),
+		Global:      global,
+		PerKey:      perKey,
+	}
+	tmp, err := writeSnapshotFile(s.cfg.Dir, kindLedgers, meta, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.cfg.Dir, ledgersSnapName)); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: installing ledger snapshot: %w", err)
+	}
+	return len(global), nil
+}
+
+// LoadLedgers replays a previously saved charge history into the registry,
+// returning the number of restored global charges. A missing snapshot is
+// not an error (a fresh directory has no spend yet); a corrupt one IS —
+// unlike plans, silently serving with a zeroed ledger would under-count
+// spend, so the caller must refuse to start instead.
+func (s *Store) LoadLedgers(reg *accountant.Registry) (int, error) {
+	if s.cfg.Dir == "" || reg == nil {
+		return 0, nil
+	}
+	raw, err := os.ReadFile(filepath.Join(s.cfg.Dir, ledgersSnapName))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: reading ledger snapshot: %w", err)
+	}
+	var meta ledgersMeta
+	if _, err := decodeSnapshot(raw, kindLedgers, &meta); err != nil {
+		return 0, err
+	}
+	// A snapshot recorded under one composition must not be reinterpreted
+	// under another: replaying a near-cap basic history into a zCDP
+	// registry would compose to a far smaller spend and silently hand
+	// every tenant fresh budget over the same data (and the reverse would
+	// refuse everything). The operator switches composition by retiring
+	// the snapshot deliberately, not by restarting with a new flag.
+	if got, want := meta.Composition, reg.Composition().Name(); got != want {
+		return 0, fmt.Errorf("store: ledger snapshot was recorded under %q composition, registry uses %q; remove %s to discard the recorded spend deliberately",
+			got, want, ledgersSnapName)
+	}
+	if err := reg.Restore(meta.Global, meta.PerKey); err != nil {
+		return 0, err
+	}
+	return len(meta.Global), nil
 }
 
 // LoadPlans rebuilds and installs previously saved plans into the cache,

@@ -89,11 +89,15 @@ func (h *Handle) Schema() *dataset.Schema { return h.d.schema }
 // stages never write to their input vector.)
 func (h *Handle) Vector() *vector.Blocked { return h.d.counts }
 
-// Counts gathers the contingency vector into one dense slice — a
-// convenience for tests and small datasets; release paths read through
-// Vector instead, which never densifies. The result is a fresh copy when
-// the dataset spans multiple shards (treat it as read-only either way).
-func (h *Handle) Counts() []float64 { return h.d.counts.Dense() }
+// DenseCounts gathers a handle's contingency vector into one dense 2^d
+// slice. It is an explicitly dense TEST helper — the last sanctioned dense
+// materialization between ingest and release — and exists only so tests
+// can compare stored aggregates cell by cell. Serving paths must read
+// through Handle.Vector (the blocked accessor), which never gathers; a
+// server that calls DenseCounts re-introduces the 8·2^d allocation the
+// blocked pipeline exists to avoid. The result is a fresh copy when the
+// dataset spans multiple shards (treat it as read-only either way).
+func DenseCounts(h *Handle) []float64 { return h.d.counts.Dense() }
 
 // Rows returns the number of ingested tuples.
 func (h *Handle) Rows() int64 { return h.d.rows }

@@ -31,7 +31,7 @@ func TestHandleSurvivesDeletion(t *testing.T) {
 		t.Fatalf("deleted dataset still resident: %v", err)
 	}
 	total := 0.0
-	for _, c := range h.Counts() {
+	for _, c := range DenseCounts(h) {
 		total += c
 	}
 	if total != 50 {
@@ -157,7 +157,7 @@ func TestPersistenceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := append([]float64(nil), h1.Counts()...)
+	want := append([]float64(nil), DenseCounts(h1)...)
 	h1.Close()
 
 	s2, err := Open(Config{Dir: dir})
@@ -172,7 +172,7 @@ func TestPersistenceRoundTrip(t *testing.T) {
 	if h2.Rows() != 321 {
 		t.Fatalf("want 321 rows after reload, got %d", h2.Rows())
 	}
-	got := h2.Counts()
+	got := DenseCounts(h2)
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("cell %d: reloaded %v, original %v", i, got[i], want[i])

@@ -1,0 +1,134 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestReleaserPerKeyBudgets: WithBudgetCaps gives each key its own ledger
+// under a still-binding global cap, and ReleaseSpec.Key routes the charge.
+func TestReleaserPerKeyBudgets(t *testing.T) {
+	tab := smallTable()
+	w := AllKWayMarginals(tab.Schema, 1)
+	r, err := NewReleaser(tab.Schema, w, WithBudgetCaps(1.0, 0, map[string]BudgetKeyCaps{
+		"alice": {Epsilon: 0.5},
+		"bob":   {},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ledger() != nil || r.Registry() == nil {
+		t.Fatal("WithBudgetCaps must attach a registry, not a plain ledger")
+	}
+	ctx := context.Background()
+	if _, err := r.Release(ctx, tab, ReleaseSpec{Epsilon: 0.4, Seed: 1, Key: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	// Alice's own cap refuses her next release...
+	if _, err := r.Release(ctx, tab, ReleaseSpec{Epsilon: 0.4, Seed: 2, Key: "alice"}); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("alice past her cap: %v", err)
+	}
+	// ...while bob still releases within the global remainder.
+	if _, err := r.Release(ctx, tab, ReleaseSpec{Epsilon: 0.5, Seed: 3, Key: "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	// The global cap binds across keys: bob has per-key room (inherited
+	// cap 1.0) but the deployment has only 0.1 left.
+	if _, err := r.Release(ctx, tab, ReleaseSpec{Epsilon: 0.3, Seed: 4, Key: "bob"}); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("global cap must bind: %v", err)
+	}
+	// An unknown key is an error, not a silent global charge.
+	if _, err := r.Release(ctx, tab, ReleaseSpec{Epsilon: 0.05, Seed: 5, Key: "mallory"}); err == nil {
+		t.Fatal("unknown key released")
+	}
+	ge, _ := r.Registry().Global().Spent()
+	if math.Abs(ge-0.9) > 1e-12 {
+		t.Fatalf("global spend %v, want 0.9", ge)
+	}
+}
+
+// TestReleaserKeyWithoutRegistry: a spec Key without WithBudgetCaps is a
+// typed error (never a silent charge to the wrong ledger).
+func TestReleaserKeyWithoutRegistry(t *testing.T) {
+	tab := smallTable()
+	w := AllKWayMarginals(tab.Schema, 1)
+	for _, opts := range [][]ReleaserOption{
+		nil,
+		{WithBudgetCap(10, 0)},
+	} {
+		r, err := NewReleaser(tab.Schema, w, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Release(context.Background(), tab, ReleaseSpec{Epsilon: 0.1, Key: "k"}); !errors.Is(err, ErrInvalidOption) {
+			t.Fatalf("opts %d: Key without a registry returned %v", len(opts), err)
+		}
+	}
+}
+
+// TestReleaserZCDPComposition: with zCDP accounting a long sequence of
+// small Gaussian releases fits under a cap that basic summation refuses —
+// threaded end-to-end through WithComposition in either option order.
+func TestReleaserZCDPComposition(t *testing.T) {
+	tab := smallTable()
+	w := AllKWayMarginals(tab.Schema, 1)
+	comp, err := ZCDPComposition(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zc, err := NewReleaser(tab.Schema, w,
+		WithComposition(comp), WithBudgetCap(1.0, 1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, err := NewReleaser(tab.Schema, w, WithBudgetCap(1.0, 1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	spec := ReleaseSpec{Epsilon: 0.05, Delta: 1e-9}
+	basicRefused := false
+	for i := 0; i < 50; i++ {
+		spec.Seed = int64(i)
+		if _, err := zc.Release(ctx, tab, spec); err != nil {
+			t.Fatalf("zCDP release %d refused: %v", i, err)
+		}
+		if !basicRefused {
+			if _, err := basic.Release(ctx, tab, spec); errors.Is(err, ErrBudgetExhausted) {
+				basicRefused = true
+			}
+		}
+	}
+	if !basicRefused {
+		t.Fatal("basic summation admitted all 50 releases; sequence does not discriminate")
+	}
+	eps, del := zc.Ledger().Spent()
+	if eps >= 1.0 || del != 1e-6 {
+		t.Fatalf("zCDP spent (%v, %v), want ε under 1.0 at δ=1e-6", eps, del)
+	}
+}
+
+// TestWithCompositionValidation: the option needs a cap to apply to, and a
+// zCDP target above the δ cap is refused at construction.
+func TestWithCompositionValidation(t *testing.T) {
+	tab := smallTable()
+	w := AllKWayMarginals(tab.Schema, 1)
+	if _, err := NewReleaser(tab.Schema, w, WithComposition(BasicComposition())); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("WithComposition without caps: %v", err)
+	}
+	if _, err := NewReleaser(tab.Schema, w, WithComposition(nil)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("nil composition: %v", err)
+	}
+	comp, err := ZCDPComposition(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReleaser(tab.Schema, w, WithComposition(comp), WithBudgetCap(1, 1e-6)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("zCDP target above delta cap: %v", err)
+	}
+	if _, err := ZCDPComposition(0); !errors.Is(err, ErrInvalidOption) {
+		t.Fatal("zero target delta accepted")
+	}
+}

@@ -52,6 +52,11 @@ type Releaser struct {
 	shards          int
 	cache           *PlanCache
 	ledger          *BudgetLedger
+	registry        *BudgetRegistry
+	composition     Composition
+	capEps, capDel  float64
+	capSet          bool
+	perKeyCaps      map[string]BudgetKeyCaps
 	noPreplan       bool
 
 	seq atomic.Uint64 // ledger label counter
@@ -127,14 +132,50 @@ func WithBudgetLedger(l *BudgetLedger) ReleaserOption {
 }
 
 // WithBudgetCap is WithBudgetLedger over a fresh private ledger with the
-// given total (ε, δ) cap.
+// given total (ε, δ) cap. The ledger is built at the end of construction
+// so it composes with WithComposition in either option order; it replaces
+// any ledger attached with WithBudgetLedger.
 func WithBudgetCap(epsilonCap, deltaCap float64) ReleaserOption {
 	return func(r *Releaser) error {
-		l, err := NewBudgetLedger(epsilonCap, deltaCap)
-		if err != nil {
-			return err
+		r.capEps, r.capDel = epsilonCap, deltaCap
+		r.capSet = true
+		r.perKeyCaps = nil
+		return nil
+	}
+}
+
+// WithBudgetCaps attaches a multi-tenant BudgetRegistry: a private ledger
+// per key in perKey (zero caps inherit the global cap), plus the global
+// (epsilonCap, deltaCap) ledger that binds across all of them. Releases
+// route to a tenant with ReleaseSpec.Key; admission is all-or-nothing
+// across the key's ledger and the global one. Like WithBudgetCap, the
+// registry is built at the end of construction so WithComposition applies
+// in either option order.
+func WithBudgetCaps(epsilonCap, deltaCap float64, perKey map[string]BudgetKeyCaps) ReleaserOption {
+	return func(r *Releaser) error {
+		if len(perKey) == 0 {
+			return fmt.Errorf("%w: WithBudgetCaps needs at least one key (use WithBudgetCap for a single-tenant cap)", ErrInvalidOption)
 		}
-		r.ledger = l
+		r.capEps, r.capDel = epsilonCap, deltaCap
+		r.capSet = true
+		r.perKeyCaps = make(map[string]BudgetKeyCaps, len(perKey))
+		for k, caps := range perKey {
+			r.perKeyCaps[k] = caps
+		}
+		return nil
+	}
+}
+
+// WithComposition selects the accounting mode (BasicComposition,
+// ZCDPComposition) of the ledger or registry the Releaser builds through
+// WithBudgetCap / WithBudgetCaps. It has no effect on a ledger attached
+// with WithBudgetLedger, which already carries its own composition.
+func WithComposition(c Composition) ReleaserOption {
+	return func(r *Releaser) error {
+		if c == nil {
+			return fmt.Errorf("%w: nil composition", ErrInvalidOption)
+		}
+		r.composition = c
 		return nil
 	}
 }
@@ -215,6 +256,30 @@ func NewReleaserContext(ctx context.Context, schema *Schema, w *Workload, opts .
 	if r.cache == nil {
 		r.cache = NewPlanCache()
 	}
+	// Budget construction is deferred to here so WithComposition and
+	// WithBudgetCap(s) compose in either option order.
+	if r.capSet {
+		comp := r.composition
+		if comp == nil {
+			comp = BasicComposition()
+		}
+		if r.perKeyCaps != nil {
+			reg, err := NewBudgetRegistry(r.capEps, r.capDel, comp, r.perKeyCaps)
+			if err != nil {
+				return nil, err
+			}
+			r.registry = reg
+			r.ledger = nil
+		} else {
+			l, err := NewBudgetLedgerComposed(r.capEps, r.capDel, comp)
+			if err != nil {
+				return nil, err
+			}
+			r.ledger = l
+		}
+	} else if r.composition != nil && r.ledger == nil {
+		return nil, fmt.Errorf("%w: WithComposition needs WithBudgetCap or WithBudgetCaps", ErrInvalidOption)
+	}
 	if !r.noPreplan {
 		planner := engine.Planner{Cache: r.cache}
 		if _, err := planner.Plan(ctx, w, engine.Config{
@@ -233,9 +298,13 @@ func (r *Releaser) Schema() *Schema { return r.schema }
 // Workload returns the marginal workload the Releaser answers.
 func (r *Releaser) Workload() *Workload { return r.w }
 
-// Ledger returns the attached budget ledger, or nil when spend is not
-// tracked.
+// Ledger returns the attached single-tenant budget ledger (nil when spend
+// is untracked or tracked per key — see Registry).
 func (r *Releaser) Ledger() *BudgetLedger { return r.ledger }
+
+// Registry returns the attached multi-tenant budget registry
+// (WithBudgetCaps), or nil.
+func (r *Releaser) Registry() *BudgetRegistry { return r.registry }
 
 // Cache returns the Releaser's plan cache (never nil after construction).
 func (r *Releaser) Cache() *PlanCache { return r.cache }
@@ -268,6 +337,12 @@ type ReleaseSpec struct {
 	// Partition names the disjoint population slice for parallel
 	// composition in the ledger; empty means the whole population.
 	Partition string
+	// Key names the tenant whose ledger this release charges when the
+	// Releaser carries a per-key BudgetRegistry (WithBudgetCaps); empty
+	// charges only the global ledger. With a plain ledger a non-empty Key
+	// is refused — silently billing one tenant's release to a shared pot
+	// would be an accounting bug, not a convenience.
+	Key string
 }
 
 // Release privately answers the Releaser's workload over the table.
@@ -390,19 +465,31 @@ func (r *Releaser) Synthetic(ctx context.Context, res *Result, seed int64) (*Tab
 // included) still counts as spent, the conservative reading required for
 // the DP guarantee to survive partial executions.
 func (r *Releaser) charge(spec ReleaseSpec) error {
-	if r.ledger == nil {
+	if r.ledger == nil && r.registry == nil {
+		if spec.Key != "" {
+			return fmt.Errorf("%w: ReleaseSpec.Key %q without a budget registry (WithBudgetCaps)", ErrInvalidOption, spec.Key)
+		}
 		return nil
 	}
 	label := spec.Label
 	if label == "" {
 		label = fmt.Sprintf("release-%d", r.seq.Add(1))
 	}
-	err := r.ledger.Charge(BudgetCharge{
+	c := BudgetCharge{
 		Label:     label,
 		Epsilon:   spec.Epsilon,
 		Delta:     spec.Delta,
 		Partition: spec.Partition,
-	})
+	}
+	var err error
+	if r.registry != nil {
+		err = r.registry.Charge(spec.Key, c)
+	} else {
+		if spec.Key != "" {
+			return fmt.Errorf("%w: ReleaseSpec.Key %q needs a per-key registry (WithBudgetCaps), not a plain ledger", ErrInvalidOption, spec.Key)
+		}
+		err = r.ledger.Charge(c)
+	}
 	if err != nil {
 		if errors.Is(err, accountant.ErrBudgetExceeded) {
 			return fmt.Errorf("%w: %v", ErrBudgetExhausted, err)
