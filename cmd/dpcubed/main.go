@@ -44,6 +44,16 @@
 // get -drain to finish, new connections are refused, and the final budget
 // ledgers (global and per key) are printed to stderr so the spend
 // survives in the logs.
+//
+// Profiling: -pprof-addr (e.g. -pprof-addr localhost:6060) serves
+// net/http/pprof on a SEPARATE admin listener — never on the public -addr,
+// so exposing the API does not expose heap and CPU profiles. It is off by
+// default; bind it to localhost or an internal interface only. Profiles
+// reveal operational detail (allocation sites, goroutine stacks), not
+// released data, but they are still nobody's business.
+//
+//	dpcubed -addr :8080 -pprof-addr localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/heap
 package main
 
 import (
@@ -52,6 +62,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // admin-listener profiles, gated by -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -75,6 +86,7 @@ func main() {
 		apiKeys    = flag.String("api-keys", "", "API key file: one 'key [epsilon-cap [delta-cap]]' per line; empty falls back to $DPCUBED_API_KEYS, and with neither the server runs single-tenant and unauthenticated")
 		compMode   = flag.String("composition", "basic", "budget accounting: basic ((ε,δ) summation) or zcdp (Rényi/zCDP, tight composition of many small releases)")
 		targetDel  = flag.Float64("target-delta", 0, "δ at which zcdp accounting reports composed ε (0 = the delta cap)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate admin address (empty = disabled); bind to localhost or an internal interface")
 	)
 	flag.Parse()
 
@@ -99,6 +111,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpcubed:", err)
 		os.Exit(2)
+	}
+
+	// The pprof handlers live on http.DefaultServeMux (blank import above);
+	// the public listener below uses the server's own mux, so profiles are
+	// reachable only through this opt-in admin address.
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dpcubed: pprof listener:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "dpcubed: pprof admin listener on %s\n", *pprofAddr)
 	}
 
 	httpSrv := &http.Server{

@@ -140,6 +140,40 @@
 // in-process round trip, cmd/dpcubed for the daemon, and cmd/dpcube
 // -ingest for streaming a local CSV/NDJSON file up to it.
 //
+// # Performance: the result cache and the hot-path audit
+//
+// The serving layer caches fully rendered release payloads
+// (internal/rescache): a repeated identical dataset-backed request —
+// the common case behind a dashboard refresh — is answered from an LRU
+// with the exact bytes of the run that computed it, skipping the engine
+// entirely. A hit does NOT recharge the budget ledger. The justification
+// is the engine's determinism contract: a release is a pure function of
+// (dataset version, workload, strategy, ε, δ, seed, shards, consistency),
+// all of which are in the cache key, so replaying the cached payload
+// reveals exactly the already-released noisy output — free
+// post-processing under DP, identical to the client replaying its own
+// copy of the response. Worker counts are deliberately NOT in the key
+// (the engine is bit-identical at every parallelism), inline-rows
+// requests are never cached (no version to key on), and any dataset
+// mutation — replace, append, delete — invalidates that dataset's
+// entries through a store change hook, with the version in the key as a
+// second line of defence. /v1/metrics reports hits, misses and resident
+// entries; Config.ResultCacheSize sizes the LRU (negative disables).
+//
+// Under the cache, the engine's inner loops are audited to near-zero
+// allocation: the WHT butterfly kernel is cache-blocked and radix-4
+// unrolled (bit-identical to the textbook dataflow, ~2× at 2^20 cells),
+// the perturb stage reseeds one noise source per worker in place of
+// per-block substream construction, and the consistency projection
+// pools its per-marginal scratch. Tests pin the allocs/op of each stage;
+// cmd/dpload drives a live daemon at a target request rate (mixed
+// release/cube/synthetic traffic, hot-repeat vs unique mix, optional
+// API-key rotation) and writes BENCH_dpload.json — latency percentiles,
+// achieved RPS, cache hit rate, and embedded -benchmem allocs/op — which
+// CI regenerates and gates against the committed baseline. For live
+// diagnosis, dpcubed -pprof-addr serves net/http/pprof on a separate
+// admin listener.
+//
 // # The staged, blocked release engine
 //
 // Under the hood every release runs through the staged pipeline of

@@ -11,6 +11,16 @@
 //	    -d '{"dataset_id":"people","workload":{"k":1},"epsilon":0.25,"seed":1}'
 //	curl -s -H 'X-API-Key: alice' localhost:8080/v1/budget
 //
+// Repeating the exact same POST replays the identical bytes from the
+// result cache without spending any further budget (free post-processing
+// of the already-released output); to load-test the serving path at a
+// target request rate — mixed release/cube/synthetic traffic with a
+// configurable hot-repeat ratio over both tenants' keys — drive a live
+// daemon with cmd/dpload:
+//
+//	dpload -server http://localhost:8080 -keys alice,bob \
+//	    -rps 200 -duration 10s -hot 0.8 -out BENCH_dpload.json
+//
 // Run with: go run ./examples/server
 package main
 

@@ -90,6 +90,7 @@ func L2WeightedWorkers(w *marginal.Workload, noisy []float64, weight []float64, 
 	// parallelism already saturates the pool; WHTWorkers would be
 	// bit-identical either way).
 	type transformed struct {
+		buf      *[]float64 // pool token; nil when the marginal is excluded
 		block    []float64
 		numScale float64
 		denTerm  float64
@@ -111,13 +112,18 @@ func L2WeightedWorkers(w *marginal.Workload, noisy []float64, weight []float64, 
 		}
 		k := m.Order()
 		cells := m.Cells()
-		block := make([]float64, cells)
+		buf := blockPool.Get().(*[]float64)
+		if cap(*buf) < cells {
+			*buf = make([]float64, cells)
+		}
+		block := (*buf)[:cells]
 		copy(block, noisy[offsets[i]:offsets[i]+cells])
 		transform.WHTWorkers(block, 1)
 		// block[packed β] = 2^{−k/2}·T_β, so T_β = 2^{k/2}·block.
 		twoK := float64(int64(1) << uint(k))
 		rCoef := sqrtN / twoK // 2^{d/2−k}
 		blocks[i] = transformed{
+			buf:      buf,
 			block:    block,
 			numScale: wi * rCoef * math.Sqrt(twoK), // w_i·2^{d/2−k}·2^{k/2}
 			denTerm:  wi * (sqrtN * sqrtN) / twoK,  // w_i·2^{d−k}
@@ -175,6 +181,14 @@ func L2WeightedWorkers(w *marginal.Workload, noisy []float64, weight []float64, 
 			}
 		})
 	}
+	// The transform scratch is dead once the weighted average is folded;
+	// recycle it for the next release.
+	for i := range blocks {
+		if blocks[i].buf != nil {
+			blockPool.Put(blocks[i].buf)
+		}
+	}
+
 	coeff := make(map[bits.Mask]float64, len(support))
 	for c, beta := range support {
 		if den[c] != 0 {
@@ -210,7 +224,7 @@ func evalAnswers(w *marginal.Workload, coeff map[bits.Mask]float64, workers int)
 			errs[i] = fmt.Errorf("consistency: coefficients missing for marginal %v", m.Alpha)
 			return
 		}
-		copy(answers[offsets[i]:offsets[i]+m.Cells()], m.EvalFromFourier(w.D, coeff))
+		m.EvalFromFourierInto(w.D, coeff, answers[offsets[i]:offsets[i]+m.Cells()])
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -219,6 +233,12 @@ func evalAnswers(w *marginal.Workload, coeff map[bits.Mask]float64, workers int)
 	}
 	return answers, nil
 }
+
+// blockPool recycles the phase-1 transform scratch across calls: the blocks
+// live only from their small WHT until the weighted average folds them, so
+// one release's scratch serves the next — the -benchmem audit showed these
+// per-marginal buffers dominating the consistency stage's allocation count.
+var blockPool = sync.Pool{New: func() any { return new([]float64) }}
 
 // parallelFor runs fn(i) for i in [0, n), distributed round-robin over the
 // pool. fn must write only its own slots; with workers ≤ 1 it degenerates

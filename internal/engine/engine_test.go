@@ -392,3 +392,44 @@ func TestPerturbContextCancelled(t *testing.T) {
 		t.Fatalf("background context: %v", err)
 	}
 }
+
+// TestPerturbAllocsPinned pins the zero-alloc contract of the perturb stage:
+// the serial path allocates only its block list and one reseedable substream
+// Source, independent of the number of noise blocks. A regression here means
+// per-block scratch crept back into the inner loop.
+func TestPerturbAllocsPinned(t *testing.T) {
+	const rows = 1 << 16 // 16 noise blocks
+	z := make([]float64, rows)
+	groups := []NoiseGroup{
+		{Start: 0, Count: rows / 2, Eta: 0.5},
+		{Start: rows / 2, Count: rows / 2, Eta: 0.25},
+	}
+	p := pureParams(1)
+	allocs := testing.AllocsPerRun(10, func() {
+		Perturb(z, groups, p, 42, 1)
+	})
+	// Blocks slice + Source (splitmix state, rand.Rand, Source) + the
+	// FromDense wrapper; anything scaling with block count is a regression.
+	const maxAllocs = 8
+	if allocs > maxAllocs {
+		t.Fatalf("serial Perturb allocates %v per run over %d blocks, want <= %d",
+			allocs, rows/noiseBlock, maxAllocs)
+	}
+}
+
+// BenchmarkPerturb measures the perturb stage over a 2^20-row strategy —
+// run with -benchmem: allocs/op must stay flat in the block count.
+func BenchmarkPerturb(b *testing.B) {
+	const rows = 1 << 20
+	z := make([]float64, rows)
+	groups := []NoiseGroup{{Start: 0, Count: rows, Eta: 0.5}}
+	p := pureParams(1)
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "serial", 4: "workers=4"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Perturb(z, groups, p, 42, workers)
+			}
+		})
+	}
+}

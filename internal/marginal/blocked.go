@@ -52,17 +52,28 @@ func (w *Workload) EvalRangeVector(x *vector.Blocked, lo, hi int, out []float64)
 	if hi-lo != len(out) {
 		panic("marginal: EvalRangeVector output length mismatch")
 	}
-	offsets := w.Offsets()
 	// The marginals overlapping [lo, hi), with their global cell offsets.
+	// This runs once per shard block, so the scratch is sized exactly in one
+	// counting pass (with offsets accumulated in place) instead of allocating
+	// an Offsets() slice plus append-growth on every call.
 	type slot struct {
 		m   Marginal
 		off int
 	}
-	var active []slot
-	for i, m := range w.Marginals {
-		if offsets[i] < hi && offsets[i]+m.Cells() > lo {
-			active = append(active, slot{m: m, off: offsets[i]})
+	n, off := 0, 0
+	for _, m := range w.Marginals {
+		if off < hi && off+m.Cells() > lo {
+			n++
 		}
+		off += m.Cells()
+	}
+	active := make([]slot, 0, n)
+	off = 0
+	for _, m := range w.Marginals {
+		if off < hi && off+m.Cells() > lo {
+			active = append(active, slot{m: m, off: off})
+		}
+		off += m.Cells()
 	}
 	x.Visit(func(gamma int, v float64) {
 		if v == 0 {

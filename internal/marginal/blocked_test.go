@@ -57,3 +57,55 @@ func TestBlockedEvalBitIdentity(t *testing.T) {
 		}
 	}
 }
+
+// TestEvalRangeVectorAllocsPinned pins the regression the -benchmem audit
+// caught: EvalRangeVector runs once per shard block, and used to allocate an
+// Offsets() slice plus append-grown scratch on every call. It must now make
+// exactly one exact-size allocation for the active-marginal list.
+func TestEvalRangeVectorAllocsPinned(t *testing.T) {
+	w := AllKWay(12, 2)
+	n := 1 << w.D
+	x := vector.NewBlockLen(n, 1<<10)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < n; i++ {
+		x.Set(i, float64(rng.Intn(5)))
+	}
+	total := w.TotalCells()
+	out := make([]float64, 64)
+	allocs := testing.AllocsPerRun(20, func() {
+		for lo := 0; lo < total; lo += len(out) {
+			hi := lo + len(out)
+			if hi > total {
+				hi = total
+			}
+			w.EvalRangeVector(x, lo, hi, out[:hi-lo])
+		}
+	})
+	calls := float64((total + len(out) - 1) / len(out))
+	if allocs > calls {
+		t.Fatalf("EvalRangeVector allocates %v over %v calls, want <= 1 per call", allocs, calls)
+	}
+}
+
+// BenchmarkEvalRangeVector measures the per-shard-block answer slicing; run
+// with -benchmem — allocs/op must stay at one exact-size scratch per call.
+func BenchmarkEvalRangeVector(b *testing.B) {
+	w := AllKWay(12, 2)
+	n := 1 << w.D
+	x := vector.NewBlockLen(n, 1<<10)
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < n; i++ {
+		x.Set(i, float64(rng.Intn(5)))
+	}
+	total := w.TotalCells()
+	out := make([]float64, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := (i * 256) % total
+		hi := lo + 256
+		if hi > total {
+			hi = total
+		}
+		w.EvalRangeVector(x, lo, hi, out[:hi-lo])
+	}
+}

@@ -47,6 +47,13 @@ func (m Marginal) EvalFromFourier(d int, coeff map[bits.Mask]float64) []float64 
 	return transform.MarginalFromCoefficients(d, m.Alpha, coeff)
 }
 
+// EvalFromFourierInto is EvalFromFourier writing into a caller-provided
+// slice of exactly Cells() entries — the alloc-free path for per-marginal
+// answer sweeps over preallocated output buffers.
+func (m Marginal) EvalFromFourierInto(d int, coeff map[bits.Mask]float64, out []float64) {
+	transform.MarginalFromCoefficientsInto(d, m.Alpha, coeff, out)
+}
+
 // Rows materialises the explicit 2^‖α‖ × 2^d query matrix of the marginal.
 // Only for small d (tests and explicit-matrix strategies).
 func (m Marginal) Rows(d int) [][]float64 {

@@ -17,6 +17,7 @@ import (
 // per goroutine (Split derives independent streams).
 type Source struct {
 	rng *rand.Rand
+	sm  *splitMix64 // non-nil iff created by NewSubstream; enables Reseed
 }
 
 // NewSource returns a deterministic source for the given seed.
@@ -38,7 +39,21 @@ func (s *Source) Split() *Source {
 // deterministic parallel measurement (one substream per strategy-group
 // noise block).
 func NewSubstream(master int64, index uint64) *Source {
-	return &Source{rng: rand.New(&splitMix64{state: substreamState(master, index)})}
+	sm := &splitMix64{state: substreamState(master, index)}
+	return &Source{rng: rand.New(sm), sm: sm}
+}
+
+// Reseed repositions a substream Source onto (master, index) without
+// allocating: subsequent draws are bit-identical to those of a fresh
+// NewSubstream(master, index). Sound because the Source's samplers keep no
+// cached state between draws — everything flows from the splitmix64 state
+// word. Panics on Sources not created by NewSubstream. This is the
+// zero-alloc path for loops that consume one substream per noise block.
+func (s *Source) Reseed(master int64, index uint64) {
+	if s.sm == nil {
+		panic("noise: Reseed on a Source not created by NewSubstream")
+	}
+	s.sm.state = substreamState(master, index)
 }
 
 // substreamState mixes the master seed and substream index through two

@@ -330,3 +330,53 @@ func TestGeometricMechanism(t *testing.T) {
 	assertPanics(t, func() { GeometricMechanism(s, answers, 0, 1) })
 	assertPanics(t, func() { s.Geometric(0) })
 }
+
+func TestReseedBitIdenticalToFreshSubstream(t *testing.T) {
+	// A reused Source repositioned with Reseed must reproduce exactly the
+	// draws of a fresh NewSubstream — across sampler types, which verifies
+	// that no sampler keeps cached state between draws.
+	reused := NewSubstream(0, 0)
+	for _, master := range []int64{0, 1, -9, 1 << 40} {
+		for _, index := range []uint64{0, 1, 7, 1 << 33} {
+			fresh := NewSubstream(master, index)
+			reused.Reseed(master, index)
+			for i := 0; i < 64; i++ {
+				var a, b float64
+				switch i % 4 {
+				case 0:
+					a, b = fresh.Gaussian(1.5), reused.Gaussian(1.5)
+				case 1:
+					a, b = fresh.Laplace(0.5), reused.Laplace(0.5)
+				case 2:
+					a, b = fresh.Uniform(), reused.Uniform()
+				default:
+					a, b = float64(fresh.Geometric(0.3)), float64(reused.Geometric(0.3))
+				}
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("master=%d index=%d draw %d: fresh %x vs reseeded %x",
+						master, index, i, math.Float64bits(a), math.Float64bits(b))
+				}
+			}
+		}
+	}
+}
+
+func TestReseedPanicsOnPlainSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSource(1).Reseed(0, 0)
+}
+
+func TestReseedAllocFree(t *testing.T) {
+	s := NewSubstream(3, 0)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reseed(3, 7)
+		_ = s.Gaussian(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reseed+Gaussian allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,117 @@
+// Package rescache is the release-result cache: an LRU over fully rendered
+// response payloads, keyed on everything that determines a release's bytes —
+// dataset identity AND version, workload, privacy parameters, seed,
+// strategy, shard count, consistency toggles. A release is a deterministic
+// function of that tuple (the engine's determinism contract), so replaying
+// the cached payload is pure post-processing of an already-published DP
+// output: it costs no privacy budget and is bit-identical to re-running the
+// pipeline.
+//
+// Only dataset-backed requests are cacheable — inline-rows requests carry no
+// version, and hashing their raw data would cost as much as answering them.
+// Invalidation is by dataset id: the store's change hook drops every entry
+// for an id on ingest/replace/append/delete, and the version in the key
+// makes even a missed invalidation harmless (a new install always carries a
+// new version, so a stale entry can never be served for fresh data).
+package rescache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultSize is the entry bound used when the server config leaves the
+// result cache size unset.
+const DefaultSize = 256
+
+// Cache is a concurrency-safe LRU from request key to response payload.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+	hits    uint64
+	misses  uint64
+}
+
+type entry struct {
+	key     string
+	dataset string
+	payload []byte
+}
+
+// New builds a cache bounded to max entries (max <= 0 uses DefaultSize).
+func New(max int) *Cache {
+	if max <= 0 {
+		max = DefaultSize
+	}
+	return &Cache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Get returns the payload cached under key. The payload is shared — callers
+// must treat it as read-only.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).payload, true
+}
+
+// Put stores payload under key, recording the dataset id the result was
+// computed from so InvalidateDataset can find it. The caller must not
+// modify payload afterwards.
+func (c *Cache) Put(key, dataset string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).payload = payload
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&entry{key: key, dataset: dataset, payload: payload})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+	}
+}
+
+// InvalidateDataset drops every entry computed from the dataset id. The scan
+// is linear in the entry count, which the size bound keeps small — and it
+// only runs on dataset mutations, which are rare next to releases.
+func (c *Cache) InvalidateDataset(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*entry).dataset == id {
+			c.order.Remove(el)
+			delete(c.entries, el.Value.(*entry).key)
+		}
+		el = next
+	}
+}
+
+// Stats is the snapshot served by /v1/metrics.
+type Stats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// Stats returns current counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Entries: c.order.Len()}
+}

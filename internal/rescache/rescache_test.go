@@ -1,0 +1,96 @@
+package rescache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutLRU(t *testing.T) {
+	c := New(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", "ds1", []byte("A"))
+	c.Put("b", "ds1", []byte("B"))
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	// "b" is now least recent; inserting "c" evicts it.
+	c.Put("c", "ds2", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("expected b evicted")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Fatalf("a lost: %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/2", st.Hits, st.Misses)
+	}
+}
+
+func TestPutUpdatesInPlace(t *testing.T) {
+	c := New(4)
+	c.Put("a", "ds", []byte("old"))
+	c.Put("a", "ds", []byte("new"))
+	if v, _ := c.Get("a"); string(v) != "new" {
+		t.Fatalf("got %q", v)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestInvalidateDataset(t *testing.T) {
+	c := New(8)
+	c.Put("k1", "ds1", []byte("1"))
+	c.Put("k2", "ds2", []byte("2"))
+	c.Put("k3", "ds1", []byte("3"))
+	c.InvalidateDataset("ds1")
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 survived invalidation")
+	}
+	if _, ok := c.Get("k3"); ok {
+		t.Fatal("k3 survived invalidation")
+	}
+	if v, ok := c.Get("k2"); !ok || string(v) != "2" {
+		t.Fatalf("k2 lost: %q, %v", v, ok)
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	c := New(0)
+	for i := 0; i < DefaultSize+10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), "ds", []byte("x"))
+	}
+	if st := c.Stats(); st.Entries != DefaultSize {
+		t.Fatalf("entries = %d, want %d", st.Entries, DefaultSize)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				if i%3 == 0 {
+					c.Put(key, fmt.Sprintf("ds%d", i%4), []byte(key))
+				} else if i%7 == 0 {
+					c.InvalidateDataset(fmt.Sprintf("ds%d", g%4))
+				} else if v, ok := c.Get(key); ok && string(v) != key {
+					t.Errorf("corrupt payload for %s: %q", key, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Stats()
+}

@@ -75,6 +75,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -84,6 +85,7 @@ import (
 
 	"repro"
 	"repro/internal/accountant"
+	"repro/internal/rescache"
 	"repro/internal/store"
 )
 
@@ -102,6 +104,12 @@ type Config struct {
 	MaxShards int
 	// CacheSize bounds the shared plan cache (0 = default).
 	CacheSize int
+	// ResultCacheSize bounds the release-result cache: rendered responses
+	// for dataset-backed release/cube/synthetic requests, served on repeat
+	// without re-running the engine or re-charging the ledger (a hit is
+	// free post-processing of the already-paid noised output). 0 = default
+	// (rescache.DefaultSize); negative disables the cache.
+	ResultCacheSize int
 	// MaxReleasers bounds the Releaser registry (0 = default 256). The key
 	// is client-controlled, so the registry must not grow without bound in
 	// a long-lived daemon; an evicted entry costs only re-validation — its
@@ -148,6 +156,7 @@ type Server struct {
 	ledgers *repro.BudgetRegistry
 	keys    map[string]bool // valid API keys; empty map = auth disabled
 	cache   *repro.PlanCache
+	results *rescache.Cache // nil when ResultCacheSize < 0
 	store   *store.Store
 	mux     *http.ServeMux
 	relSeq  atomic.Uint64 // default ledger-label counter
@@ -213,6 +222,14 @@ func New(cfg Config) (*Server, error) {
 		store:     st,
 		releasers: map[string]*repro.Releaser{},
 		metrics:   map[string]*endpointMetrics{},
+	}
+	if cfg.ResultCacheSize >= 0 {
+		s.results = rescache.New(cfg.ResultCacheSize)
+		// Any mutation under a dataset id — ingest, replace, append, delete
+		// — drops that id's cached results. The version in the cache key is
+		// the belt to this suspender: even without the hook a fresh install
+		// could never be served a stale entry.
+		st.SetChangeHook(s.results.InvalidateDataset)
 	}
 	// Warm plans from the previous process: a failure to load is a stale
 	// snapshot, not a reason to refuse to serve.
@@ -436,25 +453,42 @@ type budgetResponse struct {
 	Global *budgetJSON `json:"global,omitempty"`
 }
 
-type releaseResponse struct {
+// The release-shaped responses split into a body (everything deterministic
+// given the request — what the result cache stores as rendered JSON) and a
+// trailing budget (live ledger state, spliced in per response). Embedding
+// keeps the wire format identical to a flat struct.
+
+type releaseBody struct {
 	Strategy      string         `json:"strategy"`
 	TotalVariance float64        `json:"total_variance"`
 	Tables        []marginalJSON `json:"tables"`
-	Budget        budgetJSON     `json:"budget"`
 }
 
-type cubeResponse struct {
+type releaseResponse struct {
+	releaseBody
+	Budget budgetJSON `json:"budget"`
+}
+
+type cubeBody struct {
 	MaxOrder      int            `json:"max_order"`
 	TotalVariance float64        `json:"total_variance"`
 	Cuboids       []marginalJSON `json:"cuboids"`
-	Budget        budgetJSON     `json:"budget"`
+}
+
+type cubeResponse struct {
+	cubeBody
+	Budget budgetJSON `json:"budget"`
+}
+
+type syntheticBody struct {
+	Strategy string  `json:"strategy"`
+	Count    int     `json:"count"`
+	Rows     [][]int `json:"rows"`
 }
 
 type syntheticResponse struct {
-	Strategy string     `json:"strategy"`
-	Count    int        `json:"count"`
-	Rows     [][]int    `json:"rows"`
-	Budget   budgetJSON `json:"budget"`
+	syntheticBody
+	Budget budgetJSON `json:"budget"`
 }
 
 type errorResponse struct {
@@ -484,6 +518,7 @@ type metricsResponse struct {
 	Composition string                       `json:"composition"`
 	PerKey      map[string]metricsBudgetJSON `json:"per_key_budget,omitempty"`
 	PlanCache   cacheJSON                    `json:"plan_cache"`
+	ResultCache *cacheJSON                   `json:"result_cache,omitempty"`
 	Datasets    store.Stats                  `json:"datasets"`
 }
 
@@ -515,7 +550,15 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
-	if err := s.charge(r, req, "release"); err != nil {
+	// A cached result short-circuits BEFORE the charge: replaying the same
+	// noised output is free post-processing, paid for by the miss that
+	// computed it (see internal/rescache).
+	key, cacheable := s.resultKey("release", h, schema, req)
+	if payload, ok := s.cachedResult(key, cacheable); ok {
+		s.writeSpliced(w, r, payload)
+		return
+	}
+	if err := s.charge(r, rel, req, "release"); err != nil {
 		s.fail(w, r, err)
 		return
 	}
@@ -524,12 +567,19 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		s.failRetained(w, r, err, req)
 		return
 	}
-	writeJSON(w, http.StatusOK, releaseResponse{
+	payload, err := json.Marshal(releaseBody{
 		Strategy:      res.Strategy,
 		TotalVariance: res.TotalVariance,
 		Tables:        tablesJSON(res),
-		Budget:        s.budgetFor(apiKeyFrom(r.Context())),
 	})
+	if err != nil {
+		s.failRetained(w, r, err, req)
+		return
+	}
+	if cacheable {
+		s.results.Put(key, req.DatasetID, payload)
+	}
+	s.writeSpliced(w, r, payload)
 }
 
 func (s *Server) handleSynthetic(w http.ResponseWriter, r *http.Request) {
@@ -555,7 +605,15 @@ func (s *Server) handleSynthetic(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
-	if err := s.charge(r, req, "synthetic"); err != nil {
+	// Sampling is seeded by synthetic_seed (part of the cache key), so a
+	// repeated request replays the identical tuple sample — cacheable like
+	// any other deterministic post-processing of the release.
+	key, cacheable := s.resultKey("synthetic", h, schema, req)
+	if payload, ok := s.cachedResult(key, cacheable); ok {
+		s.writeSpliced(w, r, payload)
+		return
+	}
+	if err := s.charge(r, rel, req, "synthetic"); err != nil {
 		s.fail(w, r, err)
 		return
 	}
@@ -574,12 +632,19 @@ func (s *Server) handleSynthetic(w http.ResponseWriter, r *http.Request) {
 	if rows == nil {
 		rows = [][]int{}
 	}
-	writeJSON(w, http.StatusOK, syntheticResponse{
+	payload, err := json.Marshal(syntheticBody{
 		Strategy: res.Strategy,
 		Count:    syn.Count(),
 		Rows:     rows,
-		Budget:   s.budgetFor(apiKeyFrom(r.Context())),
 	})
+	if err != nil {
+		s.failRetained(w, r, err, req)
+		return
+	}
+	if cacheable {
+		s.results.Put(key, req.DatasetID, payload)
+	}
+	s.writeSpliced(w, r, payload)
 }
 
 func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
@@ -609,9 +674,14 @@ func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
+	key, cacheable := s.resultKey("cube", h, schema, req)
+	if payload, ok := s.cachedResult(key, cacheable); ok {
+		s.writeSpliced(w, r, payload)
+		return
+	}
 	// Admission first, then the mechanism; a post-admission failure keeps
 	// the charge (see failRetained).
-	if err := s.charge(r, req, fmt.Sprintf("cube-%d-way", req.MaxOrder)); err != nil {
+	if err := s.charge(r, nil, req, fmt.Sprintf("cube-%d-way", req.MaxOrder)); err != nil {
 		s.fail(w, r, err)
 		return
 	}
@@ -637,12 +707,19 @@ func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
 		}
 		cuboids[i] = marginalJSON{Attrs: attrs, Cells: cube.Tables[i], Variance: cube.CellVariance[i]}
 	}
-	writeJSON(w, http.StatusOK, cubeResponse{
+	payload, err := json.Marshal(cubeBody{
 		MaxOrder:      req.MaxOrder,
 		TotalVariance: cube.TotalVariance,
 		Cuboids:       cuboids,
-		Budget:        s.budgetFor(apiKeyFrom(r.Context())),
 	})
+	if err != nil {
+		s.failRetained(w, r, err, req)
+		return
+	}
+	if cacheable {
+		s.results.Put(key, req.DatasetID, payload)
+	}
+	s.writeSpliced(w, r, payload)
 }
 
 func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
@@ -681,12 +758,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	cs := s.cache.Stats()
+	var rc *cacheJSON
+	if s.results != nil {
+		rs := s.results.Stats()
+		rc = &cacheJSON{Hits: rs.Hits, Misses: rs.Misses, Entries: rs.Entries}
+	}
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Endpoints:   eps,
 		Budget:      metricsBudget(s.ledgers.Global()),
 		Composition: s.ledgers.Composition().Name(),
 		PerKey:      perKey,
 		PlanCache:   cacheJSON{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries},
+		ResultCache: rc,
 		Datasets:    s.store.Stats(),
 	})
 }
@@ -1038,6 +1121,78 @@ func releaserKey(schema *repro.Schema, req *releaseRequest, kind repro.StrategyK
 	return b.String()
 }
 
+// resultKey fingerprints everything that determines a release-shaped
+// response's bytes: endpoint kind, dataset identity AND install version,
+// the full structural key (schema, workload, strategy, uniform/consistency
+// toggles), the exact privacy parameters (Float64bits — the key must
+// distinguish values a decimal rendering could collide), seed, and the
+// resolved shard count, plus the per-endpoint extras (synthetic_seed,
+// max_order). Workers stay out: the engine is bit-identical at every worker
+// count, so thread count must not fragment the cache. Only dataset-backed
+// requests are cacheable — inline rows carry no version to key on.
+func (s *Server) resultKey(kind string, h *store.Handle, schema *repro.Schema, req *releaseRequest) (string, bool) {
+	if s.results == nil || h == nil {
+		return "", false
+	}
+	sk, err := strategyKind(req.Strategy)
+	if err != nil {
+		return "", false
+	}
+	var b strings.Builder
+	b.WriteString(kind)
+	b.WriteByte('|')
+	b.WriteString(h.ID())
+	b.WriteByte('@')
+	b.WriteString(strconv.FormatInt(h.Version(), 10))
+	b.WriteByte('|')
+	b.WriteString(releaserKey(schema, req, sk))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(math.Float64bits(req.Epsilon), 16))
+	b.WriteByte(',')
+	b.WriteString(strconv.FormatUint(math.Float64bits(req.Delta), 16))
+	b.WriteByte(',')
+	b.WriteString(strconv.FormatInt(req.Seed, 10))
+	b.WriteString(",s")
+	b.WriteString(strconv.Itoa(s.shards(req.Shards)))
+	switch kind {
+	case "synthetic":
+		b.WriteString(",ss")
+		b.WriteString(strconv.FormatInt(req.SyntheticSeed, 10))
+	case "cube":
+		b.WriteString(",mo")
+		b.WriteString(strconv.Itoa(req.MaxOrder))
+	}
+	return b.String(), true
+}
+
+// cachedResult looks key up when cacheable; the bool reports a usable hit.
+func (s *Server) cachedResult(key string, cacheable bool) ([]byte, bool) {
+	if !cacheable {
+		return nil, false
+	}
+	return s.results.Get(key)
+}
+
+// writeSpliced sends a response body (a JSON object withOUT the budget
+// field) with the caller's live budget appended — byte-identical to
+// writeJSON on the corresponding full response struct, which is what makes
+// a cache hit indistinguishable from the miss that produced it.
+func (s *Server) writeSpliced(w http.ResponseWriter, r *http.Request, payload []byte) {
+	bb, err := json.Marshal(s.budgetFor(apiKeyFrom(r.Context())))
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	buf := make([]byte, 0, len(payload)+len(bb)+12)
+	buf = append(buf, payload[:len(payload)-1]...)
+	buf = append(buf, `,"budget":`...)
+	buf = append(buf, bb...)
+	buf = append(buf, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+}
+
 // spec maps the request's per-call parameters, clamping workers and shards
 // to the server bounds.
 func (s *Server) spec(req *releaseRequest) repro.ReleaseSpec {
@@ -1083,17 +1238,33 @@ func (s *Server) shards(requested int) int {
 // one atomic two-level charge (the caller's ledger and the global one, or
 // neither) before the mechanism runs. A refusal maps to ErrBudgetExhausted
 // (429) with the refusing cap named in the message.
-func (s *Server) charge(r *http.Request, req *releaseRequest, defaultLabel string) error {
+//
+// When the endpoint runs through a Releaser (release, synthetic) and the
+// request is Gaussian (δ > 0), rel threads the allocator's effective σ into
+// the charge, so zCDP composition bills the exact mechanism ρ = 1/(2σ²)
+// rather than the (ε, δ) conversion bound. The cube endpoint passes nil —
+// its mechanism splits the budget across cuboid sub-releases internally, so
+// no single allocator σ describes it and the conversion stays in force.
+func (s *Server) charge(r *http.Request, rel *repro.Releaser, req *releaseRequest, defaultLabel string) error {
 	label := req.Label
 	if label == "" {
 		label = fmt.Sprintf("%s-%d", defaultLabel, s.relSeq.Add(1))
 	}
-	err := s.ledgers.Charge(apiKeyFrom(r.Context()), repro.BudgetCharge{
+	c := repro.BudgetCharge{
 		Label:     label,
 		Epsilon:   req.Epsilon,
 		Delta:     req.Delta,
 		Partition: req.Partition,
-	})
+	}
+	if rel != nil && req.Delta > 0 {
+		// Best-effort: a planning failure leaves σ = 0 (conservative
+		// conversion) and resurfaces as the release's own error.
+		if sigma, err := rel.EffectiveSigma(r.Context(), s.spec(req)); err == nil && sigma > 0 {
+			c.Sigma = sigma
+			c.Sensitivity = 1
+		}
+	}
+	err := s.ledgers.Charge(apiKeyFrom(r.Context()), c)
 	if err != nil {
 		if errors.Is(err, accountant.ErrBudgetExceeded) {
 			return fmt.Errorf("%w: %v", repro.ErrBudgetExhausted, err)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -12,6 +13,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/dataset"
 )
 
 func testConfig() Config {
@@ -396,34 +398,77 @@ func TestWorkloadVariants(t *testing.T) {
 
 // BenchmarkServerRelease measures end-to-end requests/sec on a warm plan
 // cache — the serving baseline for future PRs. Run with -benchtime and
-// -cpu to scale.
+// -cpu to scale. Variants: "inline" carries rows in the body (never
+// result-cached — the full decode+engine path), "dataset-uncached" reads an
+// ingested dataset with the result cache off (the engine path minus rows
+// decode), "dataset-cached" repeats one identical dataset request — the
+// dashboard pattern the result cache exists for, required to be ≥ 10×
+// faster than dataset-uncached.
 func BenchmarkServerRelease(b *testing.B) {
-	s := newTestServer(b, Config{EpsilonCap: math.MaxFloat64, MaxWorkers: 0})
-	body, err := json.Marshal(testBody(map[string]any{"workload": map[string]any{"k": 2}, "epsilon": 1e-6}))
-	if err != nil {
-		b.Fatal(err)
-	}
-	// Warm the Releaser registry and plan cache.
-	warm := httptest.NewRequest(http.MethodPost, "/v1/release", bytes.NewReader(body))
-	rec := httptest.NewRecorder()
-	s.ServeHTTP(rec, warm)
-	if rec.Code != http.StatusOK {
-		b.Fatalf("warm-up failed: %d %s", rec.Code, rec.Body.String())
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		req := httptest.NewRequest(http.MethodPost, "/v1/release", bytes.NewReader(body))
+	run := func(b *testing.B, s *Server, body []byte) {
+		// Warm the Releaser registry, plan cache and (when on) result cache.
+		warm := httptest.NewRequest(http.MethodPost, "/v1/release", bytes.NewReader(body))
 		rec := httptest.NewRecorder()
-		s.ServeHTTP(rec, req)
+		s.ServeHTTP(rec, warm)
 		if rec.Code != http.StatusOK {
-			b.Fatalf("request %d: %d", i, rec.Code)
+			b.Fatalf("warm-up failed: %d %s", rec.Code, rec.Body.String())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/release", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("request %d: %d", i, rec.Code)
+			}
+		}
+		b.StopTimer()
+		if b.N > 0 {
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 		}
 	}
-	b.StopTimer()
-	if b.N > 0 {
-		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	overrides := map[string]any{"workload": map[string]any{"k": 2}, "epsilon": 1e-6}
+	b.Run("inline", func(b *testing.B) {
+		s := newTestServer(b, Config{EpsilonCap: math.MaxFloat64, MaxWorkers: 0})
+		body, err := json.Marshal(testBody(overrides))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, s, body)
+	})
+	// The dataset variants use a 14-attribute binary domain (16384 cells):
+	// small enough to bench quickly,, big enough that the engine run — not
+	// HTTP plumbing — dominates an uncached release, which is the cost a
+	// cache hit avoids.
+	datasetSetup := func(b *testing.B, cacheSize int) (*Server, []byte) {
+		s := newTestServer(b, Config{EpsilonCap: math.MaxFloat64, MaxWorkers: 0, ResultCacheSize: cacheSize})
+		attrs := make([]dataset.Attribute, 14)
+		for i := range attrs {
+			attrs[i] = dataset.Attribute{Name: fmt.Sprintf("a%d", i), Cardinality: 2}
+		}
+		schema := dataset.MustSchema(attrs)
+		counts := make([]float64, schema.DomainSize())
+		for i := range counts {
+			counts[i] = float64(i % 5)
+		}
+		if _, err := s.Store().PutCounts("bench", schema, counts, 1000); err != nil {
+			b.Fatal(err)
+		}
+		body, err := json.Marshal(datasetBody("bench", overrides))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s, body
 	}
+	b.Run("dataset-uncached", func(b *testing.B) {
+		s, body := datasetSetup(b, -1)
+		run(b, s, body)
+	})
+	b.Run("dataset-cached", func(b *testing.B) {
+		s, body := datasetSetup(b, 0)
+		run(b, s, body)
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -692,5 +737,31 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if m.PlanCache.Misses == 0 {
 		t.Fatalf("plan cache block: %+v", m.PlanCache)
+	}
+}
+
+// TestServerChargeCarriesSigma: a Gaussian release request records the
+// allocator's effective σ on its ledger charge (exact zCDP ρ = 1/(2σ²));
+// the cube endpoint, whose mechanism splits the budget internally, stays on
+// the (ε, δ) conversion.
+func TestServerChargeCarriesSigma(t *testing.T) {
+	s := newTestServer(t, testConfig())
+	if rec := post(t, s, "/v1/release", testBody(map[string]any{"delta": 1e-6})); rec.Code != http.StatusOK {
+		t.Fatalf("release: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := post(t, s, "/v1/cube", testBody(map[string]any{"max_order": 1, "delta": 1e-6})); rec.Code != http.StatusOK {
+		t.Fatalf("cube: %d %s", rec.Code, rec.Body.String())
+	}
+	hist := s.Ledger().History()
+	if len(hist) != 2 {
+		t.Fatalf("ledger holds %d charges, want 2", len(hist))
+	}
+	want := math.Sqrt(2*math.Log(2/1e-6)) / 1.0 // saturated: √(2·ln(2/δ))/ε
+	if math.Abs(hist[0].Sigma-want) > 1e-9*want || hist[0].Sensitivity != 1 {
+		t.Fatalf("release charge recorded (σ=%v, Δ=%v), want (σ=%v, Δ=1)",
+			hist[0].Sigma, hist[0].Sensitivity, want)
+	}
+	if hist[1].Sigma != 0 {
+		t.Fatalf("cube charge must not carry a Gaussian description, got %+v", hist[1])
 	}
 }

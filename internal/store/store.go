@@ -49,7 +49,19 @@ type Store struct {
 	mu         sync.Mutex
 	datasets   map[string]*Dataset
 	useSeq     int64 // recency clock for LRU eviction
+	verSeq     int64 // monotonic dataset-version clock, see Handle.Version
 	quarantine []string
+	changeHook func(id string)
+}
+
+// SetChangeHook registers a callback invoked (outside the store lock) after
+// any mutation of the registry under an id — ingest, replace, append,
+// delete. The serving layer uses it to invalidate derived caches keyed on
+// (id, version). At most one hook; set it before traffic starts.
+func (s *Store) SetChangeHook(hook func(id string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.changeHook = hook
 }
 
 // Dataset is one ingested relation, reduced to its aggregated contingency
@@ -63,6 +75,7 @@ type Dataset struct {
 	counts  *vector.Blocked
 	rows    int64
 	created time.Time
+	version int64 // store-global monotonic, assigned at install
 
 	refs     atomic.Int64 // active handles
 	lastUsed int64        // store.useSeq at last Get/ingest (under store.mu)
@@ -102,6 +115,15 @@ func DenseCounts(h *Handle) []float64 { return h.d.counts.Dense() }
 // Rows returns the number of ingested tuples.
 func (h *Handle) Rows() int64 { return h.d.rows }
 
+// Version returns the dataset's install version: a store-global monotonic
+// counter assigned every time a Dataset is installed under an id (ingest,
+// replace, append) — never reused, so (id, version) uniquely identifies the
+// exact counts a handle reads, even across delete-and-recreate of the same
+// id within one process. Versions are not persisted; a restarted process
+// assigns fresh ones, which is safe because everything keyed on them (the
+// release-result cache) is in-memory too.
+func (h *Handle) Version() int64 { return h.d.version }
+
 // Created returns the ingestion time.
 func (h *Handle) Created() time.Time { return h.d.created }
 
@@ -121,6 +143,9 @@ type Info struct {
 	// length 2^d actually stored.
 	Rows  int64 `json:"rows"`
 	Cells int   `json:"cells"`
+	// Version is the install version of the resident dataset (see
+	// Handle.Version).
+	Version int64 `json:"version"`
 	// ActiveHandles counts in-flight references (releases reading the
 	// dataset right now).
 	ActiveHandles int64     `json:"active_handles"`
@@ -177,6 +202,8 @@ func Open(cfg Config) (*Store, error) {
 			s.quarantine = append(s.quarantine, fmt.Sprintf("%s: %v", e.Name(), err))
 			continue
 		}
+		s.verSeq++
+		d.version = s.verSeq
 		s.datasets[d.id] = d
 	}
 	return s, nil
@@ -332,8 +359,8 @@ func (s *Store) registerWhen(d *Dataset, expect *Dataset, conditional bool) (Inf
 		}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if conditional && s.datasets[d.id] != expect {
+		s.mu.Unlock()
 		if tmp != "" {
 			os.Remove(tmp)
 		}
@@ -342,25 +369,38 @@ func (s *Store) registerWhen(d *Dataset, expect *Dataset, conditional bool) (Inf
 	if _, replacing := s.datasets[d.id]; !replacing && s.cfg.MaxDatasets > 0 {
 		for len(s.datasets) >= s.cfg.MaxDatasets {
 			if !s.evictLocked() {
+				n := len(s.datasets)
+				s.mu.Unlock()
 				if tmp != "" {
 					os.Remove(tmp)
 				}
 				return Info{}, false, fmt.Errorf("%w: %d datasets resident, all with active handles",
-					ErrStoreFull, len(s.datasets))
+					ErrStoreFull, n)
 			}
 		}
 	}
 	if tmp != "" {
 		final := filepath.Join(s.cfg.Dir, snapName(d.id))
 		if err := os.Rename(tmp, final); err != nil {
+			s.mu.Unlock()
 			os.Remove(tmp)
 			return Info{}, false, fmt.Errorf("store: installing snapshot: %w", err)
 		}
 	}
 	s.useSeq++
 	d.lastUsed = s.useSeq
+	s.verSeq++
+	d.version = s.verSeq
 	s.datasets[d.id] = d
-	return s.infoLocked(d), true, nil
+	info := s.infoLocked(d)
+	hook := s.changeHook
+	s.mu.Unlock()
+	// The hook fires outside the lock: cache invalidation must not be able
+	// to deadlock against store readers.
+	if hook != nil {
+		hook(d.id)
+	}
+	return info, true, nil
 }
 
 // evictLocked drops the least-recently-used unpinned dataset. Reports
@@ -406,17 +446,23 @@ func (s *Store) Get(id string) (*Handle, error) {
 // is reclaimed once the last one closes.
 func (s *Store) Delete(id string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	d, ok := s.datasets[id]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	if s.cfg.Dir != "" {
 		if err := os.Remove(filepath.Join(s.cfg.Dir, snapName(d.id))); err != nil && !os.IsNotExist(err) {
+			s.mu.Unlock()
 			return fmt.Errorf("store: removing snapshot: %w", err)
 		}
 	}
 	delete(s.datasets, id)
+	hook := s.changeHook
+	s.mu.Unlock()
+	if hook != nil {
+		hook(id)
+	}
 	return nil
 }
 
@@ -471,6 +517,7 @@ func (s *Store) infoLocked(d *Dataset) Info {
 		Schema:        append([]dataset.Attribute(nil), d.schema.Attrs...),
 		Rows:          d.rows,
 		Cells:         d.counts.Len(),
+		Version:       d.version,
 		ActiveHandles: d.refs.Load(),
 		Created:       d.created,
 		Persisted:     s.cfg.Dir != "",

@@ -260,3 +260,59 @@ func TestValidateID(t *testing.T) {
 		}
 	}
 }
+
+func TestVersionAndChangeHook(t *testing.T) {
+	s, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var changed []string
+	s.SetChangeHook(func(id string) { changed = append(changed, id) })
+
+	sch := testSchema(t)
+	counts := make([]float64, sch.DomainSize())
+	info1, err := s.PutCounts("a", sch, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info1.Version == 0 {
+		t.Fatal("install did not assign a version")
+	}
+	h, err := s.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version() != info1.Version {
+		t.Fatalf("handle version %d, info version %d", h.Version(), info1.Version)
+	}
+	h.Close()
+
+	// Replace bumps the version and fires the hook; delete+recreate can
+	// never reuse an old version.
+	info2, err := s.PutCounts("a", sch, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Version <= info1.Version {
+		t.Fatalf("replace version %d not above %d", info2.Version, info1.Version)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	info3, err := s.PutCounts("a", sch, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info3.Version <= info2.Version {
+		t.Fatalf("recreate version %d not above %d", info3.Version, info2.Version)
+	}
+	want := []string{"a", "a", "a", "a"} // put, replace, delete, recreate
+	if len(changed) != len(want) {
+		t.Fatalf("hook fired %d times (%v), want %d", len(changed), changed, len(want))
+	}
+	for i, id := range want {
+		if changed[i] != id {
+			t.Fatalf("hook call %d = %q, want %q", i, changed[i], id)
+		}
+	}
+}

@@ -68,11 +68,78 @@ const (
 	whtMinSeg      = 1 << 12
 )
 
+// whtCacheBlock is the tile the serial butterfly network runs hot in: 2^13
+// float64 (64 KiB) stays resident in L2 while all sub-tile stages complete,
+// so a 2^20-cell transform streams each tile from memory once instead of
+// once per stage.
+const whtCacheBlock = 1 << 13
+
 // whtButterflies runs the full in-place butterfly network serially
 // (stages h = 1, 2, …, n/2), without the final orthonormal scaling.
+//
+// The network is data-independent, which licenses two mechanical
+// reorderings that keep every element's floating-point expression tree —
+// and hence every output bit — exactly that of the naive ascending-h
+// triple loop:
+//
+//   - cache blocking: a stage-h butterfly with h < whtCacheBlock touches
+//     only one whtCacheBlock-aligned tile, and its inputs are stage-h/2
+//     outputs from that same tile, so running ALL sub-tile stages tile by
+//     tile is a topological reorder of the same dataflow graph;
+//   - radix-4 unrolling: consecutive stages h and 2h decompose into
+//     independent quads {j, j+h, j+2h, j+3h}; computing t0=a+b, t1=a−b,
+//     t2=c+d, t3=c−d and then t0±t2, t1±t3 performs the identical adds in
+//     the identical order, with half the memory passes.
 func whtButterflies(x []float64) {
 	n := len(x)
-	for h := 1; h < n; h <<= 1 {
+	bl := whtCacheBlock
+	if bl > n {
+		bl = n
+	}
+	for lo := 0; lo < n; lo += bl {
+		whtButterfliesTile(x[lo : lo+bl])
+	}
+	// Cross-tile stages h = bl, 2·bl, …, n/2, radix-4 paired with one
+	// trailing radix-2 stage when their count is odd.
+	h := bl
+	for ; h<<1 < n; h <<= 2 {
+		h2, h3 := h<<1, h*3
+		for i := 0; i < n; i += h << 2 {
+			for j := i; j < i+h; j++ {
+				a, b, c, d := x[j], x[j+h], x[j+h2], x[j+h3]
+				t0, t1 := a+b, a-b
+				t2, t3 := c+d, c-d
+				x[j], x[j+h], x[j+h2], x[j+h3] = t0+t2, t1+t3, t0-t2, t1-t3
+			}
+		}
+	}
+	if h < n {
+		for i := 0; i < n; i += h << 1 {
+			for j := i; j < i+h; j++ {
+				a, b := x[j], x[j+h]
+				x[j], x[j+h] = a+b, a-b
+			}
+		}
+	}
+}
+
+// whtButterfliesTile runs stages 1 … len(x)/2 inside one cache-resident
+// tile, radix-4 unrolled. len(x) must be a power of two.
+func whtButterfliesTile(x []float64) {
+	n := len(x)
+	h := 1
+	for ; h<<1 < n; h <<= 2 {
+		h2, h3 := h<<1, h*3
+		for i := 0; i < n; i += h << 2 {
+			for j := i; j < i+h; j++ {
+				a, b, c, d := x[j], x[j+h], x[j+h2], x[j+h3]
+				t0, t1 := a+b, a-b
+				t2, t3 := c+d, c-d
+				x[j], x[j+h], x[j+h2], x[j+h3] = t0+t2, t1+t3, t0-t2, t1-t3
+			}
+		}
+	}
+	if h < n {
 		for i := 0; i < n; i += h << 1 {
 			for j := i; j < i+h; j++ {
 				a, b := x[j], x[j+h]
@@ -348,9 +415,24 @@ func (h *Hierarchy) RangeDecomposition(lo, hi int) []int {
 // coeff maps β → θ_β = ⟨f^β, x⟩; every β ⪯ alpha must be present.
 // The result has 2^‖α‖ entries indexed by bits.CellIndex(alpha, γ).
 func MarginalFromCoefficients(d int, alpha bits.Mask, coeff map[bits.Mask]float64) []float64 {
+	out := make([]float64, 1<<uint(alpha.Count()))
+	MarginalFromCoefficientsInto(d, alpha, coeff, out)
+	return out
+}
+
+// MarginalFromCoefficientsInto is MarginalFromCoefficients writing into a
+// caller-provided slice (the alloc-free path for consistency's per-marginal
+// answer evaluation). len(out) must be exactly 2^‖α‖.
+func MarginalFromCoefficientsInto(d int, alpha bits.Mask, coeff map[bits.Mask]float64, out []float64) {
 	k := alpha.Count()
 	cells := 1 << uint(k)
-	packed := make([]float64, cells)
+	if len(out) != cells {
+		panic(fmt.Sprintf("transform: out has %d cells, marginal needs %d", len(out), cells))
+	}
+	packed := out
+	for i := range packed {
+		packed[i] = 0
+	}
 	alpha.VisitSubsets(func(beta bits.Mask) {
 		v, ok := coeff[beta]
 		if !ok {
@@ -365,5 +447,4 @@ func MarginalFromCoefficients(d int, alpha bits.Mask, coeff map[bits.Mask]float6
 	for i := range packed {
 		packed[i] *= scale
 	}
-	return packed
 }

@@ -274,6 +274,66 @@ func BenchmarkMarginalFromCoefficients(b *testing.B) {
 	}
 }
 
+// whtButterfliesNaive is the textbook ascending-h triple loop — the
+// reference dataflow order the cache-blocked radix-4 kernel must reproduce
+// bit-for-bit.
+func whtButterfliesNaive(x []float64) {
+	n := len(x)
+	for h := 1; h < n; h <<= 1 {
+		for i := 0; i < n; i += h << 1 {
+			for j := i; j < i+h; j++ {
+				a, b := x[j], x[j+h]
+				x[j], x[j+h] = a+b, a-b
+			}
+		}
+	}
+}
+
+func TestWHTKernelBitIdenticalToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	// Sizes below, at, and above the cache block, covering both parities of
+	// the cross-tile stage count (radix-4 pairing vs trailing radix-2).
+	sizes := []int{1, 2, 4, 8, 64, 1 << 10, 1 << 12,
+		whtCacheBlock >> 1, whtCacheBlock, whtCacheBlock << 1,
+		1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 20}
+	for _, n := range sizes {
+		ref := randomVec(rng, n)
+		want := append([]float64(nil), ref...)
+		whtButterfliesNaive(want)
+		got := append([]float64(nil), ref...)
+		whtButterflies(got)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: kernel bit mismatch at %d: %x vs %x",
+					n, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+// BenchmarkWHTKernel1M pins the ISSUE 6 acceptance criterion: the
+// cache-blocked radix-4 butterfly must show a measurable speedup over the
+// naive triple loop at 2^20 cells.
+func BenchmarkWHTKernel1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	src := randomVec(rng, 1<<20)
+	buf := make([]float64, len(src))
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(buf, src)
+			whtButterfliesNaive(buf)
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(buf, src)
+			whtButterflies(buf)
+		}
+	})
+}
+
 func TestWHTParallelBitIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	// Sizes straddling the parallel threshold, worker counts straddling the

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"repro/internal/accountant"
@@ -388,7 +389,7 @@ func (r *Releaser) ReleaseBlocked(ctx context.Context, x *BlockedVector, spec Re
 		return nil, fmt.Errorf("%w: data vector has %d entries, domain needs %d",
 			ErrDimensionMismatch, got, 1<<uint(r.w.D))
 	}
-	if err := r.charge(spec); err != nil {
+	if err := r.charge(ctx, spec); err != nil {
 		return nil, err
 	}
 	cons := core.WeightedL2Consistency
@@ -459,12 +460,68 @@ func (r *Releaser) Synthetic(ctx context.Context, res *Result, seed int64) (*Tab
 	return SyntheticData(r.schema, r.w, res, seed)
 }
 
+// EffectiveSigma describes one release at the spec's privacy parameters as
+// a single Gaussian mechanism: the returned σ, under the Sensitivity = 1
+// convention, carries the release's exact zCDP cost ρ = 1/(2σ²).
+//
+// Derivation: the measure stage answers strategy group g (non-zero
+// magnitude C_g, support-disjoint rows) with Gaussian noise of scale
+// σ_g = √(2·ln(2/δ))/η_g. In noise-normalised coordinates one changed
+// tuple moves the measurement vector by at most
+// Δ = κ·√(Σ_g C_g²·η_g²)/√(2·ln(2/δ)) (κ the neighbour-model factor), so
+// the whole release is one sensitivity-Δ unit-noise Gaussian mechanism and
+// σ_eff = 1/Δ. When the allocator saturates the Proposition 3.1 constraint
+// (Σ_g C_g²·η_g² = (ε/κ)²) this reduces to σ_eff = √(2·ln(2/δ))/ε — the
+// same ρ the accountant's (ε, δ) conversion assumes; an unsaturated
+// allocation (groups the recovery never reads spend nothing) yields a
+// strictly larger σ_eff, i.e. a strictly cheaper, still exact, ρ.
+//
+// Pure-DP specs (Delta == 0) return 0: Laplace noise has no Gaussian
+// description, and zCDP accounting falls back to ε-DP ⇒ (ε²/2)-zCDP.
+// Planning runs through the Releaser's cache, so after the first call (or
+// construction-time preplan) the cost is a closed-form allocation.
+func (r *Releaser) EffectiveSigma(ctx context.Context, spec ReleaseSpec) (float64, error) {
+	if spec.Delta <= 0 {
+		return 0, nil
+	}
+	if err := validatePrivacy(spec.Epsilon, spec.Delta); err != nil {
+		return 0, err
+	}
+	budgeting := engine.OptimalBudget
+	if r.uniformBudget {
+		budgeting = engine.UniformBudget
+	}
+	cfg := engine.Config{
+		Strategy:     r.strategy.impl(),
+		Budgeting:    budgeting,
+		Privacy:      r.params(spec),
+		QueryWeights: r.queryWeights,
+	}
+	plan, err := engine.Planner{Cache: r.cache}.Plan(ctx, r.w, cfg)
+	if err != nil {
+		return 0, err
+	}
+	alloc, err := engine.Allocator{}.Allocate(ctx, plan.Specs, cfg)
+	if err != nil {
+		return 0, err
+	}
+	load2 := 0.0
+	for g, sp := range plan.Specs {
+		load2 += sp.C * sp.C * alloc.Eta[g] * alloc.Eta[g]
+	}
+	if load2 <= 0 {
+		return 0, fmt.Errorf("%w: allocation spends no budget on any group", ErrInvalidOption)
+	}
+	kappa := cfg.Privacy.Neighbor.Factor()
+	return math.Sqrt(2*math.Log(2/spec.Delta)) / (kappa * math.Sqrt(load2)), nil
+}
+
 // charge performs ledger admission: an atomic check-and-record, so
 // concurrent releases can never jointly pass the cap. Budget is committed
 // at admission — a release that fails after admission (cancellation
 // included) still counts as spent, the conservative reading required for
 // the DP guarantee to survive partial executions.
-func (r *Releaser) charge(spec ReleaseSpec) error {
+func (r *Releaser) charge(ctx context.Context, spec ReleaseSpec) error {
 	if r.ledger == nil && r.registry == nil {
 		if spec.Key != "" {
 			return fmt.Errorf("%w: ReleaseSpec.Key %q without a budget registry (WithBudgetCaps)", ErrInvalidOption, spec.Key)
@@ -480,6 +537,17 @@ func (r *Releaser) charge(spec ReleaseSpec) error {
 		Epsilon:   spec.Epsilon,
 		Delta:     spec.Delta,
 		Partition: spec.Partition,
+	}
+	// Gaussian releases additionally carry their exact mechanism
+	// description: zCDP composition then charges ρ = 1/(2σ²) directly
+	// instead of the (ε, δ) conversion bound. Best-effort — a planning
+	// failure here leaves σ = 0 (the conservative conversion) and will
+	// resurface as the release's own error.
+	if spec.Delta > 0 {
+		if sigma, err := r.EffectiveSigma(ctx, spec); err == nil && sigma > 0 {
+			c.Sigma = sigma
+			c.Sensitivity = 1
+		}
 	}
 	var err error
 	if r.registry != nil {

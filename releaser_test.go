@@ -241,3 +241,76 @@ func TestReleaserSynthetic(t *testing.T) {
 		t.Fatalf("synthetic generation changed spend to %v", eps)
 	}
 }
+
+// TestEffectiveSigma: the single-Gaussian description of a release. The
+// optimal and uniform allocators both saturate the Proposition 3.1
+// constraint Σ C_g²·η_g² = (ε/κ)², so σ_eff must equal the closed form
+// √(2·ln(2/δ))/ε — under either neighbour model, since κ cancels at
+// saturation. Pure-DP specs have no Gaussian description and return 0.
+func TestEffectiveSigma(t *testing.T) {
+	tab := smallTable()
+	w := AllKWayMarginals(tab.Schema, 2)
+	ctx := context.Background()
+
+	const eps, delta = 0.5, 1e-6
+	want := math.Sqrt(2*math.Log(2/delta)) / eps
+	for name, opts := range map[string][]ReleaserOption{
+		"fourier-optimal": nil,
+		"uniform-budget":  {WithUniformBudget()},
+		"identity":        {WithStrategy(StrategyIdentity)},
+		"modify-model":    {WithModifyNeighbors()},
+	} {
+		r, err := NewReleaser(tab.Schema, w, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sigma, err := r.EffectiveSigma(ctx, ReleaseSpec{Epsilon: eps, Delta: delta})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(sigma-want) > 1e-9*want {
+			t.Fatalf("%s: σ_eff = %v, want %v (saturated constraint)", name, sigma, want)
+		}
+		if s, err := r.EffectiveSigma(ctx, ReleaseSpec{Epsilon: eps}); err != nil || s != 0 {
+			t.Fatalf("%s: pure-DP σ_eff = %v, %v, want 0, nil", name, s, err)
+		}
+	}
+}
+
+// TestChargeCarriesSigma: a Gaussian release against a zCDP ledger records
+// its exact mechanism description — the accountant then composes
+// ρ = 1/(2σ²) instead of the (ε, δ) conversion bound.
+func TestChargeCarriesSigma(t *testing.T) {
+	tab := smallTable()
+	w := AllKWayMarginals(tab.Schema, 1)
+	comp, err := ZCDPComposition(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReleaser(tab.Schema, w, WithBudgetCap(10, 1e-3), WithComposition(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := r.Release(ctx, tab, ReleaseSpec{Epsilon: 0.5, Delta: 1e-5, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Release(ctx, tab, ReleaseSpec{Epsilon: 0.5, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	hist := r.Ledger().History()
+	if len(hist) != 2 {
+		t.Fatalf("ledger holds %d charges, want 2", len(hist))
+	}
+	wantSigma, err := r.EffectiveSigma(ctx, ReleaseSpec{Epsilon: 0.5, Delta: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist[0].Sigma != wantSigma || hist[0].Sensitivity != 1 {
+		t.Fatalf("Gaussian charge recorded (σ=%v, Δ=%v), want (σ=%v, Δ=1)",
+			hist[0].Sigma, hist[0].Sensitivity, wantSigma)
+	}
+	if hist[1].Sigma != 0 || hist[1].Sensitivity != 0 {
+		t.Fatalf("Laplace charge must not carry a Gaussian description, got %+v", hist[1])
+	}
+}
