@@ -15,6 +15,8 @@
 //	POST   /v1/synthetic     — release + row-level synthetic microdata
 //	GET    /v1/budget        — cumulative privacy spend vs. the cap
 //	GET    /v1/metrics       — request/error counters, spend, cache, store
+//	GET    /v1/healthz       — liveness (unauthenticated)
+//	GET    /v1/readyz        — readiness (unauthenticated; 503 while draining)
 //
 // Usage:
 //
@@ -43,7 +45,31 @@
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get -drain to finish, new connections are refused, and the final budget
 // ledgers (global and per key) are printed to stderr so the spend
-// survives in the logs.
+// survives in the logs. /v1/readyz answers 503 during the drain so load
+// balancers stop routing first; plans and ledgers are snapshotted only
+// after the last in-flight release handler has returned.
+//
+// # Cluster mode
+//
+// A fleet splits one release's Measure and Recover stages across
+// processes (see internal/fabric). Start shard workers with -worker and
+// point a coordinator at them:
+//
+//	dpcubed -addr :8081 -worker &
+//	dpcubed -addr :8082 -worker &
+//	dpcubed -addr :8080 -fabric-workers http://localhost:8081,http://localhost:8082
+//
+// Every process needs its own copy of each dataset (ingest to all of
+// them; a shared -store-dir snapshot tree also works when processes share
+// a filesystem). The coordinator hands a worker a task only if the
+// worker's copy matches the coordinator's content fingerprint, so a stale
+// replica is refused rather than silently merged. Releases are
+// bit-identical to single-process at any fleet size — worker crashes,
+// stragglers (re-executed locally after -fabric-hedge) and timeouts
+// (-fabric-timeout, -fabric-retries) cost latency, never correctness.
+// Only dataset_id-backed /v1/release and /v1/synthetic requests
+// distribute; /v1/metrics reports per-worker task counts, retries, hedges
+// and straggler re-executions under "fabric".
 //
 // Profiling: -pprof-addr (e.g. -pprof-addr localhost:6060) serves
 // net/http/pprof on a SEPARATE admin listener — never on the public -addr,
@@ -65,6 +91,7 @@ import (
 	_ "net/http/pprof" // admin-listener profiles, gated by -pprof-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -87,6 +114,13 @@ func main() {
 		compMode   = flag.String("composition", "basic", "budget accounting: basic ((ε,δ) summation) or zcdp (Rényi/zCDP, tight composition of many small releases)")
 		targetDel  = flag.Float64("target-delta", 0, "δ at which zcdp accounting reports composed ε (0 = the delta cap)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate admin address (empty = disabled); bind to localhost or an internal interface")
+
+		worker     = flag.Bool("worker", false, "serve POST /v1/fabric/task: act as a shard worker for a fabric coordinator")
+		fabWorkers = flag.String("fabric-workers", "", "comma-separated worker base URLs (e.g. http://10.0.0.2:8080,...); non-empty makes this process a fabric coordinator")
+		fabKey     = flag.String("fabric-api-key", "", "API key presented to fabric workers (X-API-Key)")
+		fabTimeout = flag.Duration("fabric-timeout", 0, "per fabric task attempt timeout (0 = 30s)")
+		fabRetries = flag.Int("fabric-retries", 0, "additional remote attempts per failed fabric task (0 = default 1, negative disables)")
+		fabHedge   = flag.Duration("fabric-hedge", 0, "re-execute a straggling fabric task locally after this long (0 = half the task timeout, negative disables)")
 	)
 	flag.Parse()
 
@@ -97,16 +131,22 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		EpsilonCap:  *epsCap,
-		DeltaCap:    *deltaCap,
-		MaxWorkers:  *maxWorkers,
-		MaxShards:   *maxShards,
-		CacheSize:   *cacheSize,
-		StoreDir:    *storeDir,
-		MaxDatasets: *maxData,
-		APIKeys:     keys,
-		Composition: *compMode,
-		TargetDelta: *targetDel,
+		EpsilonCap:        *epsCap,
+		DeltaCap:          *deltaCap,
+		MaxWorkers:        *maxWorkers,
+		MaxShards:         *maxShards,
+		CacheSize:         *cacheSize,
+		StoreDir:          *storeDir,
+		MaxDatasets:       *maxData,
+		APIKeys:           keys,
+		Composition:       *compMode,
+		TargetDelta:       *targetDel,
+		FabricWorkers:     splitList(*fabWorkers),
+		FabricAPIKey:      *fabKey,
+		FabricTaskTimeout: *fabTimeout,
+		FabricRetries:     *fabRetries,
+		FabricHedgeAfter:  *fabHedge,
+		FabricWorker:      *worker,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpcubed:", err)
@@ -168,6 +208,12 @@ func main() {
 		if len(keys) > 0 {
 			fmt.Fprintf(os.Stderr, "dpcubed: %d API key(s) configured; requests must authenticate\n", len(keys))
 		}
+		if *worker {
+			fmt.Fprintln(os.Stderr, "dpcubed: fabric worker mode: serving POST /v1/fabric/task")
+		}
+		if f := srv.Fabric(); f != nil {
+			fmt.Fprintf(os.Stderr, "dpcubed: fabric coordinator over %d worker(s)\n", f.Workers())
+		}
 		if st := srv.Store().Stats(); st.Datasets > 0 {
 			fmt.Fprintf(os.Stderr, "dpcubed: recovered %d dataset(s), %d stored cells from %s\n",
 				st.Datasets, st.TotalCells, *storeDir)
@@ -182,10 +228,17 @@ func main() {
 	case <-ctx.Done():
 		fmt.Fprintln(os.Stderr, "dpcubed: shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "dpcubed: drain:", err)
 		}
+		// Shutdown returning (even in error) does not mean handlers have:
+		// a release can still be mid-charge on a hijacked or timed-out
+		// connection. Drain waits for every in-flight handler so the
+		// snapshots below include their ledger charges and warm plans.
+		if err := srv.Drain(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "dpcubed: drain:", err)
+		}
+		cancel()
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "dpcubed:", err)
@@ -199,6 +252,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dpcubed: persisting snapshots:", err)
 	}
 	fmt.Fprint(os.Stderr, srv.Budgets().Summary())
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // loadKeys resolves the API key set: the -api-keys file when given,

@@ -1,0 +1,631 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/marginal"
+	"repro/internal/strategy"
+	"repro/internal/vector"
+)
+
+// Config wires a Coordinator to its fleet.
+type Config struct {
+	// Workers are the worker base URLs (e.g. "http://10.0.0.2:8080").
+	Workers []string
+	// APIKey, when set, authenticates fabric task requests to workers that
+	// require it (sent as X-API-Key).
+	APIKey string
+	// TaskTimeout bounds one remote task attempt (default 30s).
+	TaskTimeout time.Duration
+	// Retries is how many additional remote attempts a failed task gets
+	// before the range is re-executed locally (default 1).
+	Retries int
+	// HedgeAfter starts a local re-execution of a still-running remote
+	// task after this long — the straggler hedge. Whichever side finishes
+	// first wins; they produce identical bits. Default TaskTimeout/2;
+	// negative disables hedging.
+	HedgeAfter time.Duration
+	// ProbeTimeout bounds one health probe (default 2s); ProbeTTL is how
+	// long a probe result is trusted (default 3s).
+	ProbeTimeout time.Duration
+	ProbeTTL     time.Duration
+	// Client optionally overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+func (c Config) taskTimeout() time.Duration {
+	if c.TaskTimeout > 0 {
+		return c.TaskTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c Config) retries() int {
+	if c.Retries >= 0 {
+		return c.Retries
+	}
+	return 1
+}
+
+func (c Config) hedgeAfter() time.Duration {
+	switch {
+	case c.HedgeAfter > 0:
+		return c.HedgeAfter
+	case c.HedgeAfter < 0:
+		return 0
+	default:
+		return c.taskTimeout() / 2
+	}
+}
+
+func (c Config) probeTimeout() time.Duration {
+	if c.ProbeTimeout > 0 {
+		return c.ProbeTimeout
+	}
+	return 2 * time.Second
+}
+
+func (c Config) probeTTL() time.Duration {
+	if c.ProbeTTL > 0 {
+		return c.ProbeTTL
+	}
+	return 3 * time.Second
+}
+
+// workerState tracks one fleet member: health (probed lazily, cached for
+// ProbeTTL) and its task counters.
+type workerState struct {
+	url string
+
+	healthy   atomic.Bool
+	probedAt  atomic.Int64 // unix nanos of the last probe; 0 = never
+	probeMu   sync.Mutex   // one probe in flight per worker
+	tasks     atomic.Int64
+	failures  atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	staleRefs atomic.Int64
+}
+
+// WorkerMetrics is one worker's counters, as reported by /v1/metrics.
+type WorkerMetrics struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Tasks counts completed remote tasks; Failures counts failed
+	// attempts (timeouts, transport errors, task errors); Retries counts
+	// re-sent attempts after a failure; Hedges counts local re-executions
+	// started because this worker straggled past HedgeAfter; StaleRefusals
+	// counts tasks the worker refused over the dataset handshake.
+	Tasks         int64 `json:"tasks"`
+	Failures      int64 `json:"failures"`
+	Retries       int64 `json:"retries"`
+	Hedges        int64 `json:"hedges"`
+	StaleRefusals int64 `json:"stale_refusals"`
+}
+
+// Metrics is the coordinator's aggregate view for /v1/metrics.
+type Metrics struct {
+	Workers []WorkerMetrics `json:"workers"`
+	// LocalFallbacks counts stages run entirely locally because no worker
+	// was healthy; LocalRedos counts single task ranges re-executed
+	// locally after remote attempts were exhausted (straggler/failure
+	// re-execution).
+	LocalFallbacks int64 `json:"local_fallbacks"`
+	LocalRedos     int64 `json:"local_redos"`
+}
+
+// Coordinator fans one release's Measure and Recover stages out over a
+// worker fleet and merges the shard answers. Safe for concurrent use by
+// many releases.
+type Coordinator struct {
+	cfg     Config
+	client  *http.Client
+	workers []*workerState
+	taskSeq atomic.Uint64
+
+	localFallbacks atomic.Int64
+	localRedos     atomic.Int64
+}
+
+// New builds a Coordinator over the configured fleet. An empty worker list
+// is valid: every stage runs locally (the fleet-size-0 contract).
+func New(cfg Config) *Coordinator {
+	c := &Coordinator{cfg: cfg, client: cfg.Client}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	for _, u := range cfg.Workers {
+		c.workers = append(c.workers, &workerState{url: u})
+	}
+	return c
+}
+
+// Workers returns the configured fleet size.
+func (c *Coordinator) Workers() int { return len(c.workers) }
+
+// Metrics snapshots the per-worker counters.
+func (c *Coordinator) Metrics() Metrics {
+	m := Metrics{
+		LocalFallbacks: c.localFallbacks.Load(),
+		LocalRedos:     c.localRedos.Load(),
+	}
+	for _, w := range c.workers {
+		m.Workers = append(m.Workers, WorkerMetrics{
+			URL:           w.url,
+			Healthy:       w.healthy.Load(),
+			Tasks:         w.tasks.Load(),
+			Failures:      w.failures.Load(),
+			Retries:       w.retries.Load(),
+			Hedges:        w.hedges.Load(),
+			StaleRefusals: w.staleRefs.Load(),
+		})
+	}
+	sort.Slice(m.Workers, func(i, j int) bool { return m.Workers[i].URL < m.Workers[j].URL })
+	return m
+}
+
+// DatasetRef names the dataset a fabric release reads: the store id plus
+// the content fingerprint every worker's copy must match.
+type DatasetRef struct {
+	ID          string
+	Fingerprint uint64
+}
+
+// Stages returns the engine stage overrides for one release over the
+// referenced dataset: a distributing Measure and Recover. Plan, Allocate
+// and Consist stay local (planning is memoised, allocation is closed-form,
+// and consistency reads the full recovered vector anyway). The returned
+// stages are single-release state — build fresh ones per release, for
+// exactly the (workload, dataset) they were built for.
+func (c *Coordinator) Stages(w *marginal.Workload, ref DatasetRef) engine.Stages {
+	rs := &releaseStages{c: c, w: w, ref: ref}
+	return engine.Stages{
+		Measure: (*fabricMeasurer)(rs),
+		Recover: (*fabricRecoverer)(rs),
+	}
+}
+
+// releaseStages is the state one release's fabric stages share: the
+// measure stage derives the wire plan description (it is the only stage
+// handed the full engine.Config) and the recover stage reuses it, so both
+// sides of the wire key the same plan.
+type releaseStages struct {
+	c   *Coordinator
+	w   *marginal.Workload
+	ref DatasetRef
+
+	mu   sync.Mutex
+	sp   PlanSpec
+	spOK bool
+}
+
+// planSpec derives the wire plan description, or reports that the
+// strategy is not distributable (ship nothing; run locally).
+func planSpec(w *marginal.Workload, plan *strategy.Plan, cfg engine.Config) (PlanSpec, bool) {
+	sp := PlanSpec{
+		Kind:    plan.Strategy,
+		D:       w.D,
+		Alphas:  w.Masks(),
+		Weights: cfg.QueryWeights,
+		Record:  plan.Persist,
+	}
+	switch impl := cfg.Strategy.(type) {
+	case strategy.Fourier, strategy.Workload, strategy.Identity:
+	case strategy.Cluster:
+		sp.MaxMerges = impl.MaxMerges
+	default:
+		return PlanSpec{}, false
+	}
+	return sp, true
+}
+
+// healthy returns the workers whose last probe (within ProbeTTL)
+// succeeded, probing lazily where the cache has expired. Probes run
+// concurrently; a dead worker costs one ProbeTimeout, once per TTL.
+func (c *Coordinator) healthy(ctx context.Context) []*workerState {
+	var wg sync.WaitGroup
+	now := time.Now().UnixNano()
+	ttl := c.cfg.probeTTL().Nanoseconds()
+	for _, w := range c.workers {
+		if now-w.probedAt.Load() < ttl {
+			continue
+		}
+		wg.Add(1)
+		go func(w *workerState) {
+			defer wg.Done()
+			c.probe(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+	var out []*workerState
+	for _, w := range c.workers {
+		if w.healthy.Load() {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func (c *Coordinator) probe(ctx context.Context, w *workerState) {
+	w.probeMu.Lock()
+	defer w.probeMu.Unlock()
+	now := time.Now().UnixNano()
+	if now-w.probedAt.Load() < c.cfg.probeTTL().Nanoseconds() {
+		return // raced with another release's probe
+	}
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.probeTimeout())
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.url+"/v1/healthz", nil)
+	if err == nil {
+		resp, err := c.client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	w.healthy.Store(ok)
+	w.probedAt.Store(time.Now().UnixNano())
+}
+
+// post sends one task frame and decodes the result frame.
+func (c *Coordinator) post(ctx context.Context, w *workerState, t *Task) (*Result, error) {
+	var body bytes.Buffer
+	if err := WriteFrame(&body, t); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/fabric/task", &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", ContentType)
+	if c.cfg.APIKey != "" {
+		req.Header.Set("X-API-Key", c.cfg.APIKey)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fabric: worker %s: HTTP %d", w.url, resp.StatusCode)
+	}
+	var res Result
+	if err := ReadFrame(resp.Body, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// runTask executes one task against a worker with timeout, retries, a
+// straggler hedge and a final local re-execution — and verifies the result
+// before accepting it. local must compute the identical bits; wantCells
+// and wantVar pin the expected lengths. runTask never fails the release
+// for a worker problem: only ctx cancellation or a local-execution error
+// surfaces.
+func (c *Coordinator) runTask(ctx context.Context, w *workerState, t *Task, wantCells, wantVar int, local func(context.Context) (*Result, error)) (*Result, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	validate := func(r *Result) error {
+		if r.Proto != ProtoVersion {
+			return fmt.Errorf("fabric: result protocol %d, coordinator speaks %d", r.Proto, ProtoVersion)
+		}
+		if r.ID != t.ID {
+			return fmt.Errorf("fabric: result for task %d, expected %d", r.ID, t.ID)
+		}
+		if r.Err != "" {
+			if r.Stale {
+				w.staleRefs.Add(1)
+			}
+			return fmt.Errorf("fabric: worker %s: %s", w.url, r.Err)
+		}
+		if len(r.Cells) != wantCells || len(r.CellVar) != wantVar {
+			return fmt.Errorf("fabric: worker %s returned %d cells/%d variances, want %d/%d",
+				w.url, len(r.Cells), len(r.CellVar), wantCells, wantVar)
+		}
+		if got := Checksum(r.Cells, r.CellVar); got != r.Checksum {
+			return fmt.Errorf("fabric: worker %s checksum mismatch", w.url)
+		}
+		return nil
+	}
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	remoteCh := make(chan outcome, 1)
+	go func() {
+		var lastErr error
+		for attempt := 0; attempt <= c.cfg.retries(); attempt++ {
+			if attempt > 0 {
+				w.retries.Add(1)
+				// Linear backoff between attempts, cancellable.
+				select {
+				case <-cctx.Done():
+					remoteCh <- outcome{err: cctx.Err()}
+					return
+				case <-time.After(time.Duration(attempt) * 50 * time.Millisecond):
+				}
+			}
+			actx, acancel := context.WithTimeout(cctx, c.cfg.taskTimeout())
+			res, err := c.post(actx, w, t)
+			acancel()
+			if err == nil {
+				err = validate(res)
+			}
+			if err == nil {
+				w.tasks.Add(1)
+				remoteCh <- outcome{res: res}
+				return
+			}
+			w.failures.Add(1)
+			lastErr = err
+		}
+		remoteCh <- outcome{err: lastErr}
+	}()
+
+	localCh := make(chan outcome, 1)
+	runLocal := func() {
+		go func() {
+			res, err := local(cctx)
+			localCh <- outcome{res: res, err: err}
+		}()
+	}
+
+	var hedgeC <-chan time.Time
+	if d := c.cfg.hedgeAfter(); d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	localRunning := false
+	for {
+		select {
+		case o := <-remoteCh:
+			if o.err == nil {
+				return o.res, nil
+			}
+			remoteCh = nil // exhausted
+			if !localRunning {
+				c.localRedos.Add(1)
+				localRunning = true
+				runLocal()
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if !localRunning {
+				w.hedges.Add(1)
+				localRunning = true
+				runLocal()
+			}
+		case o := <-localCh:
+			// The local execution is authoritative: its failure is a real
+			// engine failure, not a fleet problem.
+			return o.res, o.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// fabricMeasurer distributes the measure stage: noisy strategy answers
+// computed block range by block range across the fleet and merged into one
+// blocked vector, bit-identical to engine.Measurer at any fleet size.
+type fabricMeasurer releaseStages
+
+func (m *fabricMeasurer) Measure(ctx context.Context, plan *strategy.Plan, x *vector.Blocked, eta []float64, cfg engine.Config, workers, shards int) (*vector.Blocked, error) {
+	c := m.c
+	sp, ok := planSpec(m.w, plan, cfg)
+	if ok {
+		m.mu.Lock()
+		m.sp, m.spOK = sp, true
+		m.mu.Unlock()
+	}
+	var healthy []*workerState
+	if ok {
+		healthy = c.healthy(ctx)
+	}
+	if len(healthy) == 0 {
+		c.localFallbacks.Add(1)
+		return engine.Measurer{}.Measure(ctx, plan, x, eta, cfg, workers, shards)
+	}
+
+	rows := plan.Rows()
+	offsets := plan.GroupOffsets()
+	groups := make([]engine.NoiseGroup, len(plan.Specs))
+	for g, spec := range plan.Specs {
+		groups[g] = engine.NoiseGroup{Start: offsets[g], Count: spec.Count, Eta: eta[g]}
+	}
+	// Block granularity: at least one range per healthy worker; plans that
+	// cannot slice (Fourier's transform is global) go out as one
+	// full-range task so the transform runs once, not per shard. The
+	// blocking never changes the released bits — it only shapes the tasks.
+	nblocks := 1
+	if plan.AnswerBlock != nil {
+		nblocks = shards
+		if nblocks < len(healthy) {
+			nblocks = len(healthy)
+		}
+		if nblocks > rows {
+			nblocks = rows
+		}
+	}
+	z := vector.New(rows, nblocks)
+	sched := vector.Schedule(z.Blocks(), len(healthy))
+
+	localRange := func(lo, hi int) func(context.Context) (*Result, error) {
+		return func(lctx context.Context) (*Result, error) {
+			out := make([]float64, hi-lo)
+			if plan.AnswerBlock != nil {
+				plan.AnswerBlock(x, lo, hi, out)
+			} else {
+				copy(out, plan.TrueAnswers(x, workers)[lo:hi])
+			}
+			if err := engine.PerturbRangeContext(lctx, out, lo, groups, cfg.Privacy, cfg.Seed); err != nil {
+				return nil, err
+			}
+			return &Result{Proto: ProtoVersion, Cells: out}, nil
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for wi, blocks := range sched {
+		if len(blocks) == 0 {
+			continue
+		}
+		wk := healthy[wi]
+		for _, bi := range blocks {
+			lo, hi := z.BlockRange(bi)
+			t := &Task{
+				Proto:       ProtoVersion,
+				ID:          c.taskSeq.Add(1),
+				Kind:        MeasureTask,
+				Plan:        sp,
+				Privacy:     cfg.Privacy,
+				Seed:        cfg.Seed,
+				Eta:         eta,
+				Dataset:     m.ref.ID,
+				Fingerprint: m.ref.Fingerprint,
+				Lo:          lo,
+				Hi:          hi,
+			}
+			wg.Add(1)
+			go func(bi, lo, hi int) {
+				defer wg.Done()
+				res, err := c.runTask(ctx, wk, t, hi-lo, 0, localRange(lo, hi))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				copy(z.Block(bi), res.Cells)
+			}(bi, lo, hi)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return z, nil
+}
+
+// fabricRecoverer distributes the recover stage: each worker recovers a
+// deterministic subset of the workload's marginals from the full measured
+// vector, and the cell blocks reassemble in workload order — bit-identical
+// to engine.Recoverer by the RecoverMarginal concatenation contract.
+type fabricRecoverer releaseStages
+
+func (rc *fabricRecoverer) Recover(ctx context.Context, w *marginal.Workload, plan *strategy.Plan, z *vector.Blocked, groupVar []float64, workers int) ([]float64, []float64, error) {
+	c := rc.c
+	// Reuse the measure stage's wire plan description: it was derived from
+	// the full engine.Config (weights, cluster caps), which this stage is
+	// not handed. An unset spec means the strategy is not distributable.
+	rc.mu.Lock()
+	sp, ok := rc.sp, rc.spOK
+	rc.mu.Unlock()
+	var healthy []*workerState
+	if ok && plan.RecoverMarginal != nil {
+		healthy = c.healthy(ctx)
+	}
+	if len(healthy) == 0 {
+		c.localFallbacks.Add(1)
+		return engine.Recoverer{}.Recover(ctx, w, plan, z, groupVar, workers)
+	}
+
+	nm := len(w.Marginals)
+	offsets := w.Offsets()
+	answers := make([]float64, w.TotalCells())
+	cellVar := make([]float64, nm)
+	dense := z.Dense()
+	sched := vector.Schedule(nm, len(healthy))
+
+	localSet := func(set []int) func(context.Context) (*Result, error) {
+		return func(lctx context.Context) (*Result, error) {
+			var cells []float64
+			cv := make([]float64, 0, len(set))
+			for _, i := range set {
+				if err := lctx.Err(); err != nil {
+					return nil, err
+				}
+				block, v, err := plan.RecoverMarginal(i, z, groupVar)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, block...)
+				cv = append(cv, v)
+			}
+			return &Result{Proto: ProtoVersion, Cells: cells, CellVar: cv}, nil
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for wi, set := range sched {
+		if len(set) == 0 {
+			continue
+		}
+		wk := healthy[wi]
+		wantCells := 0
+		for _, i := range set {
+			wantCells += w.Marginals[i].Cells()
+		}
+		t := &Task{
+			Proto:     ProtoVersion,
+			ID:        c.taskSeq.Add(1),
+			Kind:      RecoverTask,
+			Plan:      sp,
+			Marginals: set,
+			Z:         dense,
+			GroupVar:  groupVar,
+		}
+		wg.Add(1)
+		go func(set []int, wantCells int) {
+			defer wg.Done()
+			res, err := c.runTask(ctx, wk, t, wantCells, len(set), localSet(set))
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			pos := 0
+			for k, i := range set {
+				n := w.Marginals[i].Cells()
+				copy(answers[offsets[i]:offsets[i]+n], res.Cells[pos:pos+n])
+				cellVar[i] = res.CellVar[k]
+				pos += n
+			}
+		}(set, wantCells)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return answers, cellVar, nil
+}

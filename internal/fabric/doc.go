@@ -1,0 +1,60 @@
+// Package fabric is the distributed release fabric: a coordinator/worker
+// subsystem that splits one release's Measure and Recover stages across
+// processes, merging shard answers into a release that is bit-identical to
+// the single-process path at any worker-fleet size — including fleet size
+// zero, where every stage silently runs locally.
+//
+// # Why a remote shard can be bit-identical
+//
+// The engine's determinism contract makes the expensive stages
+// embarrassingly distributable:
+//
+//   - strategy.Plan.AnswerBlock tiles [0, Rows()) bit-identically to
+//     TrueAnswers, so any process holding the same contingency vector
+//     computes the same answer slice for a row range.
+//   - Noise is a pure function of (seed, group, row): each group's rows are
+//     cut into fixed 4096-row noise blocks, and block b of group g draws
+//     from the substream keyed (seed, g<<32|b). engine.PerturbRangeContext
+//     replays exactly the draws of an arbitrary row range, reseeding at
+//     each noise-block boundary and burning the leading rows' draws (the
+//     per-row draw count is variable, so the stream cannot be jumped).
+//   - strategy.Plan.RecoverMarginal(i) concatenated over i is bit-identical
+//     to Recover, so marginals can be recovered anywhere and reassembled.
+//
+// What remains is making sure both sides hold the same bits: the dataset
+// handshake. A Task names its dataset by id AND content fingerprint
+// (store.Handle.Fingerprint — a hash of the schema and every count cell);
+// a worker whose resident copy has a different fingerprint refuses the
+// task rather than silently compute answers over stale data. Fingerprints,
+// unlike store versions, are stable across processes and restarts.
+//
+// # Wire format
+//
+// One protocol version, ProtoVersion, carried in every frame and checked
+// on both sides. Messages are gob-encoded and length-prefixed — a 4-byte
+// big-endian payload length followed by the payload — carried in the body
+// of POST /v1/fabric/task requests and responses (Content-Type
+// application/x-dpcubed-fabric). Task ships the plan as a pure description
+// (PlanSpec: strategy kind, workload masks, weights, and the cluster
+// strategy's PlanRecord so workers skip the Θ(ℓ⁴) search); Result carries
+// the partial answer cells plus an FNV-64a checksum over their bit
+// patterns, verified before a shard answer is merged.
+//
+// # Coordinator behaviour
+//
+// The coordinator probes workers through GET /v1/healthz (cached for
+// ProbeTTL), distributes measure block ranges and recover marginal sets
+// via vector.Schedule (deterministic round-robin), enforces a per-task
+// timeout with bounded retries and backoff, hedges stragglers by starting
+// a local re-execution of the same range after HedgeAfter, and falls back
+// to pure local execution when no worker is healthy. Because the local and
+// remote computations are bit-identical, whichever side finishes first
+// wins without affecting the release. Failures never fail the release —
+// they only cost the latency of the local redo.
+//
+// Scheduling, fleet size, worker failures, hedging and retries are all
+// invisible in the output: the released bytes depend only on (workload,
+// dataset cells, release config), never on the topology that computed
+// them. The server's release-result cache relies on exactly this — its
+// keys include the dataset version but nothing about the fabric.
+package fabric

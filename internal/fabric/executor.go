@@ -1,0 +1,218 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"repro/internal/engine"
+	"repro/internal/marginal"
+	"repro/internal/store"
+	"repro/internal/strategy"
+	"repro/internal/vector"
+)
+
+// Executor is the worker side of the fabric: it turns Tasks into Results
+// against the process's own dataset store, reproducing exactly the bits
+// the coordinator would have computed locally.
+type Executor struct {
+	// Store resolves measure tasks' datasets. Required for MeasureTask;
+	// recover tasks carry their input inline.
+	Store *store.Store
+	// Cache optionally memoises rebuilt plans across tasks (shared with
+	// the worker's own serving path, so a mixed worker warms one cache).
+	Cache *engine.PlanCache
+	// Workers bounds per-task internal parallelism (0 = all CPUs).
+	Workers int
+}
+
+// Execute runs one task. Failures are reported inside the Result (Err,
+// Stale) rather than as a Go error: every outcome travels the same frame
+// path back to the coordinator.
+func (e *Executor) Execute(ctx context.Context, t *Task) *Result {
+	res := &Result{Proto: ProtoVersion, ID: t.ID}
+	cells, cellVar, err := e.execute(ctx, t, res)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Cells, res.CellVar = cells, cellVar
+	res.Checksum = Checksum(cells, cellVar)
+	return res
+}
+
+func (e *Executor) execute(ctx context.Context, t *Task, res *Result) ([]float64, []float64, error) {
+	if t.Proto != ProtoVersion {
+		return nil, nil, fmt.Errorf("fabric: task protocol %d, worker speaks %d", t.Proto, ProtoVersion)
+	}
+	plan, w, err := e.plan(ctx, t.Plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch t.Kind {
+	case MeasureTask:
+		cells, err := e.measure(ctx, t, plan, res)
+		return cells, nil, err
+	case RecoverTask:
+		return e.recover(ctx, t, plan, w)
+	default:
+		return nil, nil, fmt.Errorf("fabric: unknown task kind %q", t.Kind)
+	}
+}
+
+// plan rebuilds the coordinator's strategy plan from its pure description.
+// Planning is deterministic — same workload, same strategy config, same
+// plan bits — and the plan cache makes repeat tasks for one release (or
+// many releases over one workload) hit memoised closures.
+func (e *Executor) plan(ctx context.Context, sp PlanSpec) (*strategy.Plan, *marginal.Workload, error) {
+	w, err := marginal.NewWorkload(sp.D, sp.Alphas)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fabric: task workload: %w", err)
+	}
+	if sp.Record != nil {
+		if e.Cache != nil {
+			// Install keys the rebuilt plan exactly as the planner would,
+			// so the Plan call below is a cache hit (and later tasks skip
+			// the rebuild too).
+			if _, err := e.Cache.Install([]*strategy.PlanRecord{sp.Record}); err != nil {
+				return nil, nil, fmt.Errorf("fabric: installing plan record: %w", err)
+			}
+		} else {
+			plan, _, err := strategy.RebuildPlan(sp.Record)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fabric: rebuilding plan: %w", err)
+			}
+			return plan, w, nil
+		}
+	}
+	impl, err := strategyFor(sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := engine.Planner{Cache: e.Cache}.Plan(ctx, w, engine.Config{
+		Strategy:     impl,
+		QueryWeights: sp.Weights,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, w, nil
+}
+
+// strategyFor maps a wire strategy kind to its implementation. Only the
+// four paper strategies are distributable; the coordinator never ships
+// anything else.
+func strategyFor(sp PlanSpec) (strategy.Strategy, error) {
+	switch sp.Kind {
+	case "F":
+		return strategy.Fourier{}, nil
+	case "Q":
+		return strategy.Workload{}, nil
+	case "I":
+		return strategy.Identity{}, nil
+	case "C":
+		return strategy.Cluster{MaxMerges: sp.MaxMerges}, nil
+	default:
+		return nil, fmt.Errorf("fabric: unsupported strategy kind %q", sp.Kind)
+	}
+}
+
+// measure computes noisy strategy answers for rows [Lo, Hi): the exact
+// answer slice (AnswerBlock tiling, or a TrueAnswers slice for global
+// plans) plus the range's noise draws via engine.PerturbRangeContext.
+func (e *Executor) measure(ctx context.Context, t *Task, plan *strategy.Plan, res *Result) ([]float64, error) {
+	if e.Store == nil {
+		return nil, fmt.Errorf("fabric: worker has no dataset store")
+	}
+	rows := plan.Rows()
+	if t.Lo < 0 || t.Hi > rows || t.Lo > t.Hi {
+		return nil, fmt.Errorf("fabric: row range [%d,%d) outside plan rows %d", t.Lo, t.Hi, rows)
+	}
+	if len(t.Eta) != len(plan.Specs) {
+		return nil, fmt.Errorf("fabric: task has %d group budgets, plan has %d groups", len(t.Eta), len(plan.Specs))
+	}
+	h, err := e.Store.Get(t.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: %w", err)
+	}
+	defer h.Close()
+	if h.Fingerprint() != t.Fingerprint {
+		// The handshake: this worker's copy is not the coordinator's copy
+		// (stale snapshot, divergent ingest, racing append). Answering
+		// would merge bits from a different dataset into the release.
+		res.Stale = true
+		return nil, fmt.Errorf("fabric: dataset %q fingerprint %016x, task expects %016x",
+			t.Dataset, h.Fingerprint(), t.Fingerprint)
+	}
+	x := h.Vector()
+	out := make([]float64, t.Hi-t.Lo)
+	if plan.AnswerBlock != nil {
+		plan.AnswerBlock(x, t.Lo, t.Hi, out)
+	} else {
+		// Global plans (Fourier) cannot slice: compute everything, keep
+		// the range. The coordinator ships such plans as one full-range
+		// task, so nothing is wasted.
+		copy(out, plan.TrueAnswers(x, e.Workers)[t.Lo:t.Hi])
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	offsets := plan.GroupOffsets()
+	groups := make([]engine.NoiseGroup, len(plan.Specs))
+	for g, spec := range plan.Specs {
+		groups[g] = engine.NoiseGroup{Start: offsets[g], Count: spec.Count, Eta: t.Eta[g]}
+	}
+	if err := engine.PerturbRangeContext(ctx, out, t.Lo, groups, t.Privacy, t.Seed); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// recover recovers the listed workload marginals from the measured vector,
+// concatenating cell blocks in listed order.
+func (e *Executor) recover(ctx context.Context, t *Task, plan *strategy.Plan, w *marginal.Workload) ([]float64, []float64, error) {
+	if plan.RecoverMarginal == nil {
+		return nil, nil, fmt.Errorf("fabric: plan %s does not recover per marginal", plan.Strategy)
+	}
+	z := vector.FromDense(t.Z)
+	var cells []float64
+	cellVar := make([]float64, 0, len(t.Marginals))
+	for _, i := range t.Marginals {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		if i < 0 || i >= len(w.Marginals) {
+			return nil, nil, fmt.Errorf("fabric: marginal index %d outside workload of %d", i, len(w.Marginals))
+		}
+		block, cv, err := plan.RecoverMarginal(i, z, t.GroupVar)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fabric: recovering marginal %d: %w", i, err)
+		}
+		cells = append(cells, block...)
+		cellVar = append(cellVar, cv)
+	}
+	return cells, cellVar, nil
+}
+
+// ServeHTTP is the worker's task endpoint: one Task frame in the request
+// body, one Result frame in the response. Transport-level problems (bad
+// frame, wrong method) use HTTP status codes; task-level failures ride
+// inside a 200 Result so the coordinator sees one error channel.
+func (e *Executor) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "fabric: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var t Task
+	if err := ReadFrame(r.Body, &t); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res := e.Execute(r.Context(), &t)
+	rw.Header().Set("Content-Type", ContentType)
+	if err := WriteFrame(rw, res); err != nil {
+		// Too late for a status change; the coordinator's frame decode
+		// will fail and the task will be retried or re-executed locally.
+		return
+	}
+}

@@ -1,0 +1,338 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/marginal"
+	"repro/internal/noise"
+	"repro/internal/store"
+	"repro/internal/strategy"
+)
+
+const testHeader = `{"schema":[{"name":"color","cardinality":3},{"name":"size","cardinality":2},{"name":"grade","cardinality":4}]}`
+
+// testBody builds a deterministic NDJSON stream over the 5-bit test schema.
+func testBody(n, salt int) string {
+	var b strings.Builder
+	b.WriteString(testHeader)
+	b.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		j := i + salt
+		b.WriteString("[")
+		b.WriteString(itoa(j % 3))
+		b.WriteString(",")
+		b.WriteString(itoa((j / 3) % 2))
+		b.WriteString(",")
+		b.WriteString(itoa((j / 7) % 4))
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+func itoa(v int) string { return string(rune('0' + v)) }
+
+// newWorker spins up one fabric worker: its own store (ingesting body) and
+// an HTTP server exposing /v1/healthz and /v1/fabric/task.
+func newWorker(t *testing.T, body string) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.IngestNDJSON(context.Background(), "d", strings.NewReader(body), store.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	exec := &Executor{Store: st, Cache: engine.NewPlanCache(8)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	mux.Handle("/v1/fabric/task", exec)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+func coordStore(t *testing.T, body string) (*store.Store, *store.Handle) {
+	t.Helper()
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.IngestNDJSON(context.Background(), "d", strings.NewReader(body), store.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := st.Get("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	return st, h
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	task := &Task{
+		Proto: ProtoVersion, ID: 7, Kind: MeasureTask,
+		Plan:    PlanSpec{Kind: "Q", D: 5, Alphas: marginal.AllKWay(5, 2).Masks()},
+		Privacy: noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.AddRemove},
+		Seed:    42, Eta: []float64{0.1, 0.2},
+		Dataset: "d", Fingerprint: 123, Lo: 3, Hi: 9,
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, task); err != nil {
+		t.Fatal(err)
+	}
+	var got Task
+	if err := ReadFrame(bytes.NewReader(buf.Bytes()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 7 || got.Kind != MeasureTask || got.Fingerprint != 123 || got.Hi != 9 ||
+		len(got.Plan.Alphas) != len(task.Plan.Alphas) || got.Eta[1] != 0.2 {
+		t.Fatalf("round-trip mangled the task: %+v", got)
+	}
+	// A truncated frame fails loudly, not with a partial decode.
+	if err := ReadFrame(bytes.NewReader(buf.Bytes()[:buf.Len()-3]), &got); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+	// A hostile length prefix is rejected before allocation.
+	bad := append([]byte{0xff, 0xff, 0xff, 0xff}, buf.Bytes()[4:]...)
+	if err := ReadFrame(bytes.NewReader(bad), &got); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	cells := []float64{1.5, -2.25, 0}
+	sum := Checksum(cells, nil)
+	cells[1] = math.Nextafter(cells[1], 0)
+	if Checksum(cells, nil) == sum {
+		t.Fatal("one-ulp corruption not detected")
+	}
+	// Length shifts between the two slices must change the sum too.
+	if Checksum([]float64{1, 2}, []float64{3}) == Checksum([]float64{1}, []float64{2, 3}) {
+		t.Fatal("slice boundary invisible to checksum")
+	}
+}
+
+func TestExecutorRefusals(t *testing.T) {
+	body := testBody(200, 0)
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.IngestNDJSON(context.Background(), "d", strings.NewReader(body), store.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := st.Get("d")
+	defer h.Close()
+	exec := &Executor{Store: st}
+	sp := PlanSpec{Kind: "Q", D: 5, Alphas: marginal.AllKWay(5, 1).Masks()}
+	base := Task{
+		Proto: ProtoVersion, ID: 1, Kind: MeasureTask, Plan: sp,
+		Privacy: noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.AddRemove},
+		Seed:    1, Eta: []float64{0.2, 0.2, 0.2, 0.2, 0.2},
+		Dataset: "d", Fingerprint: h.Fingerprint(), Lo: 0, Hi: 5,
+	}
+
+	wrongProto := base
+	wrongProto.Proto = ProtoVersion + 1
+	if res := exec.Execute(context.Background(), &wrongProto); res.Err == "" {
+		t.Fatal("foreign protocol version accepted")
+	}
+	wrongKind := base
+	wrongKind.Kind = "sort"
+	if res := exec.Execute(context.Background(), &wrongKind); res.Err == "" {
+		t.Fatal("unknown task kind accepted")
+	}
+	stale := base
+	stale.Fingerprint = base.Fingerprint + 1
+	res := exec.Execute(context.Background(), &stale)
+	if res.Err == "" || !res.Stale {
+		t.Fatalf("stale fingerprint not refused as stale: %+v", res)
+	}
+	missing := base
+	missing.Dataset = "nope"
+	if res := exec.Execute(context.Background(), &missing); res.Err == "" || res.Stale {
+		t.Fatalf("missing dataset: want non-stale error, got %+v", res)
+	}
+	badStrategy := base
+	badStrategy.Plan.Kind = "X"
+	if res := exec.Execute(context.Background(), &badStrategy); res.Err == "" {
+		t.Fatal("unknown strategy kind accepted")
+	}
+	if res := exec.Execute(context.Background(), &base); res.Err != "" {
+		t.Fatalf("valid task failed: %s", res.Err)
+	} else if res.Checksum != Checksum(res.Cells, res.CellVar) {
+		t.Fatal("result checksum wrong")
+	}
+}
+
+// release runs one full engine pipeline with the given stages.
+func release(t *testing.T, st engine.Stages, w *marginal.Workload, h *store.Handle, cfg engine.Config) *engine.Release {
+	t.Helper()
+	rel, err := engine.NewWithStages(engine.Options{}, st).RunVector(context.Background(), w, h.Vector(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func sameRelease(t *testing.T, label string, got, want *engine.Release) {
+	t.Helper()
+	if len(got.Answers) != len(want.Answers) {
+		t.Fatalf("%s: %d answers, want %d", label, len(got.Answers), len(want.Answers))
+	}
+	for i := range want.Answers {
+		if math.Float64bits(got.Answers[i]) != math.Float64bits(want.Answers[i]) {
+			t.Fatalf("%s: answer %d differs: %v vs %v", label, i, got.Answers[i], want.Answers[i])
+		}
+	}
+	for i := range want.CellVariances {
+		if math.Float64bits(got.CellVariances[i]) != math.Float64bits(want.CellVariances[i]) {
+			t.Fatalf("%s: cell variance %d differs", label, i)
+		}
+	}
+}
+
+// TestFabricBitIdentity is the subsystem's acceptance matrix: for every
+// strategy (F, Q, C, I) and fleet size {0, 1, 3}, the fabric release is
+// bit-identical to the single-process release — including one fleet with a
+// worker that fails every task (its ranges re-execute locally).
+func TestFabricBitIdentity(t *testing.T) {
+	body := testBody(300, 0)
+	_, h := coordStore(t, body)
+	w := marginal.AllKWay(5, 2)
+	ref := DatasetRef{ID: "d", Fingerprint: h.Fingerprint()}
+
+	// A worker that is healthy but fails every task with HTTP 500.
+	failing := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/healthz") {
+			rw.WriteHeader(http.StatusOK)
+			return
+		}
+		http.Error(rw, "boom", http.StatusInternalServerError)
+	}))
+	defer failing.Close()
+
+	w1, _ := newWorker(t, body)
+	w2, _ := newWorker(t, body)
+	w3, _ := newWorker(t, body)
+
+	fleets := map[string][]string{
+		"fleet0":      {},
+		"fleet1":      {w1.URL},
+		"fleet3":      {w1.URL, w2.URL, w3.URL},
+		"fleet3-fail": {w1.URL, failing.URL, w2.URL},
+	}
+	cfgs := map[string]engine.Config{
+		"F": {Strategy: strategy.Fourier{}},
+		"Q": {Strategy: strategy.Workload{}},
+		"C": {Strategy: strategy.Cluster{}},
+		"I": {Strategy: strategy.Identity{}},
+	}
+	for name, cfg := range cfgs {
+		cfg.Privacy = noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.AddRemove}
+		cfg.Seed = 97
+		cfg.Budgeting = engine.OptimalBudget
+		cfg.Consistency = engine.WeightedL2Consistency
+		want := release(t, engine.Stages{}, w, h, cfg)
+		for fleetName, urls := range fleets {
+			c := New(Config{Workers: urls, TaskTimeout: 10 * time.Second, HedgeAfter: -1})
+			got := release(t, c.Stages(w, ref), w, h, cfg)
+			sameRelease(t, name+"/"+fleetName, got, want)
+			m := c.Metrics()
+			if len(urls) == 0 && m.LocalFallbacks == 0 {
+				t.Errorf("%s/%s: fleet 0 did not count local fallbacks", name, fleetName)
+			}
+			if fleetName == "fleet3-fail" && m.LocalRedos == 0 {
+				t.Errorf("%s/%s: failing worker's ranges not re-executed locally", name, fleetName)
+			}
+		}
+	}
+	// ApproxDP (Gaussian draws) through one mixed fleet as well.
+	cfg := engine.Config{
+		Strategy: strategy.Workload{},
+		Privacy:  noise.Params{Type: noise.ApproxDP, Epsilon: 1, Delta: 1e-6, Neighbor: noise.AddRemove},
+		Seed:     5, Consistency: engine.L2Consistency,
+	}
+	want := release(t, engine.Stages{}, w, h, cfg)
+	c := New(Config{Workers: []string{w1.URL, failing.URL, w3.URL}, TaskTimeout: 10 * time.Second, HedgeAfter: -1})
+	sameRelease(t, "approx/fleet3-fail", release(t, c.Stages(w, ref), w, h, cfg), want)
+}
+
+// TestFabricHedgesStragglers: a worker that hangs past HedgeAfter gets its
+// range re-executed locally and the release still matches bit for bit.
+func TestFabricHedgesStragglers(t *testing.T) {
+	body := testBody(250, 3)
+	_, h := coordStore(t, body)
+	w := marginal.AllKWay(5, 2)
+	ref := DatasetRef{ID: "d", Fingerprint: h.Fingerprint()}
+
+	release1 := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/healthz") {
+			rw.WriteHeader(http.StatusOK)
+			return
+		}
+		<-release1 // hold every task until the test ends
+	}))
+	defer hung.Close()
+	defer close(release1)
+
+	cfg := engine.Config{
+		Strategy: strategy.Cluster{},
+		Privacy:  noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.AddRemove},
+		Seed:     11, Budgeting: engine.OptimalBudget,
+	}
+	want := release(t, engine.Stages{}, w, h, cfg)
+	c := New(Config{
+		Workers:     []string{hung.URL},
+		TaskTimeout: 30 * time.Second, // far past the test: only the hedge can finish it
+		HedgeAfter:  20 * time.Millisecond,
+	})
+	got := release(t, c.Stages(w, ref), w, h, cfg)
+	sameRelease(t, "hedged", got, want)
+	m := c.Metrics()
+	var hedges int64
+	for _, wm := range m.Workers {
+		hedges += wm.Hedges
+	}
+	if hedges == 0 {
+		t.Fatal("straggler did not trigger a hedge")
+	}
+}
+
+// TestFabricStaleWorker: a worker holding different data for the same id
+// refuses the handshake; the coordinator re-executes locally and the
+// release is still bit-identical (never silently merged stale bits).
+func TestFabricStaleWorker(t *testing.T) {
+	body := testBody(300, 0)
+	_, h := coordStore(t, body)
+	w := marginal.AllKWay(5, 2)
+	ref := DatasetRef{ID: "d", Fingerprint: h.Fingerprint()}
+
+	staleWorker, _ := newWorker(t, testBody(300, 9)) // same id, different rows
+
+	cfg := engine.Config{
+		Strategy: strategy.Workload{},
+		Privacy:  noise.Params{Type: noise.PureDP, Epsilon: 1, Neighbor: noise.AddRemove},
+		Seed:     23,
+	}
+	want := release(t, engine.Stages{}, w, h, cfg)
+	c := New(Config{Workers: []string{staleWorker.URL}, Retries: 0, TaskTimeout: 10 * time.Second, HedgeAfter: -1})
+	got := release(t, c.Stages(w, ref), w, h, cfg)
+	sameRelease(t, "stale-worker", got, want)
+	m := c.Metrics()
+	if m.Workers[0].StaleRefusals == 0 {
+		t.Fatal("stale refusals not counted")
+	}
+	if m.LocalRedos == 0 {
+		t.Fatal("stale ranges not re-executed locally")
+	}
+}

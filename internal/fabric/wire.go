@@ -1,0 +1,174 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/noise"
+	"repro/internal/strategy"
+)
+
+// ProtoVersion is the fabric wire-protocol version. Both sides refuse
+// frames declaring any other version — a mixed-version fleet must fail
+// loudly, not merge answers computed under different contracts.
+const ProtoVersion = 1
+
+// maxFrame bounds one frame's payload (256 MiB). A recover task for a
+// d=24 identity plan carries the full measured vector (2^24 float64s,
+// 128 MiB gob-encoded); anything past this bound is a corrupt or hostile
+// length prefix, not a real task.
+const maxFrame = 256 << 20
+
+// ContentType is the MIME type of fabric frames over HTTP.
+const ContentType = "application/x-dpcubed-fabric"
+
+// TaskKind selects which pipeline stage a task executes.
+type TaskKind string
+
+const (
+	// MeasureTask computes noisy strategy answers for a row range.
+	MeasureTask TaskKind = "measure"
+	// RecoverTask recovers a set of workload marginals from the measured
+	// vector.
+	RecoverTask TaskKind = "recover"
+)
+
+// PlanSpec is the pure description from which a worker rebuilds the
+// coordinator's strategy plan — masks and indices, no closures, no data.
+// Planning is deterministic, so both sides arrive at bit-identical plans;
+// for the cluster strategy the Record additionally lets the worker skip
+// the Θ(ℓ⁴) search (and pins the exact clustering, search determinism
+// aside).
+type PlanSpec struct {
+	// Kind is the strategy's short name: "F", "Q", "I" or "C".
+	Kind string
+	// D and Alphas describe the workload (binary dimension + marginal
+	// masks in workload order).
+	D      int
+	Alphas []bits.Mask
+	// Weights are the query weights the plan was built under (nil =
+	// uniform).
+	Weights []float64
+	// MaxMerges is the cluster strategy's search cap (Kind "C" only).
+	MaxMerges int
+	// Record, when non-nil, is the cluster plan's serialized search
+	// residue (strategy.PlanRecord); workers rebuild from it directly.
+	Record *strategy.PlanRecord
+}
+
+// Task is one unit of remote work: a measure row-range or a recover
+// marginal-set, with everything a worker needs to reproduce the
+// coordinator's bits.
+type Task struct {
+	// Proto must equal ProtoVersion.
+	Proto int
+	// ID correlates a Result with its Task.
+	ID uint64
+	// Kind selects the stage.
+	Kind TaskKind
+	// Plan rebuilds the strategy plan worker-side.
+	Plan PlanSpec
+	// Privacy and Seed fix the noise draws; Eta is the Step-2 per-group
+	// budget allocation (shipped rather than recomputed so the measure
+	// task cannot diverge from the coordinator's admission decision).
+	Privacy noise.Params
+	Seed    int64
+	Eta     []float64
+
+	// Measure fields: the dataset handshake plus the strategy-row range
+	// [Lo, Hi) to answer and perturb. Fingerprint is the content hash the
+	// worker's resident copy must match (store.Handle.Fingerprint).
+	Dataset     string
+	Fingerprint uint64
+	Lo, Hi      int
+
+	// Recover fields: the workload marginal indices to recover, the dense
+	// measured vector and the per-group noise variances.
+	Marginals []int
+	Z         []float64
+	GroupVar  []float64
+}
+
+// Result is a worker's answer to one Task.
+type Result struct {
+	// Proto must equal ProtoVersion; ID echoes the task.
+	Proto int
+	ID    uint64
+	// Cells is the partial answer: measure rows [Lo, Hi), or the
+	// requested marginals' cell blocks concatenated in listed order.
+	Cells []float64
+	// CellVar is the per-marginal cell variance (recover tasks only),
+	// aligned with Task.Marginals.
+	CellVar []float64
+	// Checksum is Checksum(Cells, CellVar), recomputed and verified by
+	// the coordinator before the shard answer is merged.
+	Checksum uint64
+	// Err is the worker-side failure, if any ("" = success). Stale is set
+	// when the failure was the dataset handshake — the coordinator may
+	// treat the worker as healthy but unusable for this dataset.
+	Err   string
+	Stale bool
+}
+
+// Checksum hashes the float64 bit patterns of the partial answer (FNV-64a,
+// lengths included) so a truncated or corrupted shard answer cannot merge
+// silently.
+func Checksum(cells, cellVar []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(len(cells)))
+	for _, v := range cells {
+		put(math.Float64bits(v))
+	}
+	put(uint64(len(cellVar)))
+	for _, v := range cellVar {
+		put(math.Float64bits(v))
+	}
+	return h.Sum64()
+}
+
+// WriteFrame gob-encodes v and writes it as one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(v); err != nil {
+		return fmt.Errorf("fabric: encoding frame: %w", err)
+	}
+	if body.Len() > maxFrame {
+		return fmt.Errorf("fabric: frame of %d bytes exceeds limit", body.Len())
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("fabric: writing frame: %w", err)
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("fabric: writing frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame and gob-decodes it into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("fabric: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("fabric: frame length %d exceeds limit", n)
+	}
+	if err := gob.NewDecoder(io.LimitReader(r, int64(n))).Decode(v); err != nil {
+		return fmt.Errorf("fabric: decoding frame: %w", err)
+	}
+	return nil
+}

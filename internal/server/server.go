@@ -16,6 +16,20 @@
 //	POST   /v1/synthetic     — release + row-level synthetic microdata
 //	GET    /v1/budget        — the caller's privacy spend against its cap
 //	GET    /v1/metrics       — request/error counters, spend, cache, store
+//	GET    /v1/healthz       — liveness (unauthenticated; fabric probe target)
+//	GET    /v1/readyz        — readiness (unauthenticated; 503 while draining)
+//	POST   /v1/fabric/task   — shard-task endpoint (FabricWorker mode only)
+//
+// PUT /v1/datasets accepts Content-Encoding: gzip; a corrupt stream is
+// rejected transactionally, like any malformed NDJSON.
+//
+// With Config.FabricWorkers set the server acts as a fabric coordinator:
+// dataset-backed release and synthetic requests fan their Measure and
+// Recover stages out across the worker fleet (see internal/fabric) and
+// remain bit-identical to local execution — worker failures, stragglers
+// and stale replicas degrade latency, never bits. /v1/metrics gains a
+// "fabric" section with per-worker task counts, retries, hedges and
+// straggler re-executions.
 //
 // Release-shaped requests carry their data as exactly one of rows (tuples
 // in the body), counts (the full contingency vector) or dataset_id (a
@@ -69,12 +83,14 @@
 package server
 
 import (
+	"compress/gzip"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"sort"
@@ -82,9 +98,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro"
 	"repro/internal/accountant"
+	"repro/internal/fabric"
 	"repro/internal/rescache"
 	"repro/internal/store"
 )
@@ -142,6 +160,29 @@ type Config struct {
 	// TargetDelta is the δ at which zcdp accounting reports composed ε
 	// (0 = the DeltaCap). Ignored for basic.
 	TargetDelta float64
+	// FabricWorkers lists shard-worker base URLs ("http://host:port");
+	// non-empty makes this process a fabric coordinator: dataset-backed
+	// release and synthetic requests distribute their Measure and Recover
+	// stages across the fleet, bit-identical to local execution at any
+	// fleet size (see internal/fabric).
+	FabricWorkers []string
+	// FabricAPIKey is presented (X-API-Key) on every fabric task and probe;
+	// required when the workers authenticate.
+	FabricAPIKey string
+	// FabricTaskTimeout bounds one remote task attempt (0 = 30s).
+	FabricTaskTimeout time.Duration
+	// FabricRetries is how many additional remote attempts a failed task
+	// gets before local re-execution (0 = default 1; negative disables).
+	FabricRetries int
+	// FabricHedgeAfter starts a local re-execution of a still-running
+	// remote task after this long (0 = half the task timeout; negative
+	// disables hedging).
+	FabricHedgeAfter time.Duration
+	// FabricWorker additionally serves POST /v1/fabric/task, making this
+	// process usable as a shard worker by some other coordinator. A worker
+	// executes tasks against its own dataset store; the coordinator's
+	// fingerprint handshake refuses a worker whose copy diverged.
+	FabricWorker bool
 }
 
 const (
@@ -158,8 +199,12 @@ type Server struct {
 	cache   *repro.PlanCache
 	results *rescache.Cache // nil when ResultCacheSize < 0
 	store   *store.Store
+	fabric  *fabric.Coordinator // nil without FabricWorkers
 	mux     *http.ServeMux
 	relSeq  atomic.Uint64 // default ledger-label counter
+
+	inflight atomic.Int64 // routed requests currently in a handler
+	draining atomic.Bool  // readyz answers 503; Drain is waiting
 
 	mu        sync.Mutex
 	releasers map[string]*repro.Releaser
@@ -234,6 +279,15 @@ func New(cfg Config) (*Server, error) {
 	// Warm plans from the previous process: a failure to load is a stale
 	// snapshot, not a reason to refuse to serve.
 	_, _ = st.LoadPlans(s.cache)
+	if len(cfg.FabricWorkers) > 0 {
+		s.fabric = fabric.New(fabric.Config{
+			Workers:     cfg.FabricWorkers,
+			APIKey:      cfg.FabricAPIKey,
+			TaskTimeout: cfg.FabricTaskTimeout,
+			Retries:     cfg.FabricRetries,
+			HedgeAfter:  cfg.FabricHedgeAfter,
+		})
+	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/release", s.handleRelease)
 	s.route("POST /v1/cube", s.handleCube)
@@ -244,6 +298,22 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /v1/datasets/{id}", s.handleDatasetGet)
 	s.route("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
 	s.route("GET /v1/datasets", s.handleDatasetList)
+	if cfg.FabricWorker {
+		// Worker task endpoint. Routed like any other endpoint — the fleet's
+		// API keys authenticate coordinators, and task traffic shows up in
+		// /v1/metrics — but the frames never touch a budget ledger: the
+		// coordinator charged at admission, and a shard answer is not a
+		// release.
+		exec := &fabric.Executor{Store: st, Cache: s.cache, Workers: cfg.MaxWorkers}
+		s.route("POST /v1/fabric/task", func(w http.ResponseWriter, r *http.Request) {
+			exec.ServeHTTP(w, r)
+		})
+	}
+	// Health endpoints bypass authentication (and the metrics counters):
+	// load balancers and fabric coordinators probe them without credentials,
+	// and a probe must never burn an auth failure into the error counts.
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	return s, nil
 }
 
@@ -271,6 +341,12 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 	s.metrics[pattern] = m
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		m.requests.Add(1)
+		// The inflight count is what Drain waits on: a handler past this
+		// line — possibly mid-release, about to charge a ledger — finishes
+		// before the ledgers and plans are snapshotted. Health probes stay
+		// off this path so a draining server can still answer them.
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w}
 		if key, err := s.authenticate(r); err != nil {
 			writeJSON(sw, http.StatusUnauthorized, errorResponse{Error: err.Error()})
@@ -367,6 +443,29 @@ func (s *Server) FlushPlans() (int, error) {
 func (s *Server) FlushLedgers() (int, error) {
 	return s.store.SaveLedgers(s.ledgers)
 }
+
+// Drain marks the server not-ready (GET /v1/readyz answers 503, so load
+// balancers and fabric coordinators stop sending work) and waits for every
+// in-flight routed request to leave its handler, or for ctx to expire.
+// Call it after http.Server.Shutdown and before Close: Shutdown stops new
+// connections but Close snapshots the ledgers and plans, and a release
+// still charging mid-handler must land in that snapshot, not after it.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain: %d requests still in flight: %w",
+				s.inflight.Load(), ctx.Err())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Fabric exposes the coordinator (nil without FabricWorkers); tests and
+// embedders read its Metrics.
+func (s *Server) Fabric() *fabric.Coordinator { return s.fabric }
 
 // Close persists the plan cache's rebuildable plans and the budget
 // ledgers through the store (no-ops without StoreDir): the next process
@@ -520,6 +619,15 @@ type metricsResponse struct {
 	PlanCache   cacheJSON                    `json:"plan_cache"`
 	ResultCache *cacheJSON                   `json:"result_cache,omitempty"`
 	Datasets    store.Stats                  `json:"datasets"`
+	// Fabric reports the coordinator's per-worker task counters (present
+	// only when FabricWorkers is configured).
+	Fabric *fabric.Metrics `json:"fabric,omitempty"`
+}
+
+// healthResponse is GET /v1/healthz and /v1/readyz.
+type healthResponse struct {
+	Status   string `json:"status"`
+	Datasets int    `json:"datasets,omitempty"`
 }
 
 type datasetListResponse struct {
@@ -562,7 +670,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
-	res, err := rel.ReleaseBlocked(r.Context(), x, s.spec(req))
+	res, err := s.release(r, rel, req, x, h)
 	if err != nil {
 		s.failRetained(w, r, err, req)
 		return
@@ -617,7 +725,7 @@ func (s *Server) handleSynthetic(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
-	res, err := rel.ReleaseBlocked(r.Context(), x, s.spec(req))
+	res, err := s.release(r, rel, req, x, h)
 	if err != nil {
 		s.failRetained(w, r, err, req)
 		return
@@ -763,6 +871,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		rs := s.results.Stats()
 		rc = &cacheJSON{Hits: rs.Hits, Misses: rs.Misses, Entries: rs.Entries}
 	}
+	var fm *fabric.Metrics
+	if s.fabric != nil {
+		m := s.fabric.Metrics()
+		fm = &m
+	}
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Endpoints:   eps,
 		Budget:      metricsBudget(s.ledgers.Global()),
@@ -771,6 +884,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		PlanCache:   cacheJSON{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries},
 		ResultCache: rc,
 		Datasets:    s.store.Stats(),
+		Fabric:      fm,
 	})
 }
 
@@ -808,9 +922,30 @@ func metricsBudget(l *repro.BudgetLedger) metricsBudgetJSON {
 // touches the ledger: budget is spent when answers leave, not when data
 // arrives.
 func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
-	body := r.Body
+	var body io.Reader = r.Body
 	if s.cfg.MaxIngestBytes > 0 {
-		body = http.MaxBytesReader(w, body, s.cfg.MaxIngestBytes)
+		// The byte bound applies to the wire (compressed) stream: it is a
+		// transfer policy, and gzip expansion is already bounded by the
+		// ingester's line limit.
+		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes)
+	}
+	switch enc := r.Header.Get("Content-Encoding"); enc {
+	case "", "identity":
+	case "gzip":
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			s.fail(w, r, fmt.Errorf("%w: gzip stream: %v", store.ErrInvalidDataset, err))
+			return
+		}
+		defer zr.Close()
+		// Mid-stream corruption surfaces as a read error inside the ingester,
+		// which rejects the whole stream transactionally — same contract as a
+		// malformed NDJSON line.
+		body = zr
+	default:
+		s.fail(w, r, fmt.Errorf("%w: unsupported Content-Encoding %q (want gzip or identity)",
+			repro.ErrInvalidOption, enc))
+		return
 	}
 	opts := store.IngestOptions{Workers: s.cfg.MaxWorkers}
 	var (
@@ -855,6 +990,25 @@ func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
 		infos = []store.Info{}
 	}
 	writeJSON(w, http.StatusOK, datasetListResponse{Datasets: infos})
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP. It is the
+// fabric coordinator's worker probe target, and it never says no — a
+// draining process is still alive.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok"})
+}
+
+// handleReadyz is readiness: the store is open with its snapshots loaded
+// and the ledgers restored — both preconditions of New, so a constructed
+// server is ready until it starts draining. 503 tells load balancers and
+// coordinators to route elsewhere while in-flight work finishes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Datasets: s.store.Stats().Datasets})
 }
 
 // ---------------------------------------------------------------------------
@@ -1049,6 +1203,12 @@ func (s *Server) releaser(ctx context.Context, schema *repro.Schema, req *releas
 	if s.cfg.MaxWorkers > 0 {
 		opts = append(opts, repro.WithWorkers(s.cfg.MaxWorkers))
 	}
+	if s.fabric != nil {
+		// One coordinator serves every Releaser: the fleet is server-wide
+		// state, and fabric attachment never enters the registry key because
+		// it never changes a released bit.
+		opts = append(opts, repro.WithFabric(s.fabric))
+	}
 	r, err = repro.NewReleaserContext(ctx, schema, w, opts...)
 	if err != nil {
 		return nil, err
@@ -1191,6 +1351,20 @@ func (s *Server) writeSpliced(w http.ResponseWriter, r *http.Request, payload []
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf)
+}
+
+// release runs the mechanism over whichever data source the request
+// carried. Dataset-backed requests go through ReleaseDataset so an
+// attached fabric coordinator can distribute the stages (inline rows and
+// counts carry no dataset identity for the worker handshake, so they
+// always run locally — bit-identical either way). The cube endpoint stays
+// local too: its mechanism runs one sub-release per cuboid through its own
+// pipeline, below the granularity the fabric ships.
+func (s *Server) release(r *http.Request, rel *repro.Releaser, req *releaseRequest, x *repro.BlockedVector, h *store.Handle) (*repro.Result, error) {
+	if h != nil {
+		return rel.ReleaseDataset(r.Context(), h, s.spec(req))
+	}
+	return rel.ReleaseBlocked(r.Context(), x, s.spec(req))
 }
 
 // spec maps the request's per-call parameters, clamping workers and shards

@@ -2,9 +2,12 @@ package store
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -75,7 +78,8 @@ type Dataset struct {
 	counts  *vector.Blocked
 	rows    int64
 	created time.Time
-	version int64 // store-global monotonic, assigned at install
+	version int64  // store-global monotonic, assigned at install
+	fprint  uint64 // content fingerprint, stable across processes
 
 	refs     atomic.Int64 // active handles
 	lastUsed int64        // store.useSeq at last Get/ingest (under store.mu)
@@ -124,6 +128,17 @@ func (h *Handle) Rows() int64 { return h.d.rows }
 // release-result cache) is in-memory too.
 func (h *Handle) Version() int64 { return h.d.version }
 
+// Fingerprint returns a content hash of the dataset — schema layout plus
+// every cell of the aggregated counts, in cell order. Unlike Version it is
+// a pure function of the data, so two processes that ingested the same
+// stream (or loaded the same snapshot) report the same fingerprint. The
+// distributed release fabric uses it as the dataset handshake: a worker
+// executes a shard task only when its resident copy's fingerprint matches
+// the coordinator's, because equal fingerprints (same schema, same counts,
+// bit for bit) are exactly the precondition for the shard's answers being
+// bit-identical to the coordinator computing them locally.
+func (h *Handle) Fingerprint() uint64 { return h.d.fprint }
+
 // Created returns the ingestion time.
 func (h *Handle) Created() time.Time { return h.d.created }
 
@@ -146,6 +161,9 @@ type Info struct {
 	// Version is the install version of the resident dataset (see
 	// Handle.Version).
 	Version int64 `json:"version"`
+	// Fingerprint is the content hash (see Handle.Fingerprint), hex-encoded
+	// so JSON round-trips don't lose uint64 precision.
+	Fingerprint string `json:"fingerprint"`
 	// ActiveHandles counts in-flight references (releases reading the
 	// dataset right now).
 	ActiveHandles int64     `json:"active_handles"`
@@ -204,9 +222,36 @@ func Open(cfg Config) (*Store, error) {
 		}
 		s.verSeq++
 		d.version = s.verSeq
+		d.fprint = fingerprintDataset(d.schema, d.counts)
 		s.datasets[d.id] = d
 	}
 	return s, nil
+}
+
+// fingerprintDataset hashes the schema layout and every count cell in
+// ascending cell order (FNV-64a over the float64 bit patterns). Computed at
+// install and at snapshot load, so the value survives restarts and agrees
+// across processes holding the same data.
+func fingerprintDataset(sc *dataset.Schema, counts *vector.Blocked) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeInt(uint64(len(sc.Attrs)))
+	for _, a := range sc.Attrs {
+		writeInt(uint64(len(a.Name)))
+		h.Write([]byte(a.Name))
+		writeInt(uint64(a.Cardinality))
+	}
+	writeInt(uint64(counts.Len()))
+	counts.Segments(0, counts.Len(), func(_ int, seg []float64) {
+		for _, v := range seg {
+			writeInt(math.Float64bits(v))
+		}
+	})
+	return h.Sum64()
 }
 
 // QuarantinedSnapshots reports snapshot files Open refused to load (and
@@ -351,6 +396,9 @@ func (s *Store) registerIfCurrent(d *Dataset, expect *Dataset) (Info, bool, erro
 }
 
 func (s *Store) registerWhen(d *Dataset, expect *Dataset, conditional bool) (Info, bool, error) {
+	// Content hash before taking the lock: it walks every cell, and nothing
+	// it reads can change (the Dataset is not yet published).
+	d.fprint = fingerprintDataset(d.schema, d.counts)
 	var tmp string
 	if s.cfg.Dir != "" {
 		var err error
@@ -518,6 +566,7 @@ func (s *Store) infoLocked(d *Dataset) Info {
 		Rows:          d.rows,
 		Cells:         d.counts.Len(),
 		Version:       d.version,
+		Fingerprint:   fmt.Sprintf("%016x", d.fprint),
 		ActiveHandles: d.refs.Load(),
 		Created:       d.created,
 		Persisted:     s.cfg.Dir != "",

@@ -10,9 +10,25 @@ import (
 	"repro/internal/accountant"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/noise"
 	"repro/internal/vector"
 )
+
+// Fabric is the distributed release fabric's coordinator (see
+// internal/fabric): attach one to a Releaser with WithFabric and
+// dataset-backed releases fan their Measure and Recover stages out over a
+// worker fleet — bit-identical to the local path at any fleet size.
+type Fabric = fabric.Coordinator
+
+// FabricConfig wires a Fabric to its worker fleet.
+type FabricConfig = fabric.Config
+
+// NewFabric builds a release-fabric coordinator. An empty worker list is
+// valid (every stage runs locally); one Fabric is typically shared by all
+// Releasers of a serving process so worker health and task metrics
+// aggregate in one place.
+func NewFabric(cfg FabricConfig) *Fabric { return fabric.New(cfg) }
 
 // BlockedVector is a contingency vector stored as contiguous cell-range
 // shards (see internal/vector): the form dataset aggregates take, and the
@@ -59,6 +75,7 @@ type Releaser struct {
 	capSet          bool
 	perKeyCaps      map[string]BudgetKeyCaps
 	noPreplan       bool
+	fabric          *Fabric
 
 	seq atomic.Uint64 // ledger label counter
 }
@@ -206,6 +223,23 @@ func WithModifyNeighbors() ReleaserOption {
 func WithQueryWeights(weights []float64) ReleaserOption {
 	return func(r *Releaser) error {
 		r.queryWeights = append([]float64(nil), weights...)
+		return nil
+	}
+}
+
+// WithFabric attaches a distributed release fabric: ReleaseDataset calls
+// then split their Measure and Recover stages across the coordinator's
+// worker fleet, merging shard answers into a release bit-identical to the
+// single-process path — at any fleet size, including zero healthy workers
+// (pure local fallback). Only dataset-backed releases distribute: fabric
+// tasks reference datasets by id and content fingerprint rather than
+// shipping cells, so Release/ReleaseVector/ReleaseBlocked stay local.
+func WithFabric(f *Fabric) ReleaserOption {
+	return func(r *Releaser) error {
+		if f == nil {
+			return fmt.Errorf("%w: nil fabric coordinator", ErrInvalidOption)
+		}
+		r.fabric = f
 		return nil
 	}
 }
@@ -378,6 +412,13 @@ func (r *Releaser) ReleaseVector(ctx context.Context, x []float64, spec ReleaseS
 // ReleaseVector over the same cells at the same spec, whatever the
 // blocking.
 func (r *Releaser) ReleaseBlocked(ctx context.Context, x *BlockedVector, spec ReleaseSpec) (*Result, error) {
+	return r.releaseBlocked(ctx, x, spec, engine.Stages{})
+}
+
+// releaseBlocked is the shared release path; stages optionally overrides
+// pipeline stages (the fabric's distributing Measure/Recover), zero-value
+// fields falling back to the engine defaults.
+func (r *Releaser) releaseBlocked(ctx context.Context, x *BlockedVector, spec ReleaseSpec, stages engine.Stages) (*Result, error) {
 	if err := validatePrivacy(spec.Epsilon, spec.Delta); err != nil {
 		return nil, err
 	}
@@ -408,14 +449,17 @@ func (r *Releaser) ReleaseBlocked(ctx context.Context, x *BlockedVector, spec Re
 	if spec.Shards > 0 {
 		shards = spec.Shards
 	}
-	rel, err := core.RunVectorContext(ctx, r.w, x, core.Config{
+	rel, err := engine.NewWithStages(
+		engine.Options{Workers: workers, Shards: shards, Cache: r.cache},
+		stages,
+	).RunVector(ctx, r.w, x, core.Config{
 		Strategy:     r.strategy.impl(),
 		Budgeting:    budgeting,
 		Consistency:  cons,
 		Privacy:      r.params(spec),
 		Seed:         spec.Seed,
 		QueryWeights: r.queryWeights,
-	}, engine.Options{Workers: workers, Shards: shards, Cache: r.cache})
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -444,7 +488,14 @@ func (r *Releaser) ReleaseDataset(ctx context.Context, h *DatasetHandle, spec Re
 		return nil, fmt.Errorf("%w: dataset %q schema does not match the Releaser's schema",
 			ErrDimensionMismatch, h.ID())
 	}
-	return r.ReleaseBlocked(ctx, h.Vector(), spec)
+	var stages engine.Stages
+	if r.fabric != nil {
+		// Fresh stages per release: they carry single-release state. The
+		// dataset handshake ships the handle's content fingerprint — every
+		// worker's resident copy must hold these exact bits.
+		stages = r.fabric.Stages(r.w, fabric.DatasetRef{ID: h.ID(), Fingerprint: h.Fingerprint()})
+	}
+	return r.releaseBlocked(ctx, h.Vector(), spec, stages)
 }
 
 // Synthetic converts a consistent release from this Releaser into row-level

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Multi-process fabric e2e smoke: 1 coordinator + 2 shard workers + 1
+# local-only reference daemon, all real dpcubed processes over loopback
+# HTTP. Asserts the coordinator's distributed releases are bit-identical
+# to the reference's single-process releases — including after one worker
+# is killed mid-fleet — and that the coordinator's /v1/metrics reports
+# fabric task activity. The coordinator ingests its copy gzip-compressed,
+# so a passing run also proves gzip ingestion reproduces the exact bits
+# the workers' plain copies hold (the fingerprint handshake would refuse
+# every task otherwise).
+#
+# Usage: scripts/fabric_e2e.sh [output-metrics-file]
+set -euo pipefail
+
+OUT=${1:-fabric-metrics.json}
+PORT_W1=18181 PORT_W2=18182 PORT_COORD=18183 PORT_REF=18184
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+go build -o dpcubed ./cmd/dpcubed
+
+start() { # start <name> <args...>
+  local name=$1; shift
+  ./dpcubed "$@" 2>"log-$name.txt" &
+  PIDS+=($!)
+}
+
+wait_ready() { # wait_ready <port>
+  for _ in $(seq 1 60); do
+    curl -sf "http://localhost:$1/v1/readyz" >/dev/null && return 0
+    sleep 0.25
+  done
+  echo "FAIL: server on port $1 never became ready" >&2
+  return 1
+}
+
+start w1 -addr "localhost:$PORT_W1" -epsilon-cap 1e9 -delta-cap 0.5 -worker
+start w2 -addr "localhost:$PORT_W2" -epsilon-cap 1e9 -delta-cap 0.5 -worker
+start coord -addr "localhost:$PORT_COORD" -epsilon-cap 1e9 -delta-cap 0.5 \
+  -fabric-workers "http://localhost:$PORT_W1,http://localhost:$PORT_W2" \
+  -fabric-hedge 10s
+start ref -addr "localhost:$PORT_REF" -epsilon-cap 1e9 -delta-cap 0.5
+for p in $PORT_W1 $PORT_W2 $PORT_COORD $PORT_REF; do wait_ready "$p"; done
+
+# The same dataset everywhere: the fabric handshake requires every
+# process's copy to hold the coordinator's exact bits.
+DATA=fabric-e2e.ndjson
+{
+  echo '{"schema":[{"name":"color","cardinality":3},{"name":"size","cardinality":2},{"name":"grade","cardinality":4}]}'
+  for i in $(seq 0 299); do
+    echo "[$((i % 3)),$(((i / 3) % 2)),$(((i / 7) % 4))]"
+  done
+} >"$DATA"
+gzip -k -f "$DATA"
+
+for p in $PORT_W1 $PORT_W2 $PORT_REF; do
+  curl -sf -X PUT --data-binary "@$DATA" "http://localhost:$p/v1/datasets/people" >/dev/null
+done
+curl -sf -X PUT -H 'Content-Encoding: gzip' --data-binary "@$DATA.gz" \
+  "http://localhost:$PORT_COORD/v1/datasets/people" >/dev/null
+
+release() { # release <port> <seed> <out-file>
+  curl -sf -X POST "http://localhost:$1/v1/release" \
+    -d "{\"dataset_id\":\"people\",\"workload\":{\"k\":2},\"epsilon\":0.5,\"seed\":$2,\"strategy\":\"cluster\"}" \
+    | jq -S 'del(.budget)' >"$3"
+}
+
+check_identical() { # check_identical <seed> <label>
+  release "$PORT_COORD" "$1" fabric-rel.json
+  release "$PORT_REF" "$1" ref-rel.json
+  if ! diff -q fabric-rel.json ref-rel.json >/dev/null; then
+    echo "FAIL: $2: fabric release differs from local-only at seed $1" >&2
+    diff fabric-rel.json ref-rel.json | head -20 >&2
+    exit 1
+  fi
+  echo "OK: $2: bit-identical at seed $1"
+}
+
+check_identical 7 "full fleet"
+
+# Kill one worker and release again: the fleet degrades, the bits do not.
+kill "${PIDS[1]}"
+check_identical 23 "one worker down"
+
+curl -sf "http://localhost:$PORT_COORD/v1/metrics" | jq '.fabric' >"$OUT"
+TASKS=$(jq '[.workers[].tasks] | add' "$OUT")
+if [ "$TASKS" -eq 0 ]; then
+  echo "FAIL: fleet completed zero fabric tasks — releases never distributed" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+echo "OK: fleet completed $TASKS fabric task(s)"
+cat "$OUT"
