@@ -55,13 +55,18 @@
 // processes (see internal/fabric). Start shard workers with -worker and
 // point a coordinator at them:
 //
-//	dpcubed -addr :8081 -worker &
-//	dpcubed -addr :8082 -worker &
-//	dpcubed -addr :8080 -fabric-workers http://localhost:8081,http://localhost:8082
+//	dpcubed -addr :8081 -worker -fabric-api-key fleet-secret &
+//	dpcubed -addr :8082 -worker -fabric-api-key fleet-secret &
+//	dpcubed -addr :8080 -fabric-api-key fleet-secret \
+//	    -fabric-workers http://localhost:8081,http://localhost:8082
 //
 // Every process needs its own copy of each dataset (ingest to all of
 // them; a shared -store-dir snapshot tree also works when processes share
-// a filesystem). The coordinator hands a worker a task only if the
+// a filesystem). -fabric-api-key is the fleet secret: coordinators present
+// it on every task, and a -worker requires it on its task endpoint. It
+// must be distinct from every tenant API key — tenant keys never
+// authenticate fabric tasks, and a worker with -api-keys refuses to start
+// without a fabric key. The coordinator hands a worker a task only if the
 // worker's copy matches the coordinator's content fingerprint, so a stale
 // replica is refused rather than silently merged. Releases are
 // bit-identical to single-process at any fleet size — worker crashes,
@@ -117,7 +122,7 @@ func main() {
 
 		worker     = flag.Bool("worker", false, "serve POST /v1/fabric/task: act as a shard worker for a fabric coordinator")
 		fabWorkers = flag.String("fabric-workers", "", "comma-separated worker base URLs (e.g. http://10.0.0.2:8080,...); non-empty makes this process a fabric coordinator")
-		fabKey     = flag.String("fabric-api-key", "", "API key presented to fabric workers (X-API-Key)")
+		fabKey     = flag.String("fabric-api-key", "", "fleet secret: presented to fabric workers on every task (X-API-Key) and required by -worker on its task endpoint; must differ from every tenant API key")
 		fabTimeout = flag.Duration("fabric-timeout", 0, "per fabric task attempt timeout (0 = 30s)")
 		fabRetries = flag.Int("fabric-retries", 0, "additional remote attempts per failed fabric task (0 = default 1, negative disables)")
 		fabHedge   = flag.Duration("fabric-hedge", 0, "re-execute a straggling fabric task locally after this long (0 = half the task timeout, negative disables)")

@@ -117,12 +117,14 @@ func main() {
 // workers plus a coordinator splitting each release's Measure and Recover
 // stages across them. The programmatic equivalent of
 //
-//	dpcubed -addr :8081 -worker &
-//	dpcubed -addr :8082 -worker &
-//	dpcubed -addr :8080 -fabric-workers http://localhost:8081,http://localhost:8082
+//	dpcubed -addr :8081 -worker -fabric-api-key fleet-secret &
+//	dpcubed -addr :8082 -worker -fabric-api-key fleet-secret &
+//	dpcubed -addr :8080 -fabric-api-key fleet-secret \
+//	    -fabric-workers http://localhost:8081,http://localhost:8082
 //
 // Every process holds its own copy of the dataset; the coordinator's
 // content-fingerprint handshake refuses a worker whose copy diverged. The
+// fleet secret (never a tenant key) authenticates each task post. The
 // released bits are identical to a single process at any fleet size —
 // worker failures and stragglers are retried, hedged, or re-executed
 // locally, costing latency but never a bit.
@@ -138,7 +140,12 @@ func clusterMode(ndjson string) {
 
 	var workerURLs []string
 	for i := 0; i < 2; i++ {
-		wsrv, err := server.New(server.Config{EpsilonCap: 10, DeltaCap: 1e-6, FabricWorker: true})
+		wsrv, err := server.New(server.Config{
+			EpsilonCap:   10,
+			DeltaCap:     1e-6,
+			FabricWorker: true,
+			FabricAPIKey: "fleet-secret",
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -152,6 +159,7 @@ func clusterMode(ndjson string) {
 		EpsilonCap:    10,
 		DeltaCap:      1e-6,
 		FabricWorkers: workerURLs,
+		FabricAPIKey:  "fleet-secret",
 	})
 	if err != nil {
 		log.Fatal(err)

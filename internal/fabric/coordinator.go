@@ -50,10 +50,14 @@ func (c Config) taskTimeout() time.Duration {
 }
 
 func (c Config) retries() int {
-	if c.Retries >= 0 {
+	switch {
+	case c.Retries > 0:
 		return c.Retries
+	case c.Retries < 0:
+		return 0
+	default:
+		return 1
 	}
-	return 1
 }
 
 func (c Config) hedgeAfter() time.Duration {
@@ -273,6 +277,13 @@ func (c *Coordinator) probe(ctx context.Context, w *workerState) {
 			resp.Body.Close()
 			ok = resp.StatusCode == http.StatusOK
 		}
+	}
+	if !ok && ctx.Err() != nil {
+		// The calling release was cancelled (or hit its deadline) mid-probe:
+		// that says nothing about the worker. Caching an unhealthy verdict
+		// here would push unrelated concurrent releases onto the local path
+		// for a full ProbeTTL.
+		return
 	}
 	w.healthy.Store(ok)
 	w.probedAt.Store(time.Now().UnixNano())

@@ -40,6 +40,13 @@
 // the partial answer cells plus an FNV-64a checksum over their bit
 // patterns, verified before a shard answer is merged.
 //
+// Task requests authenticate with a fleet secret (Config.APIKey, sent as
+// X-API-Key) that is distinct from any tenant API key: the task endpoint
+// bypasses the worker's budget ledger — the coordinator charged the
+// release at admission — so a tenant credential must never open it. A
+// tenant who could post tasks would control Seed and Privacy directly and
+// could average repeated measure answers to cancel the noise.
+//
 // # Coordinator behaviour
 //
 // The coordinator probes workers through GET /v1/healthz (cached for

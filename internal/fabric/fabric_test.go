@@ -308,6 +308,47 @@ func TestFabricHedgesStragglers(t *testing.T) {
 	}
 }
 
+// TestConfigDefaults pins the documented flag semantics: Retries 0 means
+// the default single retry and negative disables; HedgeAfter 0 means half
+// the task timeout and negative disables.
+func TestConfigDefaults(t *testing.T) {
+	if got := (Config{}).retries(); got != 1 {
+		t.Errorf("Retries 0: %d retries, want the default 1", got)
+	}
+	if got := (Config{Retries: 3}).retries(); got != 3 {
+		t.Errorf("Retries 3: %d retries", got)
+	}
+	if got := (Config{Retries: -1}).retries(); got != 0 {
+		t.Errorf("Retries -1: %d retries, want 0 (disabled)", got)
+	}
+	if got := (Config{}).hedgeAfter(); got != 15*time.Second {
+		t.Errorf("HedgeAfter 0: %v, want half the 30s default task timeout", got)
+	}
+	if got := (Config{HedgeAfter: -1}).hedgeAfter(); got != 0 {
+		t.Errorf("HedgeAfter -1: %v, want 0 (disabled)", got)
+	}
+}
+
+// TestProbeCancelledContextNotCached: a probe that fails only because the
+// calling release's context was cancelled must not cache an unhealthy
+// verdict — the worker is fine, and a poisoned cache would push every
+// concurrent release onto the local path for a full ProbeTTL.
+func TestProbeCancelledContextNotCached(t *testing.T) {
+	w1, _ := newWorker(t, testBody(50, 0))
+	c := New(Config{Workers: []string{w1.URL}})
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := c.healthy(cancelled); len(got) != 0 {
+		t.Fatalf("cancelled ctx probed %d workers healthy", len(got))
+	}
+	// The failed probe stored nothing, so a live release probing within
+	// what would have been the TTL sees the worker healthy.
+	if got := c.healthy(context.Background()); len(got) != 1 {
+		t.Fatal("cancelled-ctx probe poisoned the worker health cache")
+	}
+}
+
 // TestFabricStaleWorker: a worker holding different data for the same id
 // refuses the handshake; the coordinator re-executes locally and the
 // release is still bit-identical (never silently merged stale bits).
@@ -325,7 +366,7 @@ func TestFabricStaleWorker(t *testing.T) {
 		Seed:     23,
 	}
 	want := release(t, engine.Stages{}, w, h, cfg)
-	c := New(Config{Workers: []string{staleWorker.URL}, Retries: 0, TaskTimeout: 10 * time.Second, HedgeAfter: -1})
+	c := New(Config{Workers: []string{staleWorker.URL}, Retries: -1, TaskTimeout: 10 * time.Second, HedgeAfter: -1})
 	got := release(t, c.Stages(w, ref), w, h, cfg)
 	sameRelease(t, "stale-worker", got, want)
 	m := c.Metrics()

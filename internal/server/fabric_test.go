@@ -15,22 +15,18 @@ import (
 
 // startWorkers builds n fabric worker servers with the test dataset
 // ingested, each behind a real listener, and returns their base URLs plus
-// a shutdown func. keys, when non-empty, turns on worker authentication.
-func startWorkers(t testing.TB, n int, id, ndjson string, keys []KeyConfig) ([]string, []*httptest.Server) {
+// a shutdown func. fabricKey, when non-empty, is the fleet secret the
+// workers require on their task endpoint.
+func startWorkers(t testing.TB, n int, id, ndjson, fabricKey string) ([]string, []*httptest.Server) {
 	t.Helper()
 	urls := make([]string, n)
 	servers := make([]*httptest.Server, n)
 	for i := 0; i < n; i++ {
 		cfg := testConfig()
 		cfg.FabricWorker = true
-		cfg.APIKeys = keys
+		cfg.FabricAPIKey = fabricKey
 		ws := newTestServer(t, cfg)
-		req := httptest.NewRequest(http.MethodPut, "/v1/datasets/"+id, strings.NewReader(ndjson))
-		if len(keys) > 0 {
-			req.Header.Set("X-API-Key", keys[0].Key)
-		}
-		rec := httptest.NewRecorder()
-		ws.ServeHTTP(rec, req)
+		rec := putDataset(t, ws, id, ndjson)
 		if rec.Code != http.StatusCreated {
 			t.Fatalf("worker %d ingest: %d %s", i, rec.Code, rec.Body.String())
 		}
@@ -73,8 +69,7 @@ func sameBody(t testing.TB, label string, a, b map[string]json.RawMessage) {
 // per-worker task counters.
 func TestServerFabricBitIdentity(t *testing.T) {
 	nd := testNDJSON(t)
-	keys := []KeyConfig{{Key: "fleet-secret"}}
-	urls, workers := startWorkers(t, 2, "people", nd, keys)
+	urls, workers := startWorkers(t, 2, "people", nd, "fleet-secret")
 
 	local := newTestServer(t, testConfig())
 	if rec := putDataset(t, local, "people", nd); rec.Code != http.StatusCreated {
@@ -141,7 +136,9 @@ func TestServerFabricBitIdentity(t *testing.T) {
 }
 
 // TestFabricWorkerEndpointGating: /v1/fabric/task exists only in worker
-// mode, and an authenticated worker refuses unauthenticated task posts.
+// mode, is opened by the fleet secret alone — never a tenant key, which
+// would bypass the budget ledger — and a worker mixing tenant auth with a
+// missing or colliding fabric key refuses to construct at all.
 func TestFabricWorkerEndpointGating(t *testing.T) {
 	plain := newTestServer(t, testConfig())
 	rec := do(t, plain, http.MethodPost, "/v1/fabric/task")
@@ -151,14 +148,48 @@ func TestFabricWorkerEndpointGating(t *testing.T) {
 
 	cfg := testConfig()
 	cfg.FabricWorker = true
-	cfg.APIKeys = []KeyConfig{{Key: "fleet-secret"}}
+	cfg.APIKeys = []KeyConfig{{Key: "tenant-key"}}
+	cfg.FabricAPIKey = "fleet-secret"
 	worker := newTestServer(t, cfg)
-	if rec := do(t, worker, http.MethodPost, "/v1/fabric/task"); rec.Code != http.StatusUnauthorized {
-		t.Fatalf("unauthenticated task post: %d, want 401", rec.Code)
+	postTask := func(key string) int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/fabric/task", strings.NewReader("x"))
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		rec := httptest.NewRecorder()
+		worker.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if code := postTask(""); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated task post: %d, want 401", code)
+	}
+	// The budget-bypass regression: a valid TENANT key must not open the
+	// task endpoint — tasks are not charged, so tenant credentials posting
+	// arbitrary-seed tasks could average the noise out of any dataset.
+	if code := postTask("tenant-key"); code != http.StatusUnauthorized {
+		t.Fatalf("tenant key opened the fabric task endpoint: %d, want 401", code)
+	}
+	// The fleet secret passes auth (the garbage body then fails as a bad
+	// frame — anything but 401 proves the gate opened).
+	if code := postTask("fleet-secret"); code == http.StatusUnauthorized {
+		t.Fatal("fleet secret refused on the fabric task endpoint")
 	}
 	// Health stays reachable without credentials — it is the probe target.
 	if rec := do(t, worker, http.MethodGet, "/v1/healthz"); rec.Code != http.StatusOK {
 		t.Fatalf("healthz on an authenticated worker: %d, want 200", rec.Code)
+	}
+
+	// Misconfigurations that would leave the endpoint reachable by tenants
+	// (or unauthenticated next to tenant auth) refuse to construct.
+	bad := testConfig()
+	bad.FabricWorker = true
+	bad.APIKeys = []KeyConfig{{Key: "tenant-key"}}
+	if _, err := New(bad); err == nil {
+		t.Fatal("worker with tenant auth but no fabric key constructed")
+	}
+	bad.FabricAPIKey = "tenant-key"
+	if _, err := New(bad); err == nil {
+		t.Fatal("fabric key equal to a tenant key constructed")
 	}
 }
 
@@ -334,13 +365,52 @@ func TestGzipIngestRejections(t *testing.T) {
 	}
 }
 
+// TestGzipIngestExpansionCap: with MaxIngestBytes set, a tiny gzip body
+// that decompresses past gzipExpansionCap times the wire limit is refused
+// mid-stream (transactionally) instead of buying ~1000x ingest work inside
+// the byte budget — while an honestly compressed stream under the cap
+// still ingests.
+func TestGzipIngestExpansionCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxIngestBytes = 4096
+	s := newTestServer(t, cfg)
+
+	// An honest stream: well within both the wire and expansion budgets.
+	nd := testNDJSON(t)
+	if rec := putGzip(t, s, "/v1/datasets/ok", gzipped(t, nd)); rec.Code != http.StatusCreated {
+		t.Fatalf("honest gzip PUT: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// A bomb: valid NDJSON rows repeated far past 32x the wire limit
+	// compress to a few hundred bytes.
+	var bomb strings.Builder
+	bomb.WriteString(`{"schema":[{"name":"a","cardinality":2}]}` + "\n")
+	for int64(bomb.Len()) <= (gzipExpansionCap+1)*cfg.MaxIngestBytes {
+		bomb.WriteString("[1]\n")
+	}
+	z := gzipped(t, bomb.String())
+	if int64(len(z)) > cfg.MaxIngestBytes {
+		t.Fatalf("test bomb does not fit the wire budget: %d > %d", len(z), cfg.MaxIngestBytes)
+	}
+	rec := putGzip(t, s, "/v1/datasets/bomb", z)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("gzip bomb: %d, want 400: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "expands past") {
+		t.Fatalf("bomb rejection does not name the expansion cap: %s", rec.Body.String())
+	}
+	if rec := do(t, s, http.MethodGet, "/v1/datasets/bomb"); rec.Code != http.StatusNotFound {
+		t.Fatalf("dataset registered from a rejected bomb: %d", rec.Code)
+	}
+}
+
 // TestResultCacheTopologyIndependent: the result-cache key ignores fleet
 // topology, so an entry computed through the fabric replays byte-identical
 // after the entire fleet is gone — and vice versa a local-only entry
 // serves a fabric-configured server.
 func TestResultCacheTopologyIndependent(t *testing.T) {
 	nd := testNDJSON(t)
-	urls, workers := startWorkers(t, 2, "people", nd, nil)
+	urls, workers := startWorkers(t, 2, "people", nd, "")
 	cfg := testConfig()
 	cfg.FabricWorkers = urls
 	s := newTestServer(t, cfg)

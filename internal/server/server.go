@@ -18,7 +18,8 @@
 //	GET    /v1/metrics       — request/error counters, spend, cache, store
 //	GET    /v1/healthz       — liveness (unauthenticated; fabric probe target)
 //	GET    /v1/readyz        — readiness (unauthenticated; 503 while draining)
-//	POST   /v1/fabric/task   — shard-task endpoint (FabricWorker mode only)
+//	POST   /v1/fabric/task   — shard-task endpoint (FabricWorker mode only;
+//	                           authenticated by FabricAPIKey, never tenant keys)
 //
 // PUT /v1/datasets accepts Content-Encoding: gzip; a corrupt stream is
 // rejected transactionally, like any malformed NDJSON.
@@ -86,6 +87,7 @@ import (
 	"compress/gzip"
 	"context"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -166,8 +168,15 @@ type Config struct {
 	// stages across the fleet, bit-identical to local execution at any
 	// fleet size (see internal/fabric).
 	FabricWorkers []string
-	// FabricAPIKey is presented (X-API-Key) on every fabric task and probe;
-	// required when the workers authenticate.
+	// FabricAPIKey is the fleet secret. A coordinator presents it
+	// (X-API-Key) on every fabric task; a FabricWorker requires it on
+	// POST /v1/fabric/task. It is deliberately distinct from the tenant
+	// APIKeys — tenant keys never authenticate fabric tasks, because the
+	// task endpoint bypasses the budget ledger (the coordinator charged at
+	// admission) and a tenant reaching it could replay arbitrary-seed
+	// measure tasks to average the noise away. New refuses a FabricWorker
+	// whose FabricAPIKey is empty while tenant auth is on, or equal to any
+	// tenant key.
 	FabricAPIKey string
 	// FabricTaskTimeout bounds one remote task attempt (0 = 30s).
 	FabricTaskTimeout time.Duration
@@ -181,7 +190,8 @@ type Config struct {
 	// FabricWorker additionally serves POST /v1/fabric/task, making this
 	// process usable as a shard worker by some other coordinator. A worker
 	// executes tasks against its own dataset store; the coordinator's
-	// fingerprint handshake refuses a worker whose copy diverged.
+	// fingerprint handshake refuses a worker whose copy diverged. The task
+	// endpoint authenticates with FabricAPIKey only, never tenant keys.
 	FabricWorker bool
 }
 
@@ -237,6 +247,20 @@ func New(cfg Config) (*Server, error) {
 		}
 		keys[kc.Key] = true
 		perKey[kc.Key] = kc.caps()
+	}
+	if cfg.FabricWorker {
+		// The task endpoint bypasses the budget ledger, so it must never be
+		// reachable with a tenant credential: a tenant replaying
+		// arbitrary-seed measure tasks could average the noise out of any
+		// resident dataset without spending a drop of budget.
+		if cfg.FabricAPIKey == "" && len(cfg.APIKeys) > 0 {
+			return nil, fmt.Errorf("%w: FabricWorker with tenant APIKeys requires a FabricAPIKey (tenant keys never authenticate fabric tasks)",
+				repro.ErrInvalidOption)
+		}
+		if cfg.FabricAPIKey != "" && keys[cfg.FabricAPIKey] {
+			return nil, fmt.Errorf("%w: FabricAPIKey must be distinct from every tenant API key",
+				repro.ErrInvalidOption)
+		}
 	}
 	ledgers, err := repro.NewBudgetRegistry(cfg.EpsilonCap, cfg.DeltaCap, comp, perKey)
 	if err != nil {
@@ -299,13 +323,14 @@ func New(cfg Config) (*Server, error) {
 	s.route("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
 	s.route("GET /v1/datasets", s.handleDatasetList)
 	if cfg.FabricWorker {
-		// Worker task endpoint. Routed like any other endpoint — the fleet's
-		// API keys authenticate coordinators, and task traffic shows up in
-		// /v1/metrics — but the frames never touch a budget ledger: the
-		// coordinator charged at admission, and a shard answer is not a
-		// release.
+		// Worker task endpoint. Counted like any other endpoint (task
+		// traffic shows up in /v1/metrics, and Drain waits for in-flight
+		// tasks), but authenticated by the fleet secret alone: the frames
+		// never touch a budget ledger — the coordinator charged at
+		// admission — so a tenant key must not open this door (see
+		// Config.FabricAPIKey).
 		exec := &fabric.Executor{Store: st, Cache: s.cache, Workers: cfg.MaxWorkers}
-		s.route("POST /v1/fabric/task", func(w http.ResponseWriter, r *http.Request) {
+		s.routeFabric("POST /v1/fabric/task", func(w http.ResponseWriter, r *http.Request) {
 			exec.ServeHTTP(w, r)
 		})
 	}
@@ -357,6 +382,52 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 			m.errors.Add(1)
 		}
 	})
+}
+
+// routeFabric registers the shard-task endpoint with the same metrics and
+// inflight accounting as route, but authenticated by the fabric fleet
+// secret instead of the tenant key set. With no FabricAPIKey configured the
+// endpoint is open — New only permits that when the whole server runs
+// unauthenticated.
+func (s *Server) routeFabric(pattern string, h http.HandlerFunc) {
+	m := &endpointMetrics{}
+	s.metricNames = append(s.metricNames, pattern)
+	s.metrics[pattern] = m
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		m.requests.Add(1)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		if err := s.authenticateFabric(r); err != nil {
+			writeJSON(sw, http.StatusUnauthorized, errorResponse{Error: err.Error()})
+		} else {
+			h(sw, r)
+		}
+		if sw.status >= 400 {
+			m.errors.Add(1)
+		}
+	})
+}
+
+// authenticateFabric admits a fabric task only when the presented key is
+// the fleet secret. Tenant keys are deliberately not consulted: the task
+// endpoint bypasses the budget ledger, so tenant credentials must never
+// reach it. The comparison is constant-time and the error never echoes the
+// presented key.
+func (s *Server) authenticateFabric(r *http.Request) error {
+	if s.cfg.FabricAPIKey == "" {
+		return nil
+	}
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		if ah := r.Header.Get("Authorization"); strings.HasPrefix(ah, "Bearer ") {
+			key = strings.TrimPrefix(ah, "Bearer ")
+		}
+	}
+	if subtle.ConstantTimeCompare([]byte(key), []byte(s.cfg.FabricAPIKey)) != 1 {
+		return errors.New("fabric task requires the fleet's fabric API key (X-API-Key header or Authorization: Bearer)")
+	}
+	return nil
 }
 
 // authenticate resolves the caller's API key. With auth disabled every
@@ -924,9 +995,11 @@ func metricsBudget(l *repro.BudgetLedger) metricsBudgetJSON {
 func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 	var body io.Reader = r.Body
 	if s.cfg.MaxIngestBytes > 0 {
-		// The byte bound applies to the wire (compressed) stream: it is a
-		// transfer policy, and gzip expansion is already bounded by the
-		// ingester's line limit.
+		// The byte bound applies to the wire (compressed) stream; a gzip
+		// body additionally gets a decompressed-size cap below, because a
+		// line limit bounds one line, not the stream — without it a small
+		// gzip bomb of many short lines buys ~1000x ingest work within the
+		// wire budget.
 		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes)
 	}
 	switch enc := r.Header.Get("Content-Encoding"); enc {
@@ -940,8 +1013,14 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 		defer zr.Close()
 		// Mid-stream corruption surfaces as a read error inside the ingester,
 		// which rejects the whole stream transactionally — same contract as a
-		// malformed NDJSON line.
+		// malformed NDJSON line. The expansion cap rides the same path.
 		body = zr
+		if s.cfg.MaxIngestBytes > 0 {
+			limit := gzipExpansionCap * s.cfg.MaxIngestBytes
+			body = &capReader{r: zr, n: limit + 1, err: fmt.Errorf(
+				"%w: gzip stream expands past %d bytes (%dx the ingest byte limit)",
+				store.ErrInvalidDataset, limit, gzipExpansionCap)}
+		}
 	default:
 		s.fail(w, r, fmt.Errorf("%w: unsupported Content-Encoding %q (want gzip or identity)",
 			repro.ErrInvalidOption, enc))
@@ -965,6 +1044,32 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// gzipExpansionCap bounds a gzip ingest stream's decompressed size as a
+// multiple of MaxIngestBytes. Real NDJSON compresses well under 32x; gzip
+// bombs run to ~1000x, so the cap cuts the amplification an attacker can
+// buy within the wire byte budget without ever refusing honest data.
+const gzipExpansionCap = 32
+
+// capReader fails the stream with err once more than its byte allowance
+// has been read (set n to limit+1 to admit exactly limit bytes).
+type capReader struct {
+	r   io.Reader
+	n   int64
+	err error
+}
+
+func (c *capReader) Read(p []byte) (int, error) {
+	if c.n <= 0 {
+		return 0, c.err
+	}
+	if int64(len(p)) > c.n {
+		p = p[:c.n]
+	}
+	n, err := c.r.Read(p)
+	c.n -= int64(n)
+	return n, err
 }
 
 func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {

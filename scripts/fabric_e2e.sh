@@ -39,13 +39,25 @@ wait_ready() { # wait_ready <port>
   return 1
 }
 
-start w1 -addr "localhost:$PORT_W1" -epsilon-cap 1e9 -delta-cap 0.5 -worker
-start w2 -addr "localhost:$PORT_W2" -epsilon-cap 1e9 -delta-cap 0.5 -worker
+# The fleet secret authenticates every coordinator→worker task; tenant
+# keys never open the task endpoint.
+FLEET_KEY=e2e-fleet-secret
+start w1 -addr "localhost:$PORT_W1" -epsilon-cap 1e9 -delta-cap 0.5 -worker -fabric-api-key "$FLEET_KEY"
+start w2 -addr "localhost:$PORT_W2" -epsilon-cap 1e9 -delta-cap 0.5 -worker -fabric-api-key "$FLEET_KEY"
 start coord -addr "localhost:$PORT_COORD" -epsilon-cap 1e9 -delta-cap 0.5 \
   -fabric-workers "http://localhost:$PORT_W1,http://localhost:$PORT_W2" \
+  -fabric-api-key "$FLEET_KEY" \
   -fabric-hedge 10s
 start ref -addr "localhost:$PORT_REF" -epsilon-cap 1e9 -delta-cap 0.5
 for p in $PORT_W1 $PORT_W2 $PORT_COORD $PORT_REF; do wait_ready "$p"; done
+
+# The task endpoint must refuse a post without the fleet secret.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary x \
+  "http://localhost:$PORT_W1/v1/fabric/task")
+if [ "$CODE" != 401 ]; then
+  echo "FAIL: unauthenticated fabric task got HTTP $CODE, want 401" >&2
+  exit 1
+fi
 
 # The same dataset everywhere: the fabric handshake requires every
 # process's copy to hold the coordinator's exact bits.
