@@ -81,10 +81,25 @@
 // so exposing the API does not expose heap and CPU profiles. It is off by
 // default; bind it to localhost or an internal interface only. Profiles
 // reveal operational detail (allocation sites, goroutine stacks), not
-// released data, but they are still nobody's business.
+// released data, but they are still nobody's business. The same admin
+// listener serves Prometheus metrics at /metrics (identical to
+// GET /v1/metrics?format=prometheus on the public address, but
+// unauthenticated and off the tenant-facing surface).
 //
 //	dpcubed -addr :8080 -pprof-addr localhost:6060 &
 //	go tool pprof http://localhost:6060/debug/pprof/heap
+//	curl -s localhost:6060/metrics | head
+//
+// # Observability
+//
+// -log-level (debug|info|warn|error) and -log-format (json|text) select
+// the structured log/slog output on stderr: one record per request with
+// method, path, status, duration and request_id (inbound X-Request-Id is
+// honored, otherwise one is generated and echoed on the response), plus
+// one record per fabric task on workers carrying the coordinator's
+// request ID, so a release's logs correlate across the fleet. API keys
+// appear in logs only as short fingerprints, never verbatim. See
+// internal/server and internal/telemetry for the metric families.
 package main
 
 import (
@@ -101,6 +116,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -118,7 +134,9 @@ func main() {
 		apiKeys    = flag.String("api-keys", "", "API key file: one 'key [epsilon-cap [delta-cap]]' per line; empty falls back to $DPCUBED_API_KEYS, and with neither the server runs single-tenant and unauthenticated")
 		compMode   = flag.String("composition", "basic", "budget accounting: basic ((ε,δ) summation) or zcdp (Rényi/zCDP, tight composition of many small releases)")
 		targetDel  = flag.Float64("target-delta", 0, "δ at which zcdp accounting reports composed ε (0 = the delta cap)")
-		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate admin address (empty = disabled); bind to localhost or an internal interface")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof and /metrics on this separate admin address (empty = disabled); bind to localhost or an internal interface")
+		logLevel   = flag.String("log-level", "info", "minimum structured-log level: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "json", "structured-log encoding on stderr: json or text")
 
 		worker     = flag.Bool("worker", false, "serve POST /v1/fabric/task: act as a shard worker for a fabric coordinator")
 		fabWorkers = flag.String("fabric-workers", "", "comma-separated worker base URLs (e.g. http://10.0.0.2:8080,...); non-empty makes this process a fabric coordinator")
@@ -128,6 +146,12 @@ func main() {
 		fabHedge   = flag.Duration("fabric-hedge", 0, "re-execute a straggling fabric task locally after this long (0 = half the task timeout, negative disables)")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpcubed:", err)
+		os.Exit(2)
+	}
 
 	keys, err := loadKeys(*apiKeys)
 	if err != nil {
@@ -152,6 +176,8 @@ func main() {
 		FabricRetries:     *fabRetries,
 		FabricHedgeAfter:  *fabHedge,
 		FabricWorker:      *worker,
+		Logger:            logger,
+		Metrics:           telemetry.Default(),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpcubed:", err)
@@ -159,15 +185,17 @@ func main() {
 	}
 
 	// The pprof handlers live on http.DefaultServeMux (blank import above);
-	// the public listener below uses the server's own mux, so profiles are
-	// reachable only through this opt-in admin address.
+	// the public listener below uses the server's own mux, so profiles —
+	// and the unauthenticated /metrics scrape mounted here — are reachable
+	// only through this opt-in admin address.
 	if *pprofAddr != "" {
+		http.Handle("/metrics", srv.MetricsHandler())
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "dpcubed: pprof listener:", err)
+				logger.Error("admin listener failed", "addr", *pprofAddr, "error", err.Error())
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "dpcubed: pprof admin listener on %s\n", *pprofAddr)
+		logger.Info("admin listener serving pprof and /metrics", "addr", *pprofAddr)
 	}
 
 	httpSrv := &http.Server{
@@ -208,30 +236,28 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "dpcubed: serving on %s (ε cap %g, δ cap %g, %s composition)\n",
-			*addr, *epsCap, *deltaCap, *compMode)
+		logger.Info("serving", "addr", *addr, "epsilon_cap", *epsCap, "delta_cap", *deltaCap, "composition", *compMode)
 		if len(keys) > 0 {
-			fmt.Fprintf(os.Stderr, "dpcubed: %d API key(s) configured; requests must authenticate\n", len(keys))
+			logger.Info("API keys configured; requests must authenticate", "keys", len(keys))
 		}
 		if *worker {
-			fmt.Fprintln(os.Stderr, "dpcubed: fabric worker mode: serving POST /v1/fabric/task")
+			logger.Info("fabric worker mode: serving POST /v1/fabric/task")
 		}
 		if f := srv.Fabric(); f != nil {
-			fmt.Fprintf(os.Stderr, "dpcubed: fabric coordinator over %d worker(s)\n", f.Workers())
+			logger.Info("fabric coordinator", "workers", f.Workers())
 		}
 		if st := srv.Store().Stats(); st.Datasets > 0 {
-			fmt.Fprintf(os.Stderr, "dpcubed: recovered %d dataset(s), %d stored cells from %s\n",
-				st.Datasets, st.TotalCells, *storeDir)
+			logger.Info("recovered datasets from store", "datasets", st.Datasets, "cells", st.TotalCells, "store_dir", *storeDir)
 		}
 		for _, q := range srv.Store().QuarantinedSnapshots() {
-			fmt.Fprintf(os.Stderr, "dpcubed: WARNING: quarantined snapshot %s\n", q)
+			logger.Warn("quarantined snapshot", "path", q)
 		}
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "dpcubed: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "dpcubed: drain:", err)
@@ -256,7 +282,7 @@ func main() {
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "dpcubed: persisting snapshots:", err)
 	}
-	fmt.Fprint(os.Stderr, srv.Budgets().Summary())
+	fmt.Fprint(os.Stderr, srv.BudgetSummary())
 }
 
 // splitList parses a comma-separated flag value, dropping empty entries.

@@ -6,9 +6,12 @@
 // the budget — optionally rotating across several API keys.
 //
 // The run's outcome is written as JSON (default BENCH_dpload.json):
-// latency percentiles (p50/p95/p99), achieved RPS, error counts by status,
-// and the server-reported result-cache hit rate over the run (read from
-// /v1/metrics before and after). With -benchmem the report additionally
+// latency percentiles (p50/p95/p99), a log-bucketed latency histogram
+// (same buckets the daemon exports to Prometheus, so client-observed and
+// server-observed distributions line up), achieved RPS, error counts by
+// status, the server-reported per-stage latency summary (where request
+// time went inside the engine), and the result-cache hit rate over the
+// run (read from /v1/metrics before and after). With -benchmem the report additionally
 // embeds ns/op, B/op and allocs/op parsed from a companion
 // `go test -bench ... -benchmem` output file, and -compare checks those
 // allocs/op against a previous report, exiting non-zero on a regression —
@@ -43,6 +46,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -147,14 +152,23 @@ func splitCSV(s string) []string {
 // Report shape (BENCH_dpload.json).
 
 type report struct {
-	GeneratedUnix int64                `json:"generated_unix"`
-	Server        string               `json:"server"`
-	Config        runConfig            `json:"config"`
-	Requests      requestStats         `json:"requests"`
-	LatencyMS     latencyStats         `json:"latency_ms"`
-	AchievedRPS   float64              `json:"achieved_rps"`
-	Cache         cacheStats           `json:"cache"`
-	Benchmem      map[string]benchLine `json:"benchmem,omitempty"`
+	GeneratedUnix int64        `json:"generated_unix"`
+	Server        string       `json:"server"`
+	Config        runConfig    `json:"config"`
+	Requests      requestStats `json:"requests"`
+	LatencyMS     latencyStats `json:"latency_ms"`
+	// LatencyBuckets is the client-side latency distribution over the
+	// whole run, recorded into the same log-spaced buckets the daemon
+	// uses (internal/telemetry.LatencyBuckets), with bucket-derived
+	// quantiles alongside the exact-sorted latency_ms ones above.
+	LatencyBuckets *bucketStats `json:"latency_buckets,omitempty"`
+	// Stages is the server-reported per-stage latency summary
+	// (/v1/metrics "stages" section) at the end of the run: where
+	// request time went inside the engine (plan/allocate/measure/...).
+	Stages      map[string]stageLatency `json:"stages,omitempty"`
+	AchievedRPS float64                 `json:"achieved_rps"`
+	Cache       cacheStats              `json:"cache"`
+	Benchmem    map[string]benchLine    `json:"benchmem,omitempty"`
 }
 
 type runConfig struct {
@@ -189,6 +203,41 @@ type cacheStats struct {
 	Hits    uint64  `json:"hits"`
 	Misses  uint64  `json:"misses"`
 	HitRate float64 `json:"hit_rate"`
+}
+
+// bucketStats is a latency histogram snapshot: per-bucket upper bounds in
+// seconds, cumulative-free counts per bucket (last entry = overflow), and
+// the quantiles interpolated from them.
+type bucketStats struct {
+	BoundsS []float64 `json:"bounds_s"`
+	Counts  []uint64  `json:"counts"`
+	Count   uint64    `json:"count"`
+	P50MS   float64   `json:"p50_ms"`
+	P95MS   float64   `json:"p95_ms"`
+	P99MS   float64   `json:"p99_ms"`
+	MeanMS  float64   `json:"mean_ms"`
+}
+
+func bucketsOf(h *telemetry.Histogram) *bucketStats {
+	const ms = 1e3
+	return &bucketStats{
+		BoundsS: h.Bounds(),
+		Counts:  h.BucketCounts(),
+		Count:   h.Count(),
+		P50MS:   h.Quantile(0.50) * ms,
+		P95MS:   h.Quantile(0.95) * ms,
+		P99MS:   h.Quantile(0.99) * ms,
+		MeanMS:  h.Mean() * ms,
+	}
+}
+
+// stageLatency mirrors the server's /v1/metrics "stages" entries.
+type stageLatency struct {
+	Count  uint64  `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
 }
 
 type benchLine struct {
@@ -282,7 +331,7 @@ func runLoad(rep *report, o loadOptions) error {
 		return fmt.Errorf("dataset upload: status %d", resp.StatusCode)
 	}
 
-	before, err := fetchCache(client, o.server, o.keys)
+	before, _, err := fetchMetrics(client, o.server, o.keys)
 	if err != nil {
 		return err
 	}
@@ -314,6 +363,7 @@ func runLoad(rep *report, o loadOptions) error {
 	}()
 
 	perWorker := make([][]sample, o.conns)
+	hist := telemetry.NewHistogram(telemetry.LatencyBuckets())
 	var wg sync.WaitGroup
 	start := time.Now()
 	for wkr := 0; wkr < o.conns; wkr++ {
@@ -331,6 +381,7 @@ func runLoad(rep *report, o loadOptions) error {
 				t0 := time.Now()
 				resp, err := client.Do(req)
 				lat := time.Since(t0)
+				hist.Observe(lat.Seconds())
 				s := sample{latency: lat}
 				if err == nil {
 					s.status = resp.StatusCode
@@ -344,7 +395,7 @@ func runLoad(rep *report, o loadOptions) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after, err := fetchCache(client, o.server, o.keys)
+	after, stages, err := fetchMetrics(client, o.server, o.keys)
 	if err != nil {
 		return err
 	}
@@ -356,6 +407,8 @@ func runLoad(rep *report, o loadOptions) error {
 	rep.Requests = summarize(all)
 	rep.Requests.Shed = int(shed.Load())
 	rep.LatencyMS = percentiles(all)
+	rep.LatencyBuckets = bucketsOf(hist)
+	rep.Stages = stages
 	if elapsed > 0 {
 		rep.AchievedRPS = float64(len(all)) / elapsed.Seconds()
 	}
@@ -429,17 +482,21 @@ func buildNDJSON(rows, attrs int) []byte {
 	return b.Bytes()
 }
 
-func fetchCache(client *http.Client, server string, keys []string) (cacheStats, error) {
+// fetchMetrics reads /v1/metrics, returning the result-cache counters and
+// the per-stage latency summaries (empty until the daemon has run a
+// release; the stage quantiles are over the daemon's lifetime, so run
+// dpload against a fresh daemon when the run itself should dominate them).
+func fetchMetrics(client *http.Client, server string, keys []string) (cacheStats, map[string]stageLatency, error) {
 	req, err := http.NewRequest(http.MethodGet, server+"/v1/metrics", nil)
 	if err != nil {
-		return cacheStats{}, err
+		return cacheStats{}, nil, err
 	}
 	if len(keys) > 0 {
 		req.Header.Set("X-API-Key", keys[0])
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return cacheStats{}, fmt.Errorf("reading /v1/metrics: %w", err)
+		return cacheStats{}, nil, fmt.Errorf("reading /v1/metrics: %w", err)
 	}
 	defer resp.Body.Close()
 	var m struct {
@@ -447,14 +504,21 @@ func fetchCache(client *http.Client, server string, keys []string) (cacheStats, 
 			Hits   uint64 `json:"hits"`
 			Misses uint64 `json:"misses"`
 		} `json:"result_cache"`
+		Stages map[string]stageLatency `json:"stages"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		return cacheStats{}, fmt.Errorf("decoding /v1/metrics: %w", err)
+		return cacheStats{}, nil, fmt.Errorf("decoding /v1/metrics: %w", err)
+	}
+	stages := make(map[string]stageLatency, len(m.Stages))
+	for name, sl := range m.Stages {
+		if sl.Count > 0 {
+			stages[name] = sl
+		}
 	}
 	if m.ResultCache == nil {
-		return cacheStats{}, nil // cache disabled server-side
+		return cacheStats{}, stages, nil // cache disabled server-side
 	}
-	return cacheStats{Hits: m.ResultCache.Hits, Misses: m.ResultCache.Misses}, nil
+	return cacheStats{Hits: m.ResultCache.Hits, Misses: m.ResultCache.Misses}, stages, nil
 }
 
 func summarize(all []sample) requestStats {

@@ -174,6 +174,27 @@
 // diagnosis, dpcubed -pprof-addr serves net/http/pprof on a separate
 // admin listener.
 //
+// # Observability
+//
+// The serving stack is instrumented end to end by internal/telemetry, a
+// dependency-free metrics/tracing/logging core. Every request increments
+// per-endpoint counters and a log-bucketed latency histogram; every
+// release records per-stage wall time (plan/allocate/measure/recover/
+// consist) into shared histograms. GET /v1/metrics reports bucket-derived
+// p50/p95/p99 summaries in JSON, and ?format=prometheus (also /metrics
+// on the -pprof-addr admin listener) exposes everything — including Go
+// runtime gauges — in Prometheus text format. Requests carry a
+// correlation ID (inbound X-Request-Id honored, otherwise generated and
+// echoed) that flows through structured slog request logs, into error
+// bodies, and across fabric task frames so worker-side logs line up
+// with the coordinator's release. A release request with
+// "debug_timing": true gets its full span tree — stage durations, shard
+// fan-out, result-cache verdict, per-task fabric attempts — embedded in
+// the response. With no trace installed the instrumentation is free:
+// tests pin the nil-trace hot paths at zero allocations. Metrics and
+// logs never contain cell counts, noisy answers or raw API keys (keys
+// appear only as short fingerprints).
+//
 // # The staged, blocked release engine
 //
 // Under the hood every release runs through the staged pipeline of

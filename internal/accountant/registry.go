@@ -219,8 +219,15 @@ func (r *Registry) Restore(global []Charge, perKey map[string][]Charge) error {
 }
 
 // Summary renders the global ledger's breakdown followed by one spend line
-// per key — the shutdown report of a multi-tenant daemon.
-func (r *Registry) Summary() string {
+// per key — the shutdown report of a multi-tenant daemon. Keys are printed
+// verbatim; a caller whose report can land in logs should use
+// SummaryRedacted instead.
+func (r *Registry) Summary() string { return r.SummaryRedacted(nil) }
+
+// SummaryRedacted is Summary with every key passed through redact before
+// printing, so the report can be emitted to log sinks without exposing
+// tenant credentials. A nil redact prints keys verbatim.
+func (r *Registry) SummaryRedacted(redact func(string) string) string {
 	s := r.global.Summary()
 	r.mu.Lock()
 	keys := make([]string, 0, len(r.ledgers))
@@ -237,8 +244,12 @@ func (r *Registry) Summary() string {
 		l := ledgers[k]
 		eps, del := l.Spent()
 		epsCap, delCap := l.Caps()
+		name := k
+		if redact != nil {
+			name = redact(k)
+		}
 		s += fmt.Sprintf("  key %-16s ε=%.4g/%.4g δ=%.3g/%.3g over %d releases\n",
-			k, eps, epsCap, del, delCap, l.Count())
+			name, eps, epsCap, del, delCap, l.Count())
 	}
 	return s
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/marginal"
 	"repro/internal/noise"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/vector"
 )
 
@@ -294,25 +295,45 @@ func (e *Engine) RunVector(ctx context.Context, w *marginal.Workload, x *vector.
 		return nil, fmt.Errorf("engine: data vector has %d entries, domain needs %d", x.Len(), 1<<uint(w.D))
 	}
 	workers := e.opts.workers()
+	tr := telemetry.TraceFrom(ctx)
 
+	sp := tr.Root().StartStage("plan")
 	plan, err := e.stages.Plan.Plan(ctx, w, cfg)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp = tr.Root().StartStage("allocate")
 	alloc, err := e.stages.Allocate.Allocate(ctx, plan.Specs, cfg)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	groupVar := budget.SpecVariances(alloc.Eta, cfg.Privacy)
 
-	z, err := e.stages.Measure.Measure(ctx, plan, x, alloc.Eta, cfg, workers, e.opts.shardsFor(plan.Rows(), workers))
+	shards := e.opts.shardsFor(plan.Rows(), workers)
+	sp = tr.Root().StartStage("measure")
+	mctx := ctx
+	if sp != nil {
+		sp.AnnotateInt("shards", int64(shards))
+		sp.AnnotateInt("workers", int64(workers))
+		mctx = telemetry.ContextWithSpan(ctx, sp)
+	}
+	z, err := e.stages.Measure.Measure(mctx, plan, x, alloc.Eta, cfg, workers, shards)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	answers, cellVar, err := e.stages.Recover.Recover(ctx, w, plan, z, groupVar, workers)
+	sp = tr.Root().StartStage("recover")
+	rctx := ctx
+	if sp != nil {
+		rctx = telemetry.ContextWithSpan(ctx, sp)
+	}
+	answers, cellVar, err := e.stages.Recover.Recover(rctx, w, plan, z, groupVar, workers)
+	sp.End()
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, err
@@ -328,7 +349,9 @@ func (e *Engine) RunVector(ctx context.Context, w *marginal.Workload, x *vector.
 		TotalVariance:  TotalCellVariance(w, cellVar),
 		StrategyName:   plan.Strategy,
 	}
+	sp = tr.Root().StartStage("consist")
 	consistent, coeffs, err := e.stages.Consist.Consist(ctx, w, answers, cellVar, cfg, workers)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -487,7 +510,11 @@ func (Measurer) Measure(ctx context.Context, plan *strategy.Plan, x *vector.Bloc
 	for g, spec := range plan.Specs {
 		groups[g] = NoiseGroup{Start: offsets[g], Count: spec.Count, Eta: eta[g]}
 	}
-	if err := PerturbVectorContext(ctx, z, groups, cfg.Privacy, cfg.Seed, workers); err != nil {
+	psp := telemetry.SpanFrom(ctx).StartDetail("perturb")
+	psp.AnnotateInt("groups", int64(len(groups)))
+	err := PerturbVectorContext(ctx, z, groups, cfg.Privacy, cfg.Seed, workers)
+	psp.End()
+	if err != nil {
 		return nil, err
 	}
 	return z, nil
@@ -497,6 +524,7 @@ func (Measurer) Measure(ctx context.Context, plan *strategy.Plan, x *vector.Bloc
 // each worker walking the blocks vector.Schedule assigns it in order.
 // Cancellation is honoured between blocks.
 func answerBlocks(ctx context.Context, plan *strategy.Plan, x *vector.Blocked, z *vector.Blocked, workers int) error {
+	sp := telemetry.SpanFrom(ctx)
 	sched := vector.Schedule(z.Blocks(), workers)
 	if len(sched) == 1 {
 		for _, bi := range sched[0] {
@@ -504,7 +532,11 @@ func answerBlocks(ctx context.Context, plan *strategy.Plan, x *vector.Blocked, z
 				return err
 			}
 			lo, hi := z.BlockRange(bi)
+			bsp := sp.StartDetail("measure.block")
+			bsp.AnnotateInt("lo", int64(lo))
+			bsp.AnnotateInt("rows", int64(hi-lo))
 			plan.AnswerBlock(x, lo, hi, z.Block(bi))
+			bsp.End()
 		}
 		return nil
 	}
@@ -518,7 +550,11 @@ func answerBlocks(ctx context.Context, plan *strategy.Plan, x *vector.Blocked, z
 					return
 				}
 				lo, hi := z.BlockRange(bi)
+				bsp := sp.StartDetail("measure.block")
+				bsp.AnnotateInt("lo", int64(lo))
+				bsp.AnnotateInt("rows", int64(hi-lo))
 				plan.AnswerBlock(x, lo, hi, z.Block(bi))
+				bsp.End()
 			}
 		}(list)
 	}
@@ -707,8 +743,12 @@ func (Recoverer) Recover(ctx context.Context, w *marginal.Workload, plan *strate
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	sp := telemetry.SpanFrom(ctx)
 	if plan.RecoverMarginal == nil || workers <= 1 || len(w.Marginals) <= 1 {
-		return plan.Recover(z, groupVar)
+		rsp := sp.StartDetail("recover.serial")
+		answers, cellVar, err := plan.Recover(z, groupVar)
+		rsp.End()
+		return answers, cellVar, err
 	}
 	nm := len(w.Marginals)
 	if workers > nm {
@@ -729,7 +769,10 @@ func (Recoverer) Recover(ctx context.Context, w *marginal.Workload, plan *strate
 					errs[i] = err
 					continue
 				}
+				msp := sp.StartDetail("recover.marginal")
+				msp.AnnotateInt("marginal", int64(i))
 				blocks[i], cellVar[i], errs[i] = plan.RecoverMarginal(i, z, groupVar)
+				msp.End()
 			}
 		}()
 	}

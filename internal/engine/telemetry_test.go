@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/marginal"
+	"repro/internal/strategy"
+	"repro/internal/telemetry"
+	"repro/internal/vector"
+)
+
+func tracedDomain(t *testing.T, d int) (*marginal.Workload, *vector.Blocked) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(19))
+	n := 1 << uint(d)
+	x := vector.New(n, 2)
+	for i := 0; i < n; i++ {
+		x.Set(i, float64(rng.Intn(10)))
+	}
+	return marginal.AllKWay(d, 2), x
+}
+
+// TestRunVectorTraced drives a sharded release with a detail trace and
+// checks the span tree: one span per pipeline stage in order, fan-out
+// annotations on measure, per-block and perturb detail sub-spans, and
+// stage durations observed into the registry's stage histogram.
+func TestRunVectorTraced(t *testing.T) {
+	w, x := tracedDomain(t, 6)
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTrace(reg, "test-release", true)
+	ctx := telemetry.ContextWithTrace(context.Background(), tr)
+	cfg := Config{
+		Strategy: strategy.Workload{}, Budgeting: OptimalBudget,
+		Consistency: L2Consistency, Privacy: pureParams(0.9), Seed: 7,
+	}
+	if _, err := New(Options{Workers: 2, Shards: 3}).RunVector(ctx, w, x, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	tree := tr.Tree()
+	wantStages := []string{"plan", "allocate", "measure", "recover", "consist"}
+	if len(tree.Spans) != len(wantStages) {
+		t.Fatalf("root has %d spans %v, want the %d stages", len(tree.Spans), names(tree.Spans), len(wantStages))
+	}
+	sum := 0.0
+	for i, stage := range wantStages {
+		sp := tree.Spans[i]
+		if sp.Name != stage {
+			t.Errorf("span[%d] = %q, want %q", i, sp.Name, stage)
+		}
+		if sp.DurationMS <= 0 {
+			t.Errorf("stage %s duration = %g, want > 0", stage, sp.DurationMS)
+		}
+		sum += sp.DurationMS
+		// Every stage observed exactly one duration into the shared
+		// histogram this JSON /v1/metrics "stages" section reads.
+		if got := telemetry.StageHistogram(reg, stage).Count(); got != 1 {
+			t.Errorf("stage histogram %q count = %d, want 1", stage, got)
+		}
+	}
+	if tree.DurationMS < sum {
+		t.Errorf("root duration %gms < stage sum %gms: stage spans exceed wall time", tree.DurationMS, sum)
+	}
+
+	measure := tree.Spans[2]
+	if measure.Attrs["shards"] != "3" || measure.Attrs["workers"] != "2" {
+		t.Errorf("measure attrs = %v, want shards=3 workers=2", measure.Attrs)
+	}
+	var blocks, perturbs int
+	for _, c := range measure.Spans {
+		switch c.Name {
+		case "measure.block":
+			blocks++
+		case "perturb":
+			perturbs++
+		}
+	}
+	if blocks == 0 {
+		t.Errorf("measure span has no measure.block sub-spans: %v", names(measure.Spans))
+	}
+	if perturbs != 1 {
+		t.Errorf("measure span has %d perturb sub-spans, want 1", perturbs)
+	}
+	if len(tree.Spans[3].Spans) == 0 {
+		t.Errorf("recover span has no sub-spans, want recover.serial or recover.marginal")
+	}
+}
+
+// TestRunVectorTracedNoDetail checks the normal (no debug_timing) path
+// keeps the span count O(stages): stage spans present, sub-spans absent.
+func TestRunVectorTracedNoDetail(t *testing.T) {
+	w, x := tracedDomain(t, 6)
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTrace(reg, "test-release", false)
+	ctx := telemetry.ContextWithTrace(context.Background(), tr)
+	cfg := Config{
+		Strategy: strategy.Workload{}, Budgeting: OptimalBudget,
+		Consistency: NoConsistency, Privacy: pureParams(0.9), Seed: 7,
+	}
+	if _, err := New(Options{Workers: 2, Shards: 3}).RunVector(ctx, w, x, cfg); err != nil {
+		t.Fatal(err)
+	}
+	tree := tr.Tree()
+	if len(tree.Spans) != 5 {
+		t.Fatalf("root has %d spans, want 5 stages", len(tree.Spans))
+	}
+	for _, sp := range tree.Spans {
+		if len(sp.Spans) != 0 {
+			t.Errorf("stage %q recorded %d sub-spans without detail", sp.Name, len(sp.Spans))
+		}
+	}
+}
+
+// TestInnerLoopInstrumentationZeroAlloc pins the instrumentation cost of
+// the hot inner loops when no trace rides the context: the exact call
+// shapes answerBlocks, Measurer.Measure and Recoverer.Recover emit per
+// block/marginal must allocate nothing, so an un-traced release pays
+// zero for the telemetry hooks.
+func TestInnerLoopInstrumentationZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := telemetry.SpanFrom(ctx)
+		bsp := sp.StartDetail("measure.block")
+		bsp.AnnotateInt("lo", 0)
+		bsp.AnnotateInt("rows", 1<<16)
+		bsp.End()
+		msp := sp.StartDetail("recover.marginal")
+		msp.AnnotateInt("marginal", 3)
+		msp.End()
+		psp := sp.StartDetail("perturb")
+		psp.AnnotateInt("groups", 2)
+		psp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-trace inner-loop instrumentation allocates %.0f/op, want 0", allocs)
+	}
+}
+
+// TestAnswerBlocksAllocsPinned pins the serial measure inner loop's
+// total allocation with no trace installed: the schedule bookkeeping
+// only, independent of block count — the telemetry hooks must not add
+// per-block garbage on the un-traced path.
+func TestAnswerBlocksAllocsPinned(t *testing.T) {
+	w, x := tracedDomain(t, 8)
+	plan, err := Planner{}.Plan(context.Background(), w, Config{Strategy: strategy.Workload{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AnswerBlock == nil {
+		t.Fatal("workload plan has no AnswerBlock")
+	}
+	ctx := context.Background()
+	perRun := func(blocks int) float64 {
+		z := vector.New(plan.Rows(), blocks)
+		return testing.AllocsPerRun(10, func() {
+			if err := answerBlocks(ctx, plan, x, z, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// The plan's AnswerBlock closure costs one scratch alloc per block
+	// before any telemetry existed; a live detail span would add several
+	// more per block. Pin the per-block slope at that baseline of 1.
+	lo, hi := perRun(2), perRun(32)
+	if slope := (hi - lo) / 30; slope > 1 {
+		t.Fatalf("serial answerBlocks allocates %.2f/block (%v@2 -> %v@32 blocks), want <= 1: per-block scratch or telemetry crept into the loop", slope, lo, hi)
+	}
+}
+
+func names(spans []telemetry.SpanJSON) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}

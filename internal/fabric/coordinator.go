@@ -14,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/marginal"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/vector"
 )
 
@@ -300,6 +301,11 @@ func (c *Coordinator) post(ctx context.Context, w *workerState, t *Task) (*Resul
 		return nil, err
 	}
 	req.Header.Set("Content-Type", ContentType)
+	if t.RequestID != "" {
+		// The frame already carries the ID for the executor's task log;
+		// the header lets the worker's HTTP access log correlate too.
+		req.Header.Set("X-Request-Id", t.RequestID)
+	}
 	if c.cfg.APIKey != "" {
 		req.Header.Set("X-API-Key", c.cfg.APIKey)
 	}
@@ -326,8 +332,9 @@ func (c *Coordinator) post(ctx context.Context, w *workerState, t *Task) (*Resul
 // before accepting it. local must compute the identical bits; wantCells
 // and wantVar pin the expected lengths. runTask never fails the release
 // for a worker problem: only ctx cancellation or a local-execution error
-// surfaces.
-func (c *Coordinator) runTask(ctx context.Context, w *workerState, t *Task, wantCells, wantVar int, local func(context.Context) (*Result, error)) (*Result, error) {
+// surfaces. sp, when non-nil, collects attempt/hedge/redo annotations for
+// the release's debug_timing span tree.
+func (c *Coordinator) runTask(ctx context.Context, w *workerState, t *Task, wantCells, wantVar int, local func(context.Context) (*Result, error), sp *telemetry.Span) (*Result, error) {
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -358,10 +365,12 @@ func (c *Coordinator) runTask(ctx context.Context, w *workerState, t *Task, want
 		res *Result
 		err error
 	}
+	var attempts atomic.Int64
 	remoteCh := make(chan outcome, 1)
 	go func() {
 		var lastErr error
 		for attempt := 0; attempt <= c.cfg.retries(); attempt++ {
+			attempts.Add(1)
 			if attempt > 0 {
 				w.retries.Add(1)
 				// Linear backoff between attempts, cancellable.
@@ -408,12 +417,15 @@ func (c *Coordinator) runTask(ctx context.Context, w *workerState, t *Task, want
 		select {
 		case o := <-remoteCh:
 			if o.err == nil {
+				sp.AnnotateInt("attempts", attempts.Load())
+				sp.Annotate("executed", "remote")
 				return o.res, nil
 			}
 			remoteCh = nil // exhausted
 			if !localRunning {
 				c.localRedos.Add(1)
 				localRunning = true
+				sp.Annotate("remote", "exhausted")
 				runLocal()
 			}
 		case <-hedgeC:
@@ -421,11 +433,14 @@ func (c *Coordinator) runTask(ctx context.Context, w *workerState, t *Task, want
 			if !localRunning {
 				w.hedges.Add(1)
 				localRunning = true
+				sp.Annotate("hedged", "true")
 				runLocal()
 			}
 		case o := <-localCh:
 			// The local execution is authoritative: its failure is a real
 			// engine failure, not a fleet problem.
+			sp.AnnotateInt("attempts", attempts.Load())
+			sp.Annotate("executed", "local")
 			return o.res, o.err
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -446,14 +461,17 @@ func (m *fabricMeasurer) Measure(ctx context.Context, plan *strategy.Plan, x *ve
 		m.sp, m.spOK = sp, true
 		m.mu.Unlock()
 	}
+	stageSp := telemetry.SpanFrom(ctx)
 	var healthy []*workerState
 	if ok {
 		healthy = c.healthy(ctx)
 	}
 	if len(healthy) == 0 {
 		c.localFallbacks.Add(1)
+		stageSp.Annotate("fabric", "local-fallback")
 		return engine.Measurer{}.Measure(ctx, plan, x, eta, cfg, workers, shards)
 	}
+	stageSp.AnnotateInt("fabric_workers", int64(len(healthy)))
 
 	rows := plan.Rows()
 	offsets := plan.GroupOffsets()
@@ -477,6 +495,8 @@ func (m *fabricMeasurer) Measure(ctx context.Context, plan *strategy.Plan, x *ve
 	}
 	z := vector.New(rows, nblocks)
 	sched := vector.Schedule(z.Blocks(), len(healthy))
+	stageSp.AnnotateInt("fabric_tasks", int64(z.Blocks()))
+	rid := telemetry.RequestIDFrom(ctx)
 
 	localRange := func(lo, hi int) func(context.Context) (*Result, error) {
 		return func(lctx context.Context) (*Result, error) {
@@ -517,11 +537,17 @@ func (m *fabricMeasurer) Measure(ctx context.Context, plan *strategy.Plan, x *ve
 				Fingerprint: m.ref.Fingerprint,
 				Lo:          lo,
 				Hi:          hi,
+				RequestID:   rid,
 			}
 			wg.Add(1)
 			go func(bi, lo, hi int) {
 				defer wg.Done()
-				res, err := c.runTask(ctx, wk, t, hi-lo, 0, localRange(lo, hi))
+				tsp := stageSp.StartDetail("fabric.measure")
+				tsp.Annotate("worker", wk.url)
+				tsp.AnnotateInt("lo", int64(lo))
+				tsp.AnnotateInt("rows", int64(hi-lo))
+				res, err := c.runTask(ctx, wk, t, hi-lo, 0, localRange(lo, hi), tsp)
+				tsp.End()
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -555,14 +581,18 @@ func (rc *fabricRecoverer) Recover(ctx context.Context, w *marginal.Workload, pl
 	rc.mu.Lock()
 	sp, ok := rc.sp, rc.spOK
 	rc.mu.Unlock()
+	stageSp := telemetry.SpanFrom(ctx)
 	var healthy []*workerState
 	if ok && plan.RecoverMarginal != nil {
 		healthy = c.healthy(ctx)
 	}
 	if len(healthy) == 0 {
 		c.localFallbacks.Add(1)
+		stageSp.Annotate("fabric", "local-fallback")
 		return engine.Recoverer{}.Recover(ctx, w, plan, z, groupVar, workers)
 	}
+	stageSp.AnnotateInt("fabric_workers", int64(len(healthy)))
+	rid := telemetry.RequestIDFrom(ctx)
 
 	nm := len(w.Marginals)
 	offsets := w.Offsets()
@@ -612,11 +642,16 @@ func (rc *fabricRecoverer) Recover(ctx context.Context, w *marginal.Workload, pl
 			Marginals: set,
 			Z:         dense,
 			GroupVar:  groupVar,
+			RequestID: rid,
 		}
 		wg.Add(1)
 		go func(set []int, wantCells int) {
 			defer wg.Done()
-			res, err := c.runTask(ctx, wk, t, wantCells, len(set), localSet(set))
+			tsp := stageSp.StartDetail("fabric.recover")
+			tsp.Annotate("worker", wk.url)
+			tsp.AnnotateInt("marginals", int64(len(set)))
+			res, err := c.runTask(ctx, wk, t, wantCells, len(set), localSet(set), tsp)
+			tsp.End()
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {

@@ -64,4 +64,19 @@
 // dataset cells, release config), never on the topology that computed
 // them. The server's release-result cache relies on exactly this — its
 // keys include the dataset version but nothing about the fabric.
+//
+// # Observability
+//
+// Each Task frame carries the coordinator's request correlation ID
+// (Task.RequestID, also sent as an X-Request-Id header on the task
+// POST). It is purely observational — it never affects execution or the
+// released bits, and gob tolerates its absence in either direction, so
+// ProtoVersion is unchanged. Workers with an Executor.Log emit one
+// structured "fabric task" record per task carrying that ID, which is
+// what lets a release's logs be joined across the fleet; Executor.
+// Metrics records per-kind task duration histograms
+// (dpcubed_fabric_task_duration_seconds). Coordinator-side, each task
+// opens a detail span under the release's measure/recover stage span
+// recording worker, range, attempts, hedging and local-vs-remote
+// outcome — visible via the release request's "debug_timing" flag.
 package fabric

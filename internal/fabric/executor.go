@@ -3,12 +3,15 @@ package fabric
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/marginal"
 	"repro/internal/store"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/vector"
 )
 
@@ -24,21 +27,60 @@ type Executor struct {
 	Cache *engine.PlanCache
 	// Workers bounds per-task internal parallelism (0 = all CPUs).
 	Workers int
+	// Log, when non-nil, receives one structured record per executed
+	// task, carrying the frame's RequestID so worker logs correlate with
+	// the coordinator's release.
+	Log *slog.Logger
+	// Metrics, when non-nil, records per-task duration histograms
+	// (dpcubed_fabric_task_duration_seconds, labeled by kind).
+	Metrics *telemetry.Registry
 }
 
 // Execute runs one task. Failures are reported inside the Result (Err,
 // Stale) rather than as a Go error: every outcome travels the same frame
 // path back to the coordinator.
 func (e *Executor) Execute(ctx context.Context, t *Task) *Result {
+	start := time.Now()
 	res := &Result{Proto: ProtoVersion, ID: t.ID}
 	cells, cellVar, err := e.execute(ctx, t, res)
 	if err != nil {
 		res.Err = err.Error()
-		return res
+	} else {
+		res.Cells, res.CellVar = cells, cellVar
+		res.Checksum = Checksum(cells, cellVar)
 	}
-	res.Cells, res.CellVar = cells, cellVar
-	res.Checksum = Checksum(cells, cellVar)
+	e.observe(ctx, t, res, time.Since(start))
 	return res
+}
+
+func (e *Executor) observe(ctx context.Context, t *Task, res *Result, d time.Duration) {
+	if e.Metrics != nil {
+		e.Metrics.Histogram("dpcubed_fabric_task_duration_seconds",
+			"Worker-side fabric task wall time, by task kind.",
+			telemetry.LatencyBuckets(),
+			telemetry.Label{Key: "kind", Value: string(t.Kind)},
+		).Observe(d.Seconds())
+	}
+	if e.Log == nil {
+		return
+	}
+	lvl := slog.LevelInfo
+	if res.Err != "" {
+		lvl = slog.LevelWarn
+	}
+	attrs := []slog.Attr{
+		slog.String("kind", string(t.Kind)),
+		slog.String("request_id", t.RequestID),
+		slog.String("dataset", t.Dataset),
+		slog.Int("lo", t.Lo),
+		slog.Int("hi", t.Hi),
+		slog.Int("marginals", len(t.Marginals)),
+		slog.Float64("duration_ms", float64(d)/float64(time.Millisecond)),
+	}
+	if res.Err != "" {
+		attrs = append(attrs, slog.String("error", res.Err), slog.Bool("stale", res.Stale))
+	}
+	e.Log.LogAttrs(ctx, lvl, "fabric task", attrs...)
 }
 
 func (e *Executor) execute(ctx context.Context, t *Task, res *Result) ([]float64, []float64, error) {

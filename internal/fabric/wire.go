@@ -93,6 +93,13 @@ type Task struct {
 	Marginals []int
 	Z         []float64
 	GroupVar  []float64
+
+	// RequestID is the coordinator's request correlation ID, carried on
+	// the frame so the worker's task logs line up with the release that
+	// spawned them. Purely observational: it never affects execution, and
+	// gob tolerates its absence in either direction, so ProtoVersion is
+	// unchanged.
+	RequestID string
 }
 
 // Result is a worker's answer to one Task.

@@ -81,6 +81,54 @@
 // ErrBudgetExhausted is 429, a full store is 507, a cancelled request
 // context is 499 (client closed request, nobody is listening anyway), and
 // anything else is 500.
+//
+// # Observability
+//
+// Every routed request is assigned a correlation ID: a well-formed
+// inbound X-Request-Id header is honored, anything else gets a generated
+// 16-hex ID. The ID is echoed in the X-Request-Id response header, in
+// error bodies ("request_id"), in the structured request log, and — for
+// distributed releases — rides the fabric task frames so a worker's task
+// logs carry the coordinator's ID.
+//
+// With Config.Logger set, each request emits one log/slog record:
+// method, path, status, duration_ms, request_id, and (when
+// authenticated) api_key — always the redactKey fingerprint, never the
+// raw credential. Fabric workers additionally log one record per
+// executed task (kind, dataset, range, request_id, duration_ms). Logs
+// and metrics never contain cell counts, noisy answers or raw keys.
+//
+// GET /v1/metrics serves JSON counters plus "latency" (per-endpoint
+// p50/p95/p99/mean, bucket-derived) and "stages" (per engine stage:
+// plan, allocate, measure, recover, consist) sections; with
+// ?format=prometheus it serves the same registry in Prometheus text
+// format v0.0.4. Metric families: dpcubed_requests_total,
+// dpcubed_request_errors_total and dpcubed_request_duration_seconds
+// (label endpoint), dpcubed_stage_duration_seconds (label stage),
+// dpcubed_fabric_task_duration_seconds (label kind, worker mode),
+// budget/cache/store gauges (dpcubed_budget_*, dpcubed_plan_cache_*,
+// dpcubed_rescache_*, dpcubed_datasets_resident,
+// dpcubed_inflight_requests) and Go runtime stats (go_goroutines,
+// go_heap_alloc_bytes, go_gc_pause_seconds_total, ...).
+//
+// A release-shaped request may set "debug_timing": true to receive a
+// "timing" field: the release's span tree (stage durations, shard
+// fan-out, result-cache verdict, per-task fabric attempts and hedges).
+// For example:
+//
+//	POST /v1/release
+//	{"dataset_id":"people","workload":{"k":2},"epsilon":0.5,
+//	 "seed":1,"debug_timing":true}
+//
+// answers with the usual tables plus
+//
+//	"timing":{"name":"release","duration_ms":12.3,
+//	          "attrs":{"rescache":"miss"},
+//	          "spans":[{"name":"plan","duration_ms":1.1}, ...]}
+//
+// Timing is spliced per response, like budget: cached payloads never
+// embed it, and it never enters the result-cache key because it never
+// changes a released bit.
 package server
 
 import (
@@ -93,6 +141,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
@@ -107,6 +156,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/rescache"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // Config sizes the server.
@@ -193,6 +243,17 @@ type Config struct {
 	// fingerprint handshake refuses a worker whose copy diverged. The task
 	// endpoint authenticates with FabricAPIKey only, never tenant keys.
 	FabricWorker bool
+	// Logger, when non-nil, receives one structured record per routed
+	// request (and per executed fabric task in worker mode): method, path,
+	// status, duration, request ID, and — when authenticated — the
+	// redacted API key. Nil disables request logging.
+	Logger *slog.Logger
+	// Metrics is the telemetry registry the server records into and
+	// exposes (JSON latency/stage sections, ?format=prometheus). Nil gives
+	// the server a private registry — the right default for tests and
+	// embedders; dpcubed passes telemetry.Default() so the admin listener
+	// shares it.
+	Metrics *telemetry.Registry
 }
 
 const (
@@ -220,14 +281,20 @@ type Server struct {
 	releasers map[string]*repro.Releaser
 	order     []string // registry insertion order, for FIFO eviction
 
+	tele *telemetry.Registry
+	log  *slog.Logger
+
 	metricNames []string
 	metrics     map[string]*endpointMetrics
 }
 
-// endpointMetrics counts one route's traffic.
+// endpointMetrics counts one route's traffic. The counters live in the
+// telemetry registry (so Prometheus exposition sees them); the JSON
+// /v1/metrics endpoint reads the same objects.
 type endpointMetrics struct {
-	requests atomic.Uint64
-	errors   atomic.Uint64
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	latency  *telemetry.Histogram
 }
 
 // New validates the configuration and builds a ready-to-serve handler.
@@ -283,6 +350,11 @@ func New(cfg Config) (*Server, error) {
 	if _, err := st.LoadLedgers(ledgers); err != nil {
 		return nil, err
 	}
+	tele := cfg.Metrics
+	if tele == nil {
+		tele = telemetry.NewRegistry()
+	}
+	telemetry.RegisterRuntimeMetrics(tele)
 	s := &Server{
 		cfg:       cfg,
 		ledgers:   ledgers,
@@ -290,6 +362,8 @@ func New(cfg Config) (*Server, error) {
 		cache:     repro.NewPlanCacheSize(cfg.CacheSize),
 		store:     st,
 		releasers: map[string]*repro.Releaser{},
+		tele:      tele,
+		log:       cfg.Logger,
 		metrics:   map[string]*endpointMetrics{},
 	}
 	if cfg.ResultCacheSize >= 0 {
@@ -329,7 +403,7 @@ func New(cfg Config) (*Server, error) {
 		// never touch a budget ledger — the coordinator charged at
 		// admission — so a tenant key must not open this door (see
 		// Config.FabricAPIKey).
-		exec := &fabric.Executor{Store: st, Cache: s.cache, Workers: cfg.MaxWorkers}
+		exec := &fabric.Executor{Store: st, Cache: s.cache, Workers: cfg.MaxWorkers, Log: cfg.Logger, Metrics: tele}
 		s.routeFabric("POST /v1/fabric/task", func(w http.ResponseWriter, r *http.Request) {
 			exec.ServeHTTP(w, r)
 		})
@@ -339,7 +413,51 @@ func New(cfg Config) (*Server, error) {
 	// and a probe must never burn an auth failure into the error counts.
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	s.registerCollectors()
 	return s, nil
+}
+
+// registerCollectors exposes state whose source of truth lives outside the
+// telemetry registry — ledgers, caches, the store — as gauges refreshed at
+// scrape time. No per-request cost: the collector runs once per exposition.
+func (s *Server) registerCollectors() {
+	epsSpent := s.tele.Gauge("dpcubed_budget_epsilon_spent", "Global ledger epsilon spent.")
+	epsRemaining := s.tele.Gauge("dpcubed_budget_epsilon_remaining", "Global ledger epsilon remaining under the cap.")
+	releases := s.tele.Gauge("dpcubed_budget_releases_total", "Charges admitted to the global ledger.")
+	planHits := s.tele.Gauge("dpcubed_plan_cache_hits_total", "Plan cache hits.")
+	planMisses := s.tele.Gauge("dpcubed_plan_cache_misses_total", "Plan cache misses.")
+	planEntries := s.tele.Gauge("dpcubed_plan_cache_entries", "Plans resident in the cache.")
+	datasets := s.tele.Gauge("dpcubed_datasets_resident", "Datasets resident in the store.")
+	datasetCells := s.tele.Gauge("dpcubed_dataset_cells", "Total contingency cells across resident datasets.")
+	inflight := s.tele.Gauge("dpcubed_inflight_requests", "Routed requests currently in a handler.")
+	var resHits, resMisses, resEntries *telemetry.Gauge
+	if s.results != nil {
+		resHits = s.tele.Gauge("dpcubed_rescache_hits_total", "Release-result cache hits.")
+		resMisses = s.tele.Gauge("dpcubed_rescache_misses_total", "Release-result cache misses.")
+		resEntries = s.tele.Gauge("dpcubed_rescache_entries", "Rendered responses resident in the result cache.")
+	}
+	s.tele.OnCollect(func() {
+		g := s.ledgers.Global()
+		eps, _ := g.Spent()
+		er, _ := g.Remaining()
+		epsSpent.Set(eps)
+		epsRemaining.Set(er)
+		releases.Set(float64(g.Count()))
+		cs := s.cache.Stats()
+		planHits.Set(float64(cs.Hits))
+		planMisses.Set(float64(cs.Misses))
+		planEntries.Set(float64(cs.Entries))
+		st := s.store.Stats()
+		datasets.Set(float64(st.Datasets))
+		datasetCells.Set(float64(st.TotalCells))
+		inflight.Set(float64(s.inflight.Load()))
+		if s.results != nil {
+			rs := s.results.Stats()
+			resHits.Set(float64(rs.Hits))
+			resMisses.Set(float64(rs.Misses))
+			resEntries.Set(float64(rs.Entries))
+		}
+	})
 }
 
 // compositionFor maps the wire name onto a ledger composition.
@@ -358,55 +476,119 @@ func compositionFor(cfg Config) (repro.Composition, error) {
 	}
 }
 
-// route registers a handler wrapped in authentication and per-endpoint
-// request/error counters; the pattern itself is the metrics key.
+// route registers a handler wrapped in authentication, per-endpoint
+// counters and latency histograms, request-ID assignment and structured
+// request logging; the pattern itself is the metrics key and the
+// endpoint label.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
-	m := &endpointMetrics{}
+	s.handle(pattern, h, false)
+}
+
+// routeFabric registers the shard-task endpoint with the same
+// instrumentation as route, but authenticated by the fabric fleet secret
+// instead of the tenant key set. With no FabricAPIKey configured the
+// endpoint is open — New only permits that when the whole server runs
+// unauthenticated.
+func (s *Server) routeFabric(pattern string, h http.HandlerFunc) {
+	s.handle(pattern, h, true)
+}
+
+func (s *Server) handle(pattern string, h http.HandlerFunc, fabricAuth bool) {
+	label := telemetry.Label{Key: "endpoint", Value: pattern}
+	m := &endpointMetrics{
+		requests: s.tele.Counter("dpcubed_requests_total", "Routed requests, by endpoint pattern.", label),
+		errors:   s.tele.Counter("dpcubed_request_errors_total", "Responses with status >= 400, by endpoint pattern.", label),
+		latency:  s.tele.Histogram("dpcubed_request_duration_seconds", "Request wall time, by endpoint pattern.", telemetry.LatencyBuckets(), label),
+	}
 	s.metricNames = append(s.metricNames, pattern)
 	s.metrics[pattern] = m
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		m.requests.Add(1)
+		start := time.Now()
+		m.requests.Inc()
 		// The inflight count is what Drain waits on: a handler past this
 		// line — possibly mid-release, about to charge a ledger — finishes
 		// before the ledgers and plans are snapshotted. Health probes stay
 		// off this path so a draining server can still answer them.
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
+		rid := requestID(r)
+		r = r.WithContext(telemetry.ContextWithRequestID(r.Context(), rid))
 		sw := &statusWriter{ResponseWriter: w}
-		if key, err := s.authenticate(r); err != nil {
-			writeJSON(sw, http.StatusUnauthorized, errorResponse{Error: err.Error()})
+		sw.Header().Set("X-Request-Id", rid)
+		var key string
+		var authErr error
+		if fabricAuth {
+			authErr = s.authenticateFabric(r)
+		} else {
+			key, authErr = s.authenticate(r)
+		}
+		if authErr != nil {
+			writeJSON(sw, http.StatusUnauthorized, errorResponse{Error: authErr.Error(), RequestID: rid})
 		} else {
 			h(sw, r.WithContext(withAPIKey(r.Context(), key)))
 		}
-		if sw.status >= 400 {
-			m.errors.Add(1)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: net/http sends 200
 		}
+		if status >= 400 {
+			m.errors.Inc()
+		}
+		d := time.Since(start)
+		m.latency.Observe(d.Seconds())
+		s.logRequest(r, rid, key, status, d)
 	})
 }
 
-// routeFabric registers the shard-task endpoint with the same metrics and
-// inflight accounting as route, but authenticated by the fabric fleet
-// secret instead of the tenant key set. With no FabricAPIKey configured the
-// endpoint is open — New only permits that when the whole server runs
-// unauthenticated.
-func (s *Server) routeFabric(pattern string, h http.HandlerFunc) {
-	m := &endpointMetrics{}
-	s.metricNames = append(s.metricNames, pattern)
-	s.metrics[pattern] = m
-	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		m.requests.Add(1)
-		s.inflight.Add(1)
-		defer s.inflight.Add(-1)
-		sw := &statusWriter{ResponseWriter: w}
-		if err := s.authenticateFabric(r); err != nil {
-			writeJSON(sw, http.StatusUnauthorized, errorResponse{Error: err.Error()})
-		} else {
-			h(sw, r)
+// requestID resolves the request's correlation ID: a well-formed inbound
+// X-Request-Id is honored (so a caller's ID follows the request through
+// logs, spans and fabric frames), anything else gets a fresh one. The
+// sanity check bounds length and rejects control/quote characters — the
+// ID lands verbatim in response headers and structured logs.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); validRequestID(id) {
+		return id
+	}
+	return telemetry.NewRequestID()
+}
+
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if c := id[i]; c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return false
 		}
-		if sw.status >= 400 {
-			m.errors.Add(1)
-		}
-	})
+	}
+	return true
+}
+
+// logRequest emits one structured record per routed request. The API key
+// is never logged raw — only its redactKey fingerprint, the same
+// identifier /v1/metrics uses.
+func (s *Server) logRequest(r *http.Request, rid, key string, status int, d time.Duration) {
+	if s.log == nil {
+		return
+	}
+	lvl := slog.LevelInfo
+	switch {
+	case status >= 500:
+		lvl = slog.LevelError
+	case status >= 400:
+		lvl = slog.LevelWarn
+	}
+	attrs := []slog.Attr{
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Float64("duration_ms", float64(d)/float64(time.Millisecond)),
+		slog.String("request_id", rid),
+	}
+	if key != "" {
+		attrs = append(attrs, slog.String("api_key", redactKey(key)))
+	}
+	s.log.LogAttrs(r.Context(), lvl, "request", attrs...)
 }
 
 // authenticateFabric admits a fabric task only when the presented key is
@@ -469,7 +651,9 @@ func apiKeyFrom(ctx context.Context) string {
 }
 
 // statusWriter records the first status written so the metrics wrapper can
-// classify the response after the handler returns.
+// classify the response after the handler returns. A Write without an
+// explicit WriteHeader records the implicit 200, and Flush passes through
+// so streaming responses keep flush capability behind the wrapper.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -482,6 +666,19 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -491,6 +688,11 @@ func (s *Server) Ledger() *repro.BudgetLedger { return s.ledgers.Global() }
 // Budgets exposes the full ledger registry (cmd/dpcubed prints its summary
 // on shutdown; tests read per-key spend).
 func (s *Server) Budgets() *repro.BudgetRegistry { return s.ledgers }
+
+// BudgetSummary renders the shutdown spend report with every tenant key
+// replaced by its redactKey fingerprint — the only form of a key that may
+// reach stderr or a log sink.
+func (s *Server) BudgetSummary() string { return s.ledgers.SummaryRedacted(redactKey) }
 
 // CacheStats exposes the shared plan cache counters.
 func (s *Server) CacheStats() repro.CacheStats { return s.cache.Stats() }
@@ -537,6 +739,15 @@ func (s *Server) Drain(ctx context.Context) error {
 // Fabric exposes the coordinator (nil without FabricWorkers); tests and
 // embedders read its Metrics.
 func (s *Server) Fabric() *fabric.Coordinator { return s.fabric }
+
+// Telemetry exposes the server's metrics registry (tests, embedders).
+func (s *Server) Telemetry() *telemetry.Registry { return s.tele }
+
+// MetricsHandler serves the registry in Prometheus text format — the
+// same bytes as GET /v1/metrics?format=prometheus, but as a standalone
+// handler for an unauthenticated admin listener (dpcubed mounts it at
+// /metrics next to pprof).
+func (s *Server) MetricsHandler() http.Handler { return s.tele.Handler() }
 
 // Close persists the plan cache's rebuildable plans and the budget
 // ledgers through the store (no-ops without StoreDir): the next process
@@ -598,6 +809,13 @@ type releaseRequest struct {
 	SyntheticSeed int64 `json:"synthetic_seed,omitempty"`
 	// MaxOrder bounds the cuboid order on /v1/cube.
 	MaxOrder int `json:"max_order,omitempty"`
+
+	// DebugTiming embeds the release's span tree — stage durations, shard
+	// fan-out, cache verdict, fabric attempts/hedges — in the response as
+	// a "timing" field. Purely observational: it never enters the result
+	// cache key because it never changes a released bit (cached payloads
+	// exclude timing; it is spliced per response, like budget).
+	DebugTiming bool `json:"debug_timing,omitempty"`
 }
 
 type marginalJSON struct {
@@ -663,11 +881,35 @@ type syntheticResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// RequestID echoes the request's correlation ID so a failing caller
+	// can quote the exact server-side log records.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 type endpointJSON struct {
 	Requests uint64 `json:"requests"`
 	Errors   uint64 `json:"errors"`
+}
+
+// latencyJSON summarises one latency histogram for the JSON metrics
+// endpoint: bucket-derived quantiles, in milliseconds.
+type latencyJSON struct {
+	Count  uint64  `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+func latencyOf(h *telemetry.Histogram) latencyJSON {
+	const ms = 1e3
+	return latencyJSON{
+		Count:  h.Count(),
+		P50MS:  h.Quantile(0.50) * ms,
+		P95MS:  h.Quantile(0.95) * ms,
+		P99MS:  h.Quantile(0.99) * ms,
+		MeanMS: h.Mean() * ms,
+	}
 }
 
 type cacheJSON struct {
@@ -683,7 +925,11 @@ type metricsBudgetJSON struct {
 }
 
 type metricsResponse struct {
-	Endpoints   map[string]endpointJSON      `json:"endpoints"`
+	Endpoints map[string]endpointJSON `json:"endpoints"`
+	// Latency is per-endpoint request latency (bucket-derived quantiles);
+	// Stages is per-engine-stage duration over every release served.
+	Latency     map[string]latencyJSON       `json:"latency"`
+	Stages      map[string]latencyJSON       `json:"stages"`
 	Budget      metricsBudgetJSON            `json:"budget"`
 	Composition string                       `json:"composition"`
 	PerKey      map[string]metricsBudgetJSON `json:"per_key_budget,omitempty"`
@@ -694,6 +940,10 @@ type metricsResponse struct {
 	// only when FabricWorkers is configured).
 	Fabric *fabric.Metrics `json:"fabric,omitempty"`
 }
+
+// engineStages are the pipeline stage names RunVector traces, in
+// pipeline order — the keys of the metrics "stages" section.
+var engineStages = []string{"plan", "allocate", "measure", "recover", "consist"}
 
 // healthResponse is GET /v1/healthz and /v1/readyz.
 type healthResponse struct {
@@ -717,6 +967,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	if h != nil {
 		defer h.Close()
 	}
+	r = s.withTrace(r, "release", req)
 	rel, err := s.releaser(r.Context(), schema, req)
 	if err != nil {
 		s.fail(w, r, err)
@@ -734,10 +985,12 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	// computed it (see internal/rescache).
 	key, cacheable := s.resultKey("release", h, schema, req)
 	if payload, ok := s.cachedResult(key, cacheable); ok {
+		annotateCache(r, "hit")
 		s.writeSpliced(w, r, payload)
 		return
 	}
-	if err := s.charge(r, rel, req, "release"); err != nil {
+	annotateCache(r, cacheVerdict(cacheable))
+	if err := s.chargeTraced(r, rel, req, "release"); err != nil {
 		s.fail(w, r, err)
 		return
 	}
@@ -775,6 +1028,7 @@ func (s *Server) handleSynthetic(w http.ResponseWriter, r *http.Request) {
 			repro.ErrInvalidOption))
 		return
 	}
+	r = s.withTrace(r, "synthetic", req)
 	rel, err := s.releaser(r.Context(), schema, req)
 	if err != nil {
 		s.fail(w, r, err)
@@ -789,10 +1043,12 @@ func (s *Server) handleSynthetic(w http.ResponseWriter, r *http.Request) {
 	// any other deterministic post-processing of the release.
 	key, cacheable := s.resultKey("synthetic", h, schema, req)
 	if payload, ok := s.cachedResult(key, cacheable); ok {
+		annotateCache(r, "hit")
 		s.writeSpliced(w, r, payload)
 		return
 	}
-	if err := s.charge(r, rel, req, "synthetic"); err != nil {
+	annotateCache(r, cacheVerdict(cacheable))
+	if err := s.chargeTraced(r, rel, req, "synthetic"); err != nil {
 		s.fail(w, r, err)
 		return
 	}
@@ -802,7 +1058,9 @@ func (s *Server) handleSynthetic(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Sampling is free post-processing: no further ledger spend.
+	ssp := telemetry.TraceFrom(r.Context()).Root().Start("sample")
 	syn, err := rel.Synthetic(r.Context(), res, req.SyntheticSeed)
+	ssp.End()
 	if err != nil {
 		s.failRetained(w, r, err, req)
 		return
@@ -853,14 +1111,17 @@ func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err)
 		return
 	}
+	r = s.withTrace(r, "cube", req)
 	key, cacheable := s.resultKey("cube", h, schema, req)
 	if payload, ok := s.cachedResult(key, cacheable); ok {
+		annotateCache(r, "hit")
 		s.writeSpliced(w, r, payload)
 		return
 	}
+	annotateCache(r, cacheVerdict(cacheable))
 	// Admission first, then the mechanism; a post-admission failure keeps
 	// the charge (see failRetained).
-	if err := s.charge(r, nil, req, fmt.Sprintf("cube-%d-way", req.MaxOrder)); err != nil {
+	if err := s.chargeTraced(r, nil, req, fmt.Sprintf("cube-%d-way", req.MaxOrder)); err != nil {
 		s.fail(w, r, err)
 		return
 	}
@@ -916,10 +1177,21 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", telemetry.TextContentType)
+		_ = s.tele.WritePrometheus(w)
+		return
+	}
 	eps := make(map[string]endpointJSON, len(s.metricNames))
+	lat := make(map[string]latencyJSON, len(s.metricNames))
 	for _, name := range s.metricNames {
 		m := s.metrics[name]
-		eps[name] = endpointJSON{Requests: m.requests.Load(), Errors: m.errors.Load()}
+		eps[name] = endpointJSON{Requests: m.requests.Value(), Errors: m.errors.Value()}
+		lat[name] = latencyOf(m.latency)
+	}
+	stages := make(map[string]latencyJSON, len(engineStages))
+	for _, stage := range engineStages {
+		stages[stage] = latencyOf(telemetry.StageHistogram(s.tele, stage))
 	}
 	var perKey map[string]metricsBudgetJSON
 	if keys := s.ledgers.Keys(); len(keys) > 0 {
@@ -949,6 +1221,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Endpoints:   eps,
+		Latency:     lat,
+		Stages:      stages,
 		Budget:      metricsBudget(s.ledgers.Global()),
 		Composition: s.ledgers.Composition().Name(),
 		PerKey:      perKey,
@@ -1438,20 +1712,64 @@ func (s *Server) cachedResult(key string, cacheable bool) ([]byte, bool) {
 	return s.results.Get(key)
 }
 
+// withTrace installs a release trace in the request context. Every
+// release-shaped request is traced — that is what feeds the per-stage
+// histograms — but sub-span detail is recorded only when the request asked
+// for debug_timing.
+func (s *Server) withTrace(r *http.Request, name string, req *releaseRequest) *http.Request {
+	tr := telemetry.NewTrace(s.tele, name, req.DebugTiming)
+	return r.WithContext(telemetry.ContextWithTrace(r.Context(), tr))
+}
+
+// annotateCache records the result-cache verdict on the trace root.
+func annotateCache(r *http.Request, verdict string) {
+	telemetry.TraceFrom(r.Context()).Root().Annotate("rescache", verdict)
+}
+
+func cacheVerdict(cacheable bool) string {
+	if cacheable {
+		return "miss"
+	}
+	return "bypass"
+}
+
+// chargeTraced wraps the admission charge in a span so debug_timing shows
+// where ledger contention (and the allocator's σ pre-planning) goes.
+func (s *Server) chargeTraced(r *http.Request, rel *repro.Releaser, req *releaseRequest, defaultLabel string) error {
+	sp := telemetry.TraceFrom(r.Context()).Root().Start("charge")
+	err := s.charge(r, rel, req, defaultLabel)
+	sp.End()
+	return err
+}
+
 // writeSpliced sends a response body (a JSON object withOUT the budget
 // field) with the caller's live budget appended — byte-identical to
 // writeJSON on the corresponding full response struct, which is what makes
-// a cache hit indistinguishable from the miss that produced it.
+// a cache hit indistinguishable from the miss that produced it. A
+// debug_timing trace is spliced the same way: per response, never into the
+// cached payload, so timing (like budget) stays live while the noised
+// bytes stay shared.
 func (s *Server) writeSpliced(w http.ResponseWriter, r *http.Request, payload []byte) {
 	bb, err := json.Marshal(s.budgetFor(apiKeyFrom(r.Context())))
 	if err != nil {
 		s.fail(w, r, err)
 		return
 	}
-	buf := make([]byte, 0, len(payload)+len(bb)+12)
+	var tb []byte
+	if tr := telemetry.TraceFrom(r.Context()); tr.Detail() {
+		if tb, err = json.Marshal(tr.Tree()); err != nil {
+			s.fail(w, r, err)
+			return
+		}
+	}
+	buf := make([]byte, 0, len(payload)+len(bb)+len(tb)+24)
 	buf = append(buf, payload[:len(payload)-1]...)
 	buf = append(buf, `,"budget":`...)
 	buf = append(buf, bb...)
+	if tb != nil {
+		buf = append(buf, `,"timing":`...)
+		buf = append(buf, tb...)
+	}
 	buf = append(buf, '}', '\n')
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
@@ -1627,7 +1945,10 @@ func statusCode(err error) int {
 }
 
 func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
-	writeJSON(w, statusCode(err), errorResponse{Error: err.Error()})
+	writeJSON(w, statusCode(err), errorResponse{
+		Error:     err.Error(),
+		RequestID: telemetry.RequestIDFrom(r.Context()),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("request", "status", 200, "request_id", "deadbeefdeadbeef")
+	if strings.Contains(buf.String(), "hidden") {
+		t.Error("debug record emitted at info level")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "request" || rec["request_id"] != "deadbeefdeadbeef" {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestNewLoggerLevelsAndFormats(t *testing.T) {
+	var buf bytes.Buffer
+	for _, lvl := range []string{"debug", "info", "warn", "warning", "error"} {
+		if _, err := NewLogger(&buf, lvl, "json"); err != nil {
+			t.Errorf("level %q rejected: %v", lvl, err)
+		}
+	}
+	if _, err := NewLogger(&buf, "info", "text"); err != nil {
+		t.Errorf("text format rejected: %v", err)
+	}
+	if _, err := NewLogger(&buf, "loud", "json"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

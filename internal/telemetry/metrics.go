@@ -1,0 +1,370 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name/value pair attached to a metric. Labels
+// distinguish series within a family (e.g. endpoint="POST
+// /v1/release" under dpcubed_requests_total).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by delta (negative to decrement).
+func (g *Gauge) Add(delta float64) { addFloat(&g.bits, delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func addFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-bucket histogram with lock-free recording.
+// Bucket bounds are inclusive upper limits (Prometheus "le"
+// semantics); one extra implicit bucket catches everything above the
+// last bound. Observations update one bucket counter, the total
+// count, and a CAS-maintained float sum, so concurrent Observe calls
+// never block each other.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given strictly increasing
+// bucket bounds. It panics on empty or unsorted bounds: bucketing is
+// static configuration, not runtime input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le-inclusive)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// ObserveSince records the seconds elapsed since start, the common
+// latency idiom: defer-free, one call at the end of the timed region.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (excluding the implicit
+// +Inf bucket). The returned slice is shared; callers must not
+// mutate it.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns a snapshot of the per-bucket (non-cumulative)
+// counts; the last entry is the +Inf bucket. Concurrent observations
+// may land between reads, so the snapshot is approximate under load.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// inside the bucket holding that rank. Values beyond the last bound
+// are reported as the last bound — the histogram cannot resolve the
+// tail above its range. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.buckets {
+		c := float64(h.buckets[i].Load())
+		if c > 0 && cum+c >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			return lo + (hi-lo)*((rank-cum)/c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Mean returns the average observed value, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// LatencyBuckets returns the canonical duration bounds, in seconds:
+// 25 power-of-two steps from 10µs to ~168s. Shared by every latency
+// histogram in the process so quantiles are comparable across series.
+func LatencyBuckets() []float64 {
+	b := make([]float64, 25)
+	v := 10e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type series struct {
+	labels    []Label
+	labelsKey string
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series
+	order  []string
+}
+
+// Registry holds metric families keyed by name and renders them to
+// Prometheus text format. Registration is get-or-create: asking twice
+// for the same name and labels returns the same metric, so handlers
+// can register at setup time or lazily on first use. Registering one
+// name with two different kinds is a programming error and panics.
+//
+// Each Server owns a private registry by default (tests build many
+// servers per process); dpcubed passes the process-global Default()
+// so the admin listener and the serving mux expose the same data.
+type Registry struct {
+	mu        sync.Mutex
+	families  map[string]*family
+	order     []string
+	collect   []func()
+	runtimeOn bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) family(name, help string, kind metricKind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as both %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+func (f *family) get(labels []Label) *series {
+	key := labelsKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		ls := make([]Label, len(labels))
+		copy(ls, labels)
+		s = &series{labels: ls, labelsKey: key}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+func labelsKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	key := ""
+	for _, l := range ls {
+		key += l.Key + "\x00" + l.Value + "\x00"
+	}
+	return key
+}
+
+// Counter returns the counter with the given name and labels,
+// creating and registering it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.family(name, help, kindCounter).get(labels)
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge with the given name and labels, creating
+// and registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.family(name, help, kindGauge).get(labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram with the given name and labels,
+// creating it with the given bounds on first use. Later calls reuse
+// the existing series; their bounds argument is ignored, so one
+// family always has uniform bucketing.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.family(name, help, kindHistogram).get(labels)
+	if s.hist == nil {
+		s.hist = NewHistogram(bounds)
+	}
+	return s.hist
+}
+
+// OnCollect registers fn to run at the start of every exposition
+// (WritePrometheus). Collectors refresh gauges whose source of truth
+// lives elsewhere — runtime stats, cache sizes, ledger totals — so
+// scrape cost is paid per scrape, not per request.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collect = append(r.collect, fn)
+}
+
+// Collect runs all registered collectors. WritePrometheus calls it
+// automatically; JSON exposition paths call it before reading gauges.
+func (r *Registry) Collect() {
+	r.mu.Lock()
+	fns := make([]func(), len(r.collect))
+	copy(fns, r.collect)
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// RegisterRuntimeMetrics adds Go runtime gauges (goroutines, heap,
+// GC) to the registry, refreshed per scrape by a collector.
+// Idempotent: a second call on the same registry is a no-op.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.mu.Lock()
+	if r.runtimeOn {
+		r.mu.Unlock()
+		return
+	}
+	r.runtimeOn = true
+	r.mu.Unlock()
+
+	goroutines := r.Gauge("go_goroutines", "Number of live goroutines.")
+	heapAlloc := r.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapObjects := r.Gauge("go_heap_objects", "Number of allocated heap objects.")
+	gcPause := r.Gauge("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.")
+	gcRuns := r.Gauge("go_gc_runs_total", "Completed GC cycles.")
+	r.OnCollect(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapObjects.Set(float64(ms.HeapObjects))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		gcRuns.Set(float64(ms.NumGC))
+	})
+}

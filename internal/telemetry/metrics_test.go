@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le-inclusive contract: an
+// observation exactly on a bucket's upper bound lands in that bucket,
+// not the next one, matching Prometheus semantics.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1} { // both ≤ 1
+		h.Observe(v)
+	}
+	h.Observe(2)         // exactly on the second bound
+	h.Observe(2.5)       // inside (2, 4]
+	h.Observe(4)         // exactly on the last bound
+	h.Observe(4.0000001) // just past it: overflow
+	h.Observe(1000)      // overflow
+
+	got := h.BucketCounts()
+	want := []uint64{2, 1, 2, 2}
+	if len(got) != len(want) {
+		t.Fatalf("BucketCounts len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d (counts %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// 100 observations uniformly in the first bucket, none elsewhere:
+	// the median interpolates to roughly the middle of (0, 1].
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 1 {
+		t.Errorf("Quantile(0.5) = %g, want within (0, 1]", q)
+	}
+	// Values beyond the last bound report the last bound: the histogram
+	// cannot resolve the tail above its range.
+	over := NewHistogram([]float64{1, 2, 4})
+	over.Observe(100)
+	if q := over.Quantile(0.99); q != 4 {
+		t.Errorf("overflow Quantile(0.99) = %g, want 4 (last bound)", q)
+	}
+	var empty = NewHistogram([]float64{1})
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty Quantile = %g, want 0", q)
+	}
+}
+
+func TestHistogramMeanSum(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(8)
+	if got := h.Sum(); got != 10 {
+		t.Errorf("Sum = %g, want 10", got)
+	}
+	if got := h.Mean(); got != 10.0/3 {
+		t.Errorf("Mean = %g, want %g", got, 10.0/3)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// under -race this doubles as the data-race check for the lock-free
+// recording path.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) * 1e-5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("Count = %d, want %d", got, workers*per)
+	}
+	total := uint64(0)
+	for _, c := range h.BucketCounts() {
+		total += c
+	}
+	if total != workers*per {
+		t.Fatalf("bucket counts sum to %d, want %d", total, workers*per)
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	mustPanic(t, "empty bounds", func() { NewHistogram(nil) })
+	mustPanic(t, "unsorted bounds", func() { NewHistogram([]float64{2, 1}) })
+	mustPanic(t, "duplicate bounds", func() { NewHistogram([]float64{1, 1}) })
+}
+
+func TestLatencyBuckets(t *testing.T) {
+	b := LatencyBuckets()
+	if len(b) != 25 {
+		t.Fatalf("len = %d, want 25", len(b))
+	}
+	if b[0] != 10e-6 {
+		t.Errorf("first bound = %g, want 10e-6", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != 2*b[i-1] {
+			t.Errorf("bound[%d] = %g, want double of %g", i, b[i], b[i-1])
+		}
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Errorf("Gauge = %g, want 1.5", g.Value())
+	}
+}
+
+// TestRegistryGetOrCreate pins the registration contract: same name +
+// labels (in any order) yields the same metric object, and one name
+// cannot span two kinds.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", Label{Key: "a", Value: "1"}, Label{Key: "b", Value: "2"})
+	b := r.Counter("x_total", "help", Label{Key: "b", Value: "2"}, Label{Key: "a", Value: "1"})
+	if a != b {
+		t.Error("same name+labels (reordered) returned distinct counters")
+	}
+	other := r.Counter("x_total", "help", Label{Key: "a", Value: "9"})
+	if other == a {
+		t.Error("distinct labels returned the same counter")
+	}
+	h1 := r.Histogram("h_seconds", "help", []float64{1, 2})
+	h2 := r.Histogram("h_seconds", "help", []float64{7, 8, 9}) // bounds ignored on reuse
+	if h1 != h2 {
+		t.Error("histogram get-or-create returned distinct objects")
+	}
+	if got := h1.Bounds(); len(got) != 2 {
+		t.Errorf("reused histogram has %d bounds, want the original 2", len(got))
+	}
+	mustPanic(t, "kind mismatch", func() { r.Gauge("x_total", "help") })
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterRuntimeMetrics(r) // idempotent
+	r.Collect()
+	if got := r.Gauge("go_goroutines", "").Value(); got < 1 {
+		t.Errorf("go_goroutines = %g after Collect, want ≥ 1", got)
+	}
+	if got := r.Gauge("go_heap_alloc_bytes", "").Value(); got <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %g after Collect, want > 0", got)
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic, got none", what)
+		}
+	}()
+	fn()
+}

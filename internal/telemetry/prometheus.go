@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type for Prometheus text exposition
+// format version 0.0.4.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in Prometheus text
+// format v0.0.4: families sorted by name, a HELP and TYPE line each,
+// histograms expanded to cumulative _bucket{le=...} series plus _sum
+// and _count. Collectors run first so gauge snapshots are fresh.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.Collect()
+
+	r.mu.Lock()
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	fams := make(map[string]*family, len(names))
+	type snap struct {
+		labels []Label
+		kind   metricKind
+		value  float64
+		hist   *Histogram
+	}
+	series := make(map[string][]snap, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		fams[name] = f
+		for _, key := range f.order {
+			s := f.series[key]
+			sn := snap{labels: s.labels, kind: f.kind, hist: s.hist}
+			switch f.kind {
+			case kindCounter:
+				sn.value = float64(s.counter.Value())
+			case kindGauge:
+				sn.value = s.gauge.Value()
+			}
+			series[name] = append(series[name], sn)
+		}
+	}
+	r.mu.Unlock()
+
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := fams[name]
+		writeHeader(bw, name, f.help, f.kind.String())
+		for _, sn := range series[name] {
+			switch sn.kind {
+			case kindHistogram:
+				writeHistogram(bw, name, sn.labels, sn.hist)
+			default:
+				bw.WriteString(name)
+				writeLabels(bw, sn.labels, "")
+				bw.WriteByte(' ')
+				bw.WriteString(formatValue(sn.value))
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHeader(w *bufio.Writer, name, help, typ string) {
+	if help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(name)
+	w.WriteByte(' ')
+	w.WriteString(typ)
+	w.WriteByte('\n')
+}
+
+func writeHistogram(w *bufio.Writer, name string, labels []Label, h *Histogram) {
+	bounds := h.Bounds()
+	counts := h.BucketCounts()
+	cum := uint64(0)
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatValue(bounds[i])
+		}
+		w.WriteString(name)
+		w.WriteString("_bucket")
+		writeLabels(w, labels, le)
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatUint(cum, 10))
+		w.WriteByte('\n')
+	}
+	w.WriteString(name)
+	w.WriteString("_sum")
+	writeLabels(w, labels, "")
+	w.WriteByte(' ')
+	w.WriteString(formatValue(h.Sum()))
+	w.WriteByte('\n')
+	w.WriteString(name)
+	w.WriteString("_count")
+	writeLabels(w, labels, "")
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(cum, 10))
+	w.WriteByte('\n')
+}
+
+func writeLabels(w *bufio.Writer, labels []Label, le string) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	w.WriteByte('{')
+	first := true
+	for _, l := range labels {
+		if !first {
+			w.WriteByte(',')
+		}
+		first = false
+		w.WriteString(l.Key)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(l.Value))
+		w.WriteByte('"')
+	}
+	if le != "" {
+		if !first {
+			w.WriteByte(',')
+		}
+		w.WriteString(`le="`)
+		w.WriteString(le)
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry in Prometheus text format; mount it on
+// an admin mux as /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text exposition: sorted
+// families, HELP/TYPE headers, cumulative le-inclusive buckets, and a
+// _count equal to the +Inf bucket. Observed values are powers of two
+// so the float formatting is exact.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Total requests.", Label{Key: "endpoint", Value: "POST /v1/release"}).Add(3)
+	r.Gauge("test_inflight", "In-flight requests.").Set(1.5)
+	h := r.Histogram("test_duration_seconds", "Request wall time.", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(8)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_duration_seconds Request wall time.
+# TYPE test_duration_seconds histogram
+test_duration_seconds_bucket{le="1"} 1
+test_duration_seconds_bucket{le="2"} 2
+test_duration_seconds_bucket{le="+Inf"} 3
+test_duration_seconds_sum 10
+test_duration_seconds_count 3
+# HELP test_inflight In-flight requests.
+# TYPE test_inflight gauge
+test_inflight 1.5
+# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total{endpoint="POST /v1/release"} 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "Help with \\ and\nnewline.", Label{Key: "k", Value: "quo\"te\\slash\nnl"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# HELP esc_total Help with \\ and\nnewline.`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{k="quo\"te\\slash\nnl"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handler_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != TextContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, TextContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "handler_total 1") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+// TestCollectorRunsPerScrape checks OnCollect collectors fire on every
+// exposition, so gauges sourced elsewhere are fresh per scrape.
+func TestCollectorRunsPerScrape(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("fresh", "")
+	calls := 0
+	r.OnCollect(func() { calls++; g.Set(float64(calls)) })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	sb.Reset()
+	r.WritePrometheus(&sb)
+	if calls != 2 {
+		t.Errorf("collector ran %d times over 2 scrapes, want 2", calls)
+	}
+	if !strings.Contains(sb.String(), "fresh 2") {
+		t.Errorf("second scrape stale:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"context"
+	"regexp"
+	"testing"
+	"time"
+)
+
+// TestNilTraceZeroAlloc pins the contract hot paths rely on: with no
+// trace in the context, the full instrumentation call sequence — the
+// same shape the engine's stage and inner loops emit — allocates
+// nothing.
+func TestNilTraceZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		tr := TraceFrom(ctx)
+		sp := tr.Root().StartStage("measure")
+		sp.AnnotateInt("shards", 4)
+		mctx := ctx
+		if sp != nil {
+			mctx = ContextWithSpan(ctx, sp)
+		}
+		bsp := SpanFrom(mctx).StartDetail("measure.block")
+		bsp.AnnotateInt("lo", 0)
+		bsp.Annotate("k", "v")
+		bsp.End()
+		sp.End()
+		_ = tr.Detail()
+		_ = RequestIDFrom(ctx)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-trace instrumentation allocates %.0f/op, want 0", allocs)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.Root()
+	if sp != nil {
+		t.Fatal("nil trace Root() != nil")
+	}
+	// None of these may panic.
+	sp.Start("a").End()
+	sp.StartStage("b").AnnotateInt("n", 1)
+	sp.StartDetail("c").Annotate("k", "v")
+	sp.End()
+	if tr.Detail() {
+		t.Error("nil trace reports Detail")
+	}
+	if tree := tr.Tree(); tree.Name != "" || len(tree.Spans) != 0 {
+		t.Errorf("nil trace Tree = %+v, want zero", tree)
+	}
+}
+
+func TestTraceTreeAndStageHistogram(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTrace(reg, "POST /v1/release", true)
+	st := tr.Root().StartStage("measure")
+	st.AnnotateInt("shards", 2)
+	d := st.StartDetail("measure.block")
+	d.AnnotateInt("lo", 0)
+	time.Sleep(time.Millisecond)
+	d.End()
+	st.End()
+
+	tree := tr.Tree()
+	if tree.Name != "POST /v1/release" {
+		t.Errorf("root name = %q", tree.Name)
+	}
+	if len(tree.Spans) != 1 || tree.Spans[0].Name != "measure" {
+		t.Fatalf("root children = %+v, want one measure span", tree.Spans)
+	}
+	m := tree.Spans[0]
+	if m.Attrs["shards"] != "2" {
+		t.Errorf("measure attrs = %v, want shards=2", m.Attrs)
+	}
+	if len(m.Spans) != 1 || m.Spans[0].Name != "measure.block" {
+		t.Fatalf("measure children = %+v, want one measure.block", m.Spans)
+	}
+	if m.Spans[0].Attrs["lo"] != "0" {
+		t.Errorf("block attrs = %v, want lo=0", m.Spans[0].Attrs)
+	}
+	// Durations nest: child ≤ parent ≤ root, all positive.
+	if m.Spans[0].DurationMS <= 0 || m.DurationMS < m.Spans[0].DurationMS || tree.DurationMS < m.DurationMS {
+		t.Errorf("durations do not nest: root %g ≥ measure %g ≥ block %g",
+			tree.DurationMS, m.DurationMS, m.Spans[0].DurationMS)
+	}
+	// The stage span observed into the shared stage histogram.
+	if got := StageHistogram(reg, "measure").Count(); got != 1 {
+		t.Errorf("stage histogram count = %d, want 1", got)
+	}
+}
+
+// TestDetailGating checks StartDetail records only under debug_timing:
+// a detail=false trace keeps stage spans but drops sub-spans, so the
+// span count stays O(stages) on the normal path.
+func TestDetailGating(t *testing.T) {
+	tr := NewTrace(NewRegistry(), "req", false)
+	st := tr.Root().StartStage("measure")
+	if d := st.StartDetail("measure.block"); d != nil {
+		t.Error("StartDetail returned a live span on a detail=false trace")
+	}
+	st.End()
+	tree := tr.Tree()
+	if len(tree.Spans) != 1 || len(tree.Spans[0].Spans) != 0 {
+		t.Errorf("tree = %+v, want one stage span with no children", tree)
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := NewTrace(NewRegistry(), "req", false)
+	sp := tr.Root().Start("x")
+	sp.End()
+	tree1 := tr.Root().children[0].duration
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if got := tr.Root().children[0].duration; got != tree1 {
+		t.Errorf("second End changed duration: %v -> %v", tree1, got)
+	}
+}
+
+func TestContextRoundTrips(t *testing.T) {
+	ctx := context.Background()
+	tr := NewTrace(NewRegistry(), "req", false)
+	if got := TraceFrom(ContextWithTrace(ctx, tr)); got != tr {
+		t.Error("TraceFrom lost the trace")
+	}
+	sp := tr.Root().Start("s")
+	if got := SpanFrom(ContextWithSpan(ctx, sp)); got != sp {
+		t.Error("SpanFrom lost the span")
+	}
+	if got := RequestIDFrom(ContextWithRequestID(ctx, "abc123")); got != "abc123" {
+		t.Errorf("RequestIDFrom = %q, want abc123", got)
+	}
+	if TraceFrom(ctx) != nil || SpanFrom(ctx) != nil || RequestIDFrom(ctx) != "" {
+		t.Error("bare context carries telemetry values")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	a, b := NewRequestID(), NewRequestID()
+	if !re.MatchString(a) || !re.MatchString(b) {
+		t.Errorf("request IDs %q, %q not 16 lowercase hex chars", a, b)
+	}
+	if a == b {
+		t.Errorf("two request IDs collided: %q", a)
+	}
+}

@@ -9,6 +9,13 @@
 # the workers' plain copies hold (the fingerprint handshake would refuse
 # every task otherwise).
 #
+# Also exercises the telemetry surfaces: a release with an explicit
+# X-Request-Id must echo the ID and surface it in the coordinator's AND a
+# worker's structured logs (cross-process correlation over the fabric
+# frames), and the Prometheus scrapes on the coordinator and a worker
+# must carry request/stage/fabric-task histograms (saved as
+# coord-metrics.prom / worker-metrics.prom for CI artifacts).
+#
 # Usage: scripts/fabric_e2e.sh [output-metrics-file]
 set -euo pipefail
 
@@ -94,6 +101,65 @@ check_identical() { # check_identical <seed> <label>
 }
 
 check_identical 7 "full fleet"
+
+# Request-ID correlation across the fleet: a release tagged with an
+# explicit X-Request-Id must echo it, and the same ID must appear in the
+# coordinator's request log and in at least one worker's task log (it
+# rides the fabric frames).
+RID="corr-e2e-$$"
+HDRS=$(curl -sf -D - -o /dev/null -X POST "http://localhost:$PORT_COORD/v1/release" \
+  -H "X-Request-Id: $RID" \
+  -d '{"dataset_id":"people","workload":{"k":2},"epsilon":0.5,"seed":99,"strategy":"cluster","debug_timing":true}')
+if ! grep -qi "x-request-id: $RID" <<<"$HDRS"; then
+  echo "FAIL: response did not echo X-Request-Id $RID" >&2
+  echo "$HDRS" >&2
+  exit 1
+fi
+if ! grep -q "$RID" log-coord.txt; then
+  echo "FAIL: coordinator log has no record for request $RID" >&2
+  tail -5 log-coord.txt >&2
+  exit 1
+fi
+if ! grep -hq "$RID" log-w1.txt log-w2.txt; then
+  echo "FAIL: no worker task log carries request $RID — fabric correlation broken" >&2
+  tail -5 log-w1.txt log-w2.txt >&2
+  exit 1
+fi
+echo "OK: request $RID correlated across coordinator and worker logs"
+
+# The debug_timing span tree must account for the release's stages.
+TIMING=$(curl -sf -X POST "http://localhost:$PORT_COORD/v1/release" \
+  -d '{"dataset_id":"people","workload":{"k":2},"epsilon":0.5,"seed":100,"strategy":"cluster","debug_timing":true}' \
+  | jq '.timing')
+for stage in plan allocate measure recover consist; do
+  if [ "$(jq --arg s "$stage" '[.spans[] | select(.name == $s)] | length' <<<"$TIMING")" -eq 0 ]; then
+    echo "FAIL: debug_timing tree missing stage $stage" >&2
+    echo "$TIMING" >&2
+    exit 1
+  fi
+done
+echo "OK: debug_timing span tree carries all five stages"
+
+# Prometheus scrapes: the coordinator's request/stage histograms and a
+# worker's fabric task histogram. Saved for CI artifact upload.
+curl -sf "http://localhost:$PORT_COORD/v1/metrics?format=prometheus" >coord-metrics.prom
+for metric in \
+  'dpcubed_requests_total{endpoint="POST /v1/release"}' \
+  dpcubed_request_duration_seconds_bucket \
+  'dpcubed_stage_duration_seconds_bucket{stage="measure"' \
+  go_goroutines; do
+  if ! grep -qF "$metric" coord-metrics.prom; then
+    echo "FAIL: coordinator Prometheus scrape missing $metric" >&2
+    exit 1
+  fi
+done
+curl -sf "http://localhost:$PORT_W1/v1/metrics?format=prometheus" >worker-metrics.prom
+if ! grep -qF 'dpcubed_fabric_task_duration_seconds_bucket{kind="measure"' worker-metrics.prom; then
+  echo "FAIL: worker Prometheus scrape missing fabric task histogram" >&2
+  grep dpcubed_fabric worker-metrics.prom >&2 || true
+  exit 1
+fi
+echo "OK: Prometheus scrapes carry request, stage and fabric-task histograms"
 
 # Kill one worker and release again: the fleet degrades, the bits do not.
 kill "${PIDS[1]}"
