@@ -11,7 +11,11 @@
 // server-observed distributions line up), achieved RPS, error counts by
 // status, the server-reported per-stage latency summary (where request
 // time went inside the engine), and the result-cache hit rate over the
-// run (read from /v1/metrics before and after). With -benchmem the report additionally
+// run (read from /v1/metrics before and after), plus the number of requests
+// coalesced onto another identical request's in-flight execution. With
+// -cold-plans every request becomes a unique cluster-strategy release over an
+// explicit workload, so each one pays a cold Step-1 planning search and the
+// report's plan_ms quantiles isolate planner latency. With -benchmem the report additionally
 // embeds ns/op, B/op and allocs/op parsed from a companion
 // `go test -bench ... -benchmem` output file, and -compare checks those
 // allocs/op against a previous report, exiting non-zero on a regression —
@@ -63,6 +67,7 @@ func main() {
 		rows      = flag.Int("rows", 4096, "rows in the generated dataset")
 		attrs     = flag.Int("attrs", 8, "binary attributes in the generated schema")
 		epsilon   = flag.Float64("epsilon", 0.01, "per-request ε")
+		coldPlans = flag.Bool("cold-plans", false, "make every request a unique cluster-strategy release with an explicit workload, forcing a cold Step-1 planning pass per request (overrides -mix to release-only; combine with -hot 0)")
 		out       = flag.String("out", "BENCH_dpload.json", "report output path")
 		benchmem  = flag.String("benchmem", "", "companion `go test -bench -benchmem` output file to embed as allocs/op metrics")
 		compare   = flag.String("compare", "", "previous report to compare allocs/op against; exits 1 on regression")
@@ -78,6 +83,7 @@ func main() {
 			TargetRPS: *rps, DurationS: duration.Seconds(), Conns: *conns,
 			HotRatio: *hot, Mix: *mix, Keys: len(splitCSV(*keysCSV)),
 			DatasetRows: *rows, Attrs: *attrs, Epsilon: *epsilon,
+			ColdPlans: *coldPlans,
 		},
 	}
 	if *benchmem != "" {
@@ -93,6 +99,7 @@ func main() {
 			server: strings.TrimRight(*serverURL, "/"), rps: *rps, duration: *duration,
 			conns: *conns, hot: *hot, mix: *mix, keys: splitCSV(*keysCSV),
 			dataset: *datasetID, rows: *rows, attrs: *attrs, epsilon: *epsilon,
+			cold: *coldPlans,
 		}); err != nil {
 			fatal(err)
 		}
@@ -165,10 +172,19 @@ type report struct {
 	// Stages is the server-reported per-stage latency summary
 	// (/v1/metrics "stages" section) at the end of the run: where
 	// request time went inside the engine (plan/allocate/measure/...).
-	Stages      map[string]stageLatency `json:"stages,omitempty"`
-	AchievedRPS float64                 `json:"achieved_rps"`
-	Cache       cacheStats              `json:"cache"`
-	Benchmem    map[string]benchLine    `json:"benchmem,omitempty"`
+	Stages map[string]stageLatency `json:"stages,omitempty"`
+	// PlanMS is the "plan" entry of Stages pulled out on its own — the
+	// planner-acceleration tracking number a -cold-plans run exists to
+	// produce (every request forces a cold Step-1 search, so these
+	// quantiles are pure planning latency).
+	PlanMS      *stageLatency `json:"plan_ms,omitempty"`
+	AchievedRPS float64       `json:"achieved_rps"`
+	Cache       cacheStats    `json:"cache"`
+	// Coalesced counts requests over the run that were answered by another
+	// identical in-flight request's execution (single-flight coalescing;
+	// delta of the daemon's coalesced_requests counter).
+	Coalesced uint64               `json:"coalesced"`
+	Benchmem  map[string]benchLine `json:"benchmem,omitempty"`
 }
 
 type runConfig struct {
@@ -181,6 +197,7 @@ type runConfig struct {
 	DatasetRows int     `json:"dataset_rows"`
 	Attrs       int     `json:"attrs"`
 	Epsilon     float64 `json:"epsilon"`
+	ColdPlans   bool    `json:"cold_plans,omitempty"`
 }
 
 type requestStats struct {
@@ -261,6 +278,7 @@ type loadOptions struct {
 	rows     int
 	attrs    int
 	epsilon  float64
+	cold     bool
 }
 
 type endpointWeight struct {
@@ -331,7 +349,7 @@ func runLoad(rep *report, o loadOptions) error {
 		return fmt.Errorf("dataset upload: status %d", resp.StatusCode)
 	}
 
-	before, _, err := fetchMetrics(client, o.server, o.keys)
+	before, _, coalBefore, err := fetchMetrics(client, o.server, o.keys)
 	if err != nil {
 		return err
 	}
@@ -395,7 +413,7 @@ func runLoad(rep *report, o loadOptions) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after, stages, err := fetchMetrics(client, o.server, o.keys)
+	after, stages, coalAfter, err := fetchMetrics(client, o.server, o.keys)
 	if err != nil {
 		return err
 	}
@@ -409,6 +427,10 @@ func runLoad(rep *report, o loadOptions) error {
 	rep.LatencyMS = percentiles(all)
 	rep.LatencyBuckets = bucketsOf(hist)
 	rep.Stages = stages
+	if plan, ok := stages["plan"]; ok {
+		rep.PlanMS = &plan
+	}
+	rep.Coalesced = coalAfter - coalBefore
 	if elapsed > 0 {
 		rep.AchievedRPS = float64(len(all)) / elapsed.Seconds()
 	}
@@ -423,6 +445,9 @@ func runLoad(rep *report, o loadOptions) error {
 // buildRequest derives request n's endpoint, heat and body deterministically
 // from its ticket number, so a repeated run replays the same stream.
 func buildRequest(n uint64, mix []endpointWeight, o loadOptions) (string, []byte) {
+	if o.cold {
+		return coldPlanRequest(n, o)
+	}
 	rng := rand.New(rand.NewSource(int64(n)*2654435761 + 12345))
 	endpoint := mix[len(mix)-1].name
 	u := rng.Float64()
@@ -452,6 +477,37 @@ func buildRequest(n uint64, mix []endpointWeight, o loadOptions) (string, []byte
 	}
 	raw, _ := json.Marshal(body)
 	return "/v1/" + endpoint, raw
+}
+
+// coldPlanRequest builds request n for -cold-plans mode: a cluster-strategy
+// release over an explicit-marginals workload that varies with n, so every
+// request misses the plan cache and pays a full Step-1 greedy-clustering
+// search — the regime where the "plan" stage quantiles measure planner
+// latency and nothing else. The workload is all singletons (rotated by n, so
+// even order-sensitive cache keys vary) plus one pair whose indices walk the
+// attribute set; the seed is always unique so the result cache never
+// short-circuits the pipeline either.
+func coldPlanRequest(n uint64, o loadOptions) (string, []byte) {
+	a := o.attrs
+	marginals := make([][]int, 0, a+1)
+	rot := int(n % uint64(a))
+	for s := 0; s < a; s++ {
+		marginals = append(marginals, []int{(s + rot) % a})
+	}
+	if a >= 2 {
+		i := int(n % uint64(a))
+		j := (i + 1 + int(n/uint64(a))%(a-1)) % a // 1..a-1 offset: never equal to i
+		marginals = append(marginals, []int{i, j})
+	}
+	body := map[string]any{
+		"dataset_id": o.dataset,
+		"workload":   map[string]any{"marginals": marginals},
+		"strategy":   "cluster",
+		"epsilon":    o.epsilon,
+		"seed":       int64(n) + 2,
+	}
+	raw, _ := json.Marshal(body)
+	return "/v1/release", raw
 }
 
 // buildNDJSON renders the deterministic load dataset: attrs binary
@@ -486,17 +542,17 @@ func buildNDJSON(rows, attrs int) []byte {
 // the per-stage latency summaries (empty until the daemon has run a
 // release; the stage quantiles are over the daemon's lifetime, so run
 // dpload against a fresh daemon when the run itself should dominate them).
-func fetchMetrics(client *http.Client, server string, keys []string) (cacheStats, map[string]stageLatency, error) {
+func fetchMetrics(client *http.Client, server string, keys []string) (cacheStats, map[string]stageLatency, uint64, error) {
 	req, err := http.NewRequest(http.MethodGet, server+"/v1/metrics", nil)
 	if err != nil {
-		return cacheStats{}, nil, err
+		return cacheStats{}, nil, 0, err
 	}
 	if len(keys) > 0 {
 		req.Header.Set("X-API-Key", keys[0])
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return cacheStats{}, nil, fmt.Errorf("reading /v1/metrics: %w", err)
+		return cacheStats{}, nil, 0, fmt.Errorf("reading /v1/metrics: %w", err)
 	}
 	defer resp.Body.Close()
 	var m struct {
@@ -504,10 +560,11 @@ func fetchMetrics(client *http.Client, server string, keys []string) (cacheStats
 			Hits   uint64 `json:"hits"`
 			Misses uint64 `json:"misses"`
 		} `json:"result_cache"`
-		Stages map[string]stageLatency `json:"stages"`
+		Stages    map[string]stageLatency `json:"stages"`
+		Coalesced uint64                  `json:"coalesced_requests"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		return cacheStats{}, nil, fmt.Errorf("decoding /v1/metrics: %w", err)
+		return cacheStats{}, nil, 0, fmt.Errorf("decoding /v1/metrics: %w", err)
 	}
 	stages := make(map[string]stageLatency, len(m.Stages))
 	for name, sl := range m.Stages {
@@ -516,9 +573,9 @@ func fetchMetrics(client *http.Client, server string, keys []string) (cacheStats
 		}
 	}
 	if m.ResultCache == nil {
-		return cacheStats{}, stages, nil // cache disabled server-side
+		return cacheStats{}, stages, m.Coalesced, nil // cache disabled server-side
 	}
-	return cacheStats{Hits: m.ResultCache.Hits, Misses: m.ResultCache.Misses}, stages, nil
+	return cacheStats{Hits: m.ResultCache.Hits, Misses: m.ResultCache.Misses}, stages, m.Coalesced, nil
 }
 
 func summarize(all []sample) requestStats {

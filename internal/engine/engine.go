@@ -242,7 +242,7 @@ func New(opts Options) *Engine {
 // use the defaults (the plan stage default consults opts.Cache).
 func NewWithStages(opts Options, st Stages) *Engine {
 	if st.Plan == nil {
-		st.Plan = Planner{Cache: opts.Cache}
+		st.Plan = Planner{Cache: opts.Cache, Workers: opts.Workers}
 	}
 	if st.Allocate == nil {
 		st.Allocate = Allocator{}
@@ -298,7 +298,11 @@ func (e *Engine) RunVector(ctx context.Context, w *marginal.Workload, x *vector.
 	tr := telemetry.TraceFrom(ctx)
 
 	sp := tr.Root().StartStage("plan")
-	plan, err := e.stages.Plan.Plan(ctx, w, cfg)
+	pctx := ctx
+	if sp != nil {
+		pctx = telemetry.ContextWithSpan(ctx, sp)
+	}
+	plan, err := e.stages.Plan.Plan(pctx, w, cfg)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -373,24 +377,33 @@ func TotalCellVariance(w *marginal.Workload, cellVar []float64) float64 {
 // Default stage implementations.
 
 // Planner is the default PlanStage: it plans through the strategy (weighted
-// when QueryWeights are set) and memoises the result in Cache when present.
+// when QueryWeights are set, and across Workers when the strategy's search
+// parallelises) and memoises the result in Cache when present.
 type Planner struct {
 	Cache *PlanCache
+	// Workers bounds the planning search's worker pool for strategies
+	// implementing strategy.ParallelPlanner (0 = all CPUs, 1 = serial).
+	// Like the engine's other worker settings it never changes a single bit
+	// of the plan — which is why it stays out of the plan-cache key.
+	Workers int
 }
 
 // Plan implements PlanStage. The cache lookup is free, so it happens even
 // under a cancelled context; only a cache miss — the expensive Step-1
 // search — is gated on ctx.
 func (p Planner) Plan(ctx context.Context, w *marginal.Workload, cfg Config) (*strategy.Plan, error) {
+	sp := telemetry.SpanFrom(ctx)
 	if p.Cache != nil {
 		key := planKey(w, cfg)
 		if plan, ok := p.Cache.get(key); ok {
+			sp.Annotate("plan_cache", "hit")
 			return plan, nil
 		}
+		sp.Annotate("plan_cache", "miss")
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		plan, err := planOnce(w, cfg)
+		plan, err := p.planOnce(ctx, w, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -400,21 +413,32 @@ func (p Planner) Plan(ctx context.Context, w *marginal.Workload, cfg Config) (*s
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return planOnce(w, cfg)
+	return p.planOnce(ctx, w, cfg)
 }
 
-func planOnce(w *marginal.Workload, cfg Config) (*strategy.Plan, error) {
+// planOnce runs the Step-1 search itself, under a detail span so a cold
+// plan's cost is visible in request traces.
+func (p Planner) planOnce(ctx context.Context, w *marginal.Workload, cfg Config) (*strategy.Plan, error) {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ssp := telemetry.SpanFrom(ctx).StartDetail("plan.search")
+	defer ssp.End()
 	var (
 		plan *strategy.Plan
 		err  error
 	)
-	if cfg.QueryWeights != nil {
-		wp, ok := cfg.Strategy.(strategy.WeightedPlanner)
-		if !ok {
+	switch s := cfg.Strategy.(type) {
+	case strategy.ParallelPlanner:
+		ssp.AnnotateInt("workers", int64(workers))
+		plan, err = s.PlanParallel(w, cfg.QueryWeights, workers)
+	case strategy.WeightedPlanner:
+		plan, err = s.PlanWeighted(w, cfg.QueryWeights)
+	default:
+		if cfg.QueryWeights != nil {
 			return nil, fmt.Errorf("engine: strategy %s does not support query weights", cfg.Strategy.Name())
 		}
-		plan, err = wp.PlanWeighted(w, cfg.QueryWeights)
-	} else {
 		plan, err = cfg.Strategy.Plan(w)
 	}
 	if err != nil {

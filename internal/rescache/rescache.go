@@ -13,6 +13,13 @@
 // for an id on ingest/replace/append/delete, and the version in the key
 // makes even a missed invalidation harmless (a new install always carries a
 // new version, so a stale entry can never be served for fresh data).
+//
+// The serving layer's single-flight coalescing (internal/server) keys its
+// flights on the same request keys: a cold key admits one leader into the
+// pipeline while identical concurrent requests wait for its payload, so a
+// thundering herd costs one execution and one ledger charge. The leader's
+// post-registration re-check uses Peek, not Get, to keep the hit/miss
+// counters describing real request traffic.
 package rescache
 
 import (
@@ -64,6 +71,20 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	}
 	c.hits++
 	c.order.MoveToFront(el)
+	return el.Value.(*entry).payload, true
+}
+
+// Peek is Get without touching the hit/miss counters or the LRU order —
+// the stats-neutral double-check a single-flight leader performs after
+// winning the flight, which must not inflate the miss rate the operator
+// reads off /v1/metrics.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
 	return el.Value.(*entry).payload, true
 }
 

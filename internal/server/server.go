@@ -69,6 +69,24 @@
 // /v1/datasets never charges a ledger; privacy is spent when answers
 // leave, not when data arrives.
 //
+// # Single-flight coalescing
+//
+// A release-shaped request that misses the result cache enters a
+// single-flight keyed on the same request key: the first request in (the
+// leader) charges and runs the pipeline while concurrent identical
+// requests (followers) wait and share its payload — a cold-cache
+// thundering herd costs ONE execution and ONE ledger charge, and every
+// caller receives byte-identical tables. Cancellation stays per waiter: a
+// follower whose client disconnects detaches (499) without disturbing the
+// leader, and a follower whose leader was cancelled retries as (or behind)
+// a fresh leader rather than inheriting someone else's 499. Followers
+// never charge, so a leader-side failure reaches them without the
+// retained-charge framing. Coalesced requests increment
+// dpcubed_coalesced_requests_total ("coalesced_requests" in /v1/metrics
+// JSON) and annotate their trace root with flight=coalesced plus a
+// flight.wait span; requests without a cacheable key (inline rows/counts)
+// bypass the flight entirely.
+//
 // With persistence (Config.StoreDir), every ledger's charge history is
 // snapshotted through the store codec — periodically via FlushLedgers and
 // on Close — and replayed on startup, so per-key spend survives a daemon
@@ -269,6 +287,7 @@ type Server struct {
 	keys    map[string]bool // valid API keys; empty map = auth disabled
 	cache   *repro.PlanCache
 	results *rescache.Cache // nil when ResultCacheSize < 0
+	flights *flightGroup    // single-flight coalescing over result keys
 	store   *store.Store
 	fabric  *fabric.Coordinator // nil without FabricWorkers
 	mux     *http.ServeMux
@@ -281,8 +300,9 @@ type Server struct {
 	releasers map[string]*repro.Releaser
 	order     []string // registry insertion order, for FIFO eviction
 
-	tele *telemetry.Registry
-	log  *slog.Logger
+	tele      *telemetry.Registry
+	log       *slog.Logger
+	coalesced *telemetry.Counter // requests served by another request's flight
 
 	metricNames []string
 	metrics     map[string]*endpointMetrics
@@ -362,10 +382,13 @@ func New(cfg Config) (*Server, error) {
 		cache:     repro.NewPlanCacheSize(cfg.CacheSize),
 		store:     st,
 		releasers: map[string]*repro.Releaser{},
+		flights:   newFlightGroup(),
 		tele:      tele,
 		log:       cfg.Logger,
 		metrics:   map[string]*endpointMetrics{},
 	}
+	s.coalesced = tele.Counter("dpcubed_coalesced_requests_total",
+		"Requests answered by another identical request's in-flight execution.")
 	if cfg.ResultCacheSize >= 0 {
 		s.results = rescache.New(cfg.ResultCacheSize)
 		// Any mutation under a dataset id — ingest, replace, append, delete
@@ -935,7 +958,10 @@ type metricsResponse struct {
 	PerKey      map[string]metricsBudgetJSON `json:"per_key_budget,omitempty"`
 	PlanCache   cacheJSON                    `json:"plan_cache"`
 	ResultCache *cacheJSON                   `json:"result_cache,omitempty"`
-	Datasets    store.Stats                  `json:"datasets"`
+	// Coalesced counts requests answered by another identical request's
+	// in-flight execution (single-flight; see the package doc).
+	Coalesced uint64      `json:"coalesced_requests"`
+	Datasets  store.Stats `json:"datasets"`
 	// Fabric reports the coordinator's per-worker task counters (present
 	// only when FabricWorkers is configured).
 	Fabric *fabric.Metrics `json:"fabric,omitempty"`
@@ -990,26 +1016,34 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	annotateCache(r, cacheVerdict(cacheable))
-	if err := s.chargeTraced(r, rel, req, "release"); err != nil {
-		s.fail(w, r, err)
-		return
-	}
-	res, err := s.release(r, rel, req, x, h)
-	if err != nil {
-		s.failRetained(w, r, err, req)
-		return
-	}
-	payload, err := json.Marshal(releaseBody{
-		Strategy:      res.Strategy,
-		TotalVariance: res.TotalVariance,
-		Tables:        tablesJSON(res),
+	// Everything from admission on runs under single-flight: a cold-key
+	// thundering herd admits one leader, and its followers share the payload
+	// without charging. Post-charge failures are wrapped so only the leader
+	// answers with the retained-charge contract.
+	payload, led, err := s.coalesce(r, key, cacheable, func() ([]byte, error) {
+		if err := s.chargeTraced(r, rel, req, "release"); err != nil {
+			return nil, err
+		}
+		res, err := s.release(r, rel, req, x, h)
+		if err != nil {
+			return nil, retainedChargeError{err}
+		}
+		payload, err := json.Marshal(releaseBody{
+			Strategy:      res.Strategy,
+			TotalVariance: res.TotalVariance,
+			Tables:        tablesJSON(res),
+		})
+		if err != nil {
+			return nil, retainedChargeError{err}
+		}
+		if cacheable {
+			s.results.Put(key, req.DatasetID, payload)
+		}
+		return payload, nil
 	})
 	if err != nil {
-		s.failRetained(w, r, err, req)
+		s.failFlight(w, r, err, req, led)
 		return
-	}
-	if cacheable {
-		s.results.Put(key, req.DatasetID, payload)
 	}
 	s.writeSpliced(w, r, payload)
 }
@@ -1048,38 +1082,41 @@ func (s *Server) handleSynthetic(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	annotateCache(r, cacheVerdict(cacheable))
-	if err := s.chargeTraced(r, rel, req, "synthetic"); err != nil {
-		s.fail(w, r, err)
-		return
-	}
-	res, err := s.release(r, rel, req, x, h)
-	if err != nil {
-		s.failRetained(w, r, err, req)
-		return
-	}
-	// Sampling is free post-processing: no further ledger spend.
-	ssp := telemetry.TraceFrom(r.Context()).Root().Start("sample")
-	syn, err := rel.Synthetic(r.Context(), res, req.SyntheticSeed)
-	ssp.End()
-	if err != nil {
-		s.failRetained(w, r, err, req)
-		return
-	}
-	rows := syn.Rows
-	if rows == nil {
-		rows = [][]int{}
-	}
-	payload, err := json.Marshal(syntheticBody{
-		Strategy: res.Strategy,
-		Count:    syn.Count(),
-		Rows:     rows,
+	payload, led, err := s.coalesce(r, key, cacheable, func() ([]byte, error) {
+		if err := s.chargeTraced(r, rel, req, "synthetic"); err != nil {
+			return nil, err
+		}
+		res, err := s.release(r, rel, req, x, h)
+		if err != nil {
+			return nil, retainedChargeError{err}
+		}
+		// Sampling is free post-processing: no further ledger spend.
+		ssp := telemetry.TraceFrom(r.Context()).Root().Start("sample")
+		syn, err := rel.Synthetic(r.Context(), res, req.SyntheticSeed)
+		ssp.End()
+		if err != nil {
+			return nil, retainedChargeError{err}
+		}
+		rows := syn.Rows
+		if rows == nil {
+			rows = [][]int{}
+		}
+		payload, err := json.Marshal(syntheticBody{
+			Strategy: res.Strategy,
+			Count:    syn.Count(),
+			Rows:     rows,
+		})
+		if err != nil {
+			return nil, retainedChargeError{err}
+		}
+		if cacheable {
+			s.results.Put(key, req.DatasetID, payload)
+		}
+		return payload, nil
 	})
 	if err != nil {
-		s.failRetained(w, r, err, req)
+		s.failFlight(w, r, err, req, led)
 		return
-	}
-	if cacheable {
-		s.results.Put(key, req.DatasetID, payload)
 	}
 	s.writeSpliced(w, r, payload)
 }
@@ -1119,45 +1156,50 @@ func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	annotateCache(r, cacheVerdict(cacheable))
-	// Admission first, then the mechanism; a post-admission failure keeps
-	// the charge (see failRetained).
-	if err := s.chargeTraced(r, nil, req, fmt.Sprintf("cube-%d-way", req.MaxOrder)); err != nil {
-		s.fail(w, r, err)
-		return
-	}
-	cube, err := repro.ReleaseCubeBlockedContext(r.Context(), schema, x, req.MaxOrder, repro.Options{
-		Epsilon:       req.Epsilon,
-		Delta:         req.Delta,
-		Strategy:      kind,
-		UniformBudget: req.UniformBudget,
-		Seed:          req.Seed,
-		Workers:       s.workers(req.Workers),
-		Shards:        s.shards(req.Shards),
-		Cache:         s.cache,
-	})
-	if err != nil {
-		s.failRetained(w, r, err, req)
-		return
-	}
-	cuboids := make([]marginalJSON, len(cube.Lattice.Cuboids))
-	for i, c := range cube.Lattice.Cuboids {
-		attrs := c.Attrs
-		if attrs == nil {
-			attrs = []int{}
+	// Admission first, then the mechanism — both inside the flight, so a
+	// herd of identical cube requests charges once; a post-admission
+	// failure keeps the leader's charge (see failRetained).
+	payload, led, err := s.coalesce(r, key, cacheable, func() ([]byte, error) {
+		if err := s.chargeTraced(r, nil, req, fmt.Sprintf("cube-%d-way", req.MaxOrder)); err != nil {
+			return nil, err
 		}
-		cuboids[i] = marginalJSON{Attrs: attrs, Cells: cube.Tables[i], Variance: cube.CellVariance[i]}
-	}
-	payload, err := json.Marshal(cubeBody{
-		MaxOrder:      req.MaxOrder,
-		TotalVariance: cube.TotalVariance,
-		Cuboids:       cuboids,
+		cube, err := repro.ReleaseCubeBlockedContext(r.Context(), schema, x, req.MaxOrder, repro.Options{
+			Epsilon:       req.Epsilon,
+			Delta:         req.Delta,
+			Strategy:      kind,
+			UniformBudget: req.UniformBudget,
+			Seed:          req.Seed,
+			Workers:       s.workers(req.Workers),
+			Shards:        s.shards(req.Shards),
+			Cache:         s.cache,
+		})
+		if err != nil {
+			return nil, retainedChargeError{err}
+		}
+		cuboids := make([]marginalJSON, len(cube.Lattice.Cuboids))
+		for i, c := range cube.Lattice.Cuboids {
+			attrs := c.Attrs
+			if attrs == nil {
+				attrs = []int{}
+			}
+			cuboids[i] = marginalJSON{Attrs: attrs, Cells: cube.Tables[i], Variance: cube.CellVariance[i]}
+		}
+		payload, err := json.Marshal(cubeBody{
+			MaxOrder:      req.MaxOrder,
+			TotalVariance: cube.TotalVariance,
+			Cuboids:       cuboids,
+		})
+		if err != nil {
+			return nil, retainedChargeError{err}
+		}
+		if cacheable {
+			s.results.Put(key, req.DatasetID, payload)
+		}
+		return payload, nil
 	})
 	if err != nil {
-		s.failRetained(w, r, err, req)
+		s.failFlight(w, r, err, req, led)
 		return
-	}
-	if cacheable {
-		s.results.Put(key, req.DatasetID, payload)
 	}
 	s.writeSpliced(w, r, payload)
 }
@@ -1228,6 +1270,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		PerKey:      perKey,
 		PlanCache:   cacheJSON{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries},
 		ResultCache: rc,
+		Coalesced:   s.coalesced.Value(),
 		Datasets:    s.store.Stats(),
 		Fabric:      fm,
 	})
@@ -1731,6 +1774,73 @@ func cacheVerdict(cacheable bool) string {
 		return "miss"
 	}
 	return "bypass"
+}
+
+// retainedChargeError marks a failure that happened AFTER this flight's
+// leader was admitted (charged): the leader must answer with the
+// retained-charge contract while a coalesced follower — which never charged
+// — reports the bare error. The wrapper is transparent to errors.Is/As via
+// Unwrap, so status mapping (499 for cancellations, 500 for faults) is
+// unchanged.
+type retainedChargeError struct{ err error }
+
+func (e retainedChargeError) Error() string { return e.err.Error() }
+func (e retainedChargeError) Unwrap() error { return e.err }
+
+// coalesce runs produce under single-flight on the result-cache key:
+// concurrent requests with the same key share one execution (and one
+// admission charge, which produce performs). Non-cacheable requests — no
+// stable key exists — run directly. led reports whether this request
+// executed produce itself; followers get the leader's payload or error.
+func (s *Server) coalesce(r *http.Request, key string, cacheable bool, produce func() ([]byte, error)) (payload []byte, led bool, err error) {
+	if !cacheable {
+		payload, err := produce()
+		return payload, true, err
+	}
+	leader := func() ([]byte, error) {
+		// Double-check the cache after winning the flight: a previous
+		// flight may have completed between this request's miss and its
+		// registration. Peek keeps the hit/miss stats describing real
+		// traffic, not flight bookkeeping.
+		if payload, ok := s.results.Peek(key); ok {
+			return payload, nil
+		}
+		return produce()
+	}
+	root := telemetry.TraceFrom(r.Context()).Root()
+	var wsp *telemetry.Span
+	payload, led, err = s.flights.do(r.Context(), key, leader, func() {
+		if wsp == nil {
+			wsp = root.StartDetail("flight.wait")
+		}
+	})
+	wsp.End()
+	if led {
+		root.Annotate("flight", "lead")
+	} else {
+		root.Annotate("flight", "coalesced")
+		if err == nil {
+			s.coalesced.Inc()
+		}
+	}
+	return payload, led, err
+}
+
+// failFlight reports a coalesced execution's error with the right charge
+// framing: only the flight's leader charged, so only the leader's failure
+// carries the retained-charge contract; a follower inheriting the same
+// error reports it bare (its budget is untouched).
+func (s *Server) failFlight(w http.ResponseWriter, r *http.Request, err error, req *releaseRequest, led bool) {
+	var rc retainedChargeError
+	if errors.As(err, &rc) {
+		if led {
+			s.failRetained(w, r, rc.err, req)
+		} else {
+			s.fail(w, r, rc.err)
+		}
+		return
+	}
+	s.fail(w, r, err)
 }
 
 // chargeTraced wraps the admission charge in a span so debug_timing shows

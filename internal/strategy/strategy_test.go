@@ -172,8 +172,8 @@ func TestClusterKeepsDisjointHighOrderSeparate(t *testing.T) {
 
 func TestClusterObjectiveDecreasesMonotonically(t *testing.T) {
 	w := marginal.AllKWay(4, 1)
-	unlimited := greedyCluster(w, 0)
-	capped := greedyCluster(w, 1)
+	unlimited := greedyCluster(w, 0, 1)
+	capped := greedyCluster(w, 1, 1)
 	if clusterObjective(unlimited.materials, unlimited.members) >
 		clusterObjective(capped.materials, capped.members)+1e-9 {
 		t.Fatal("more merges must not increase the greedy objective")
@@ -182,7 +182,7 @@ func TestClusterObjectiveDecreasesMonotonically(t *testing.T) {
 
 func TestClusterAssignmentsValid(t *testing.T) {
 	w := marginal.AllKWay(5, 2)
-	cl := greedyCluster(w, 0)
+	cl := greedyCluster(w, 0, 1)
 	if len(cl.assign) != len(w.Marginals) {
 		t.Fatal("assignment length mismatch")
 	}
@@ -368,6 +368,6 @@ func BenchmarkClusterSearchQ2d8(b *testing.B) {
 	w := marginal.AllKWay(8, 2)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = greedyCluster(w, 0)
+		_ = greedyCluster(w, 0, 1)
 	}
 }

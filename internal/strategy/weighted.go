@@ -16,6 +16,18 @@ type WeightedPlanner interface {
 	PlanWeighted(w *marginal.Workload, a []float64) (*Plan, error)
 }
 
+// ParallelPlanner is implemented by strategies whose planning search can
+// fan out across the engine worker pool. The contract is strict
+// determinism: PlanParallel must produce a bit-identical plan at every
+// worker count (0 = all CPUs, 1 = serial) — parallelism may only change
+// how fast the search runs, never which plan it finds — so the plan cache
+// and the persisted PlanRecord stay topology-independent.
+// PlanParallel(w, a, 1) is equivalent to PlanWeighted(w, a).
+type ParallelPlanner interface {
+	WeightedPlanner
+	PlanParallel(w *marginal.Workload, a []float64, workers int) (*Plan, error)
+}
+
 // checkWeights validates a per-marginal weight vector.
 func checkWeights(w *marginal.Workload, a []float64) error {
 	if a == nil {
@@ -112,13 +124,7 @@ func (s Fourier) PlanWeighted(w *marginal.Workload, a []float64) (*Plan, error) 
 // search itself stays weight-agnostic (as in [6]); only the budgeting
 // weights change.
 func (s Cluster) PlanWeighted(w *marginal.Workload, a []float64) (*Plan, error) {
-	if err := checkWeights(w, a); err != nil {
-		return nil, err
-	}
-	if len(w.Marginals) == 0 {
-		return nil, fmt.Errorf("strategy: cluster needs a non-empty workload")
-	}
-	return s.planFrom(w, greedyCluster(w, s.MaxMerges), a)
+	return s.PlanParallel(w, a, 1)
 }
 
 // Compile-time interface checks.
@@ -126,5 +132,5 @@ var (
 	_ WeightedPlanner = Identity{}
 	_ WeightedPlanner = Workload{}
 	_ WeightedPlanner = Fourier{}
-	_ WeightedPlanner = Cluster{}
+	_ ParallelPlanner = Cluster{}
 )

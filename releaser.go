@@ -316,7 +316,7 @@ func NewReleaserContext(ctx context.Context, schema *Schema, w *Workload, opts .
 		return nil, fmt.Errorf("%w: WithComposition needs WithBudgetCap or WithBudgetCaps", ErrInvalidOption)
 	}
 	if !r.noPreplan {
-		planner := engine.Planner{Cache: r.cache}
+		planner := engine.Planner{Cache: r.cache, Workers: r.workers}
 		if _, err := planner.Plan(ctx, w, engine.Config{
 			Strategy:     r.strategy.impl(),
 			QueryWeights: r.queryWeights,
@@ -548,7 +548,7 @@ func (r *Releaser) EffectiveSigma(ctx context.Context, spec ReleaseSpec) (float6
 		Privacy:      r.params(spec),
 		QueryWeights: r.queryWeights,
 	}
-	plan, err := engine.Planner{Cache: r.cache}.Plan(ctx, r.w, cfg)
+	plan, err := engine.Planner{Cache: r.cache, Workers: r.workers}.Plan(ctx, r.w, cfg)
 	if err != nil {
 		return 0, err
 	}
