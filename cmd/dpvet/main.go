@@ -1,0 +1,97 @@
+// Command dpvet is the repository's domain lint gate: a multichecker over
+// the five static-invariant analyzers in internal/analysis (detmap,
+// seedflow, keyleak, ctxflow, errsink). CI runs `dpvet ./...` and fails
+// the build on any unsuppressed finding; scripts/lint.sh wraps it for
+// local use.
+//
+// Usage:
+//
+//	dpvet [-json report.json] [-show-suppressed] [-list] [packages]
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. The -json
+// report is written even when there are no findings, so CI can upload it
+// unconditionally as the audit artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("dpvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonPath := fs.String("json", "", "write the full findings report (including suppressions) to this file")
+	showSuppressed := fs.Bool("show-suppressed", false, "also print suppressed findings")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "dpvet:", err)
+		return 2
+	}
+	rep, err := analysis.Vet(wd, analysis.All(), patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "dpvet:", err)
+		return 2
+	}
+	if *jsonPath != "" {
+		if err := writeReport(*jsonPath, rep); err != nil {
+			fmt.Fprintln(stderr, "dpvet:", err)
+			return 2
+		}
+	}
+	active := rep.Active()
+	for _, f := range active {
+		fmt.Fprintln(stdout, relativize(wd, f))
+	}
+	if *showSuppressed {
+		for _, f := range rep.Suppressed() {
+			fmt.Fprintf(stdout, "%s [suppressed: %s]\n", relativize(wd, f), f.SuppressReason)
+		}
+	}
+	if len(active) > 0 {
+		fmt.Fprintf(stderr, "dpvet: %d finding(s)\n", len(active))
+		return 1
+	}
+	return 0
+}
+
+func relativize(wd string, f analysis.Finding) string {
+	if rel, err := filepath.Rel(wd, f.File); err == nil && !filepath.IsAbs(rel) {
+		f.File = rel
+	}
+	return f.String()
+}
+
+func writeReport(path string, rep *analysis.Report) error {
+	if rep.Findings == nil {
+		rep.Findings = []analysis.Finding{} // empty report stays valid JSON
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -223,6 +223,25 @@
 // (data, workload, spec) and the same Seed is bit-reproducible at any
 // parallelism. Cancellation propagates into the worker pools.
 //
+// # Static invariants
+//
+// The contracts above are not just prose: dpvet (internal/analysis +
+// cmd/dpvet) machine-enforces the ones that are properties of code shape,
+// and CI fails on any unsuppressed finding. detmap guards bit-identity —
+// no map iteration may feed an append, float/string accumulation, wire
+// encoding or channel send in the deterministic packages; seedflow guards
+// reproducibility — pipeline packages draw randomness only through
+// noise.Source substreams, never math/rand, crypto/rand or clock-derived
+// seeds; keyleak guards credential hygiene — API keys reach logs, errors
+// and metrics only as redaction fingerprints; ctxflow guards the
+// cancellation chain — a function holding a request context may not
+// detach via context.Background()/TODO() without an annotated reason; and
+// errsink guards the error surface — handlers route failures through the
+// typed-error mapper, never raw err.Error() bodies. Deliberate deviations
+// are annotated in source with a mandatory written rationale and survive
+// in the CI audit report; see internal/analysis for the analyzer
+// contracts and the suppression grammar.
+//
 // The internal packages follow the paper's structure: internal/strategy
 // (Step 1), internal/budget (Step 2, Section 3.1), internal/recovery and
 // internal/consistency (Step 3, Sections 3.2–3.3 and 4.3), internal/engine

@@ -1,10 +1,28 @@
 package accountant
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"sync"
 )
+
+// RedactKey maps a ledger key to a stable non-secret identifier: the first
+// four characters (enough for an operator to recognise their own naming
+// scheme) plus a short SHA-256 fingerprint (enough to disambiguate, and
+// recomputable by anyone who holds the key file). Registry keys are tenant
+// API keys in the serving deployment, so every error message and log line
+// carries this fingerprint, never the raw value; the server's redaction
+// delegates here so both layers print the same identifier.
+func RedactKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	prefix := key
+	if len(prefix) > 4 {
+		prefix = prefix[:4]
+	}
+	return prefix + "…" + hex.EncodeToString(sum[:4])
+}
 
 // KeyCaps caps one key's private ledger. A zero Epsilon means "inherit the
 // registry's global caps" (an ε cap must be positive to be explicit, so
@@ -69,12 +87,12 @@ func (r *Registry) SetKeyCaps(key string, caps KeyCaps) error {
 	// Dry construction validates the caps (and their fit with the
 	// composition's target δ) now, not on the key's first charge.
 	if _, err := NewComposed(eps, del, r.comp); err != nil {
-		return fmt.Errorf("accountant: caps for key %q: %w", key, err)
+		return fmt.Errorf("accountant: caps for key %q: %w", RedactKey(key), err)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, built := r.ledgers[key]; built {
-		return fmt.Errorf("accountant: key %q already has recorded spend; caps cannot change", key)
+		return fmt.Errorf("accountant: key %q already has recorded spend; caps cannot change", RedactKey(key))
 	}
 	r.caps[key] = caps
 	return nil
@@ -113,12 +131,12 @@ func (r *Registry) ledgerLocked(key string) (*Accountant, error) {
 	}
 	caps, ok := r.caps[key]
 	if !ok {
-		return nil, fmt.Errorf("accountant: unknown budget key %q", key)
+		return nil, fmt.Errorf("accountant: unknown budget key %q", RedactKey(key))
 	}
 	eps, del := r.resolveCaps(caps)
 	l, err := NewComposed(eps, del, r.comp)
 	if err != nil {
-		return nil, fmt.Errorf("accountant: building ledger for key %q: %w", key, err)
+		return nil, fmt.Errorf("accountant: building ledger for key %q: %w", RedactKey(key), err)
 	}
 	r.ledgers[key] = l
 	return l, nil
@@ -156,7 +174,7 @@ func (r *Registry) Charge(key string, c Charge) error {
 		return err
 	}
 	if err := l.Charge(c); err != nil {
-		return fmt.Errorf("key %q: %w", key, err)
+		return fmt.Errorf("key %q: %w", RedactKey(key), err)
 	}
 	if err := r.global.Charge(c); err != nil {
 		// The key admitted but the deployment-wide cap refused: undo the

@@ -33,8 +33,14 @@ func TestPerKeyIndependence(t *testing.T) {
 		t.Fatal(err)
 	}
 	err := r.Charge("alice", Charge{Label: "a2", Epsilon: 0.9})
-	if !errors.Is(err, ErrBudgetExceeded) || !strings.Contains(err.Error(), `key "alice"`) {
+	// The refusing key is named by fingerprint: registry keys are tenant
+	// credentials in the serving deployment, so error text never carries
+	// the raw value.
+	if !errors.Is(err, ErrBudgetExceeded) || !strings.Contains(err.Error(), RedactKey("alice")) {
 		t.Fatalf("alice past her cap: %v", err)
+	}
+	if strings.Contains(err.Error(), `"alice"`) {
+		t.Fatalf("refusal leaks the raw key: %v", err)
 	}
 	// Bob is untouched by alice's exhaustion.
 	for i := 0; i < 5; i++ {

@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one dpvet check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the suite can migrate onto
+// the upstream multichecker wholesale once the dependency is available;
+// until then the driver in this package plays that role.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Packages scopes the analyzer to import paths matching any entry:
+	// either an exact path suffix ("internal/engine") or a prefix wildcard
+	// ("cmd/..."). nil means every package. Scoping is applied by the
+	// driver, not the analyzer, so analysistest exercises the check logic
+	// unconditionally.
+	Packages []string
+	Run      func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	report    func(Diagnostic)
+}
+
+// Diagnostic is one finding, positioned in the shared FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil when untyped.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf resolves an identifier to its object (use or definition).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.TypesInfo.ObjectOf(id) }
+
+// InScope reports whether pkgPath falls under the analyzer's package
+// scope. See the Packages field for the entry grammar.
+func (a *Analyzer) InScope(pkgPath string) bool {
+	if a.Packages == nil {
+		return true
+	}
+	for _, entry := range a.Packages {
+		if wild, ok := strings.CutSuffix(entry, "/..."); ok {
+			if pkgPath == wild || strings.Contains(pkgPath+"/", "/"+wild+"/") || strings.HasPrefix(pkgPath, wild+"/") {
+				return true
+			}
+			continue
+		}
+		if pkgPath == entry || strings.HasSuffix(pkgPath, "/"+entry) {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full dpvet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{DetMap, SeedFlow, KeyLeak, CtxFlow, ErrSink}
+}
+
+// runAnalyzer applies one analyzer to one package, ignoring scope.
+func runAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      sharedFset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.PkgPath, err)
+	}
+	return diags, nil
+}
+
+// Finding is a reported diagnostic resolved to a file position, with its
+// suppression state.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+
+	Suppressed     bool   `json:"suppressed,omitempty"`
+	SuppressReason string `json:"suppress_reason,omitempty"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Report is a complete dpvet run: every finding (suppressed and not),
+// sorted by position.
+type Report struct {
+	Findings []Finding `json:"findings"`
+}
+
+// Active returns the findings that were not suppressed — the ones that
+// gate the build.
+func (r *Report) Active() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Suppressed returns the findings silenced by a //dpvet:ignore directive.
+func (r *Report) Suppressed() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// VetPackage applies analyzers to one already-loaded package, IGNORING
+// their package scope, and resolves //dpvet:ignore suppressions. It is the
+// analysistest entry point: testdata packages sit outside the module's
+// import-path space, so scoping there would test the scope table, not the
+// check logic.
+func VetPackage(pkg *Package, analyzers ...*Analyzer) ([]Finding, error) {
+	known := map[string]bool{"directive": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		ds, err := runAnalyzer(a, pkg)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return resolveSuppressions(pkg, diags, known), nil
+}
+
+// Vet loads the packages matched by patterns (relative to dir) and runs
+// every analyzer in its package scope, applying //dpvet:ignore
+// suppressions. Malformed and unused directives surface as findings of
+// the pseudo-analyzer "directive".
+func Vet(dir string, analyzers []*Analyzer, patterns ...string) (*Report, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	known := map[string]bool{"directive": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	rep := &Report{}
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if !a.InScope(pkg.PkgPath) {
+				continue
+			}
+			ds, err := runAnalyzer(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, ds...)
+		}
+		rep.Findings = append(rep.Findings, resolveSuppressions(pkg, diags, known)...)
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return rep, nil
+}
+
+// inspectWithStack walks every node under each file, passing the chain of
+// ancestors (outermost first, excluding n itself).
+func inspectWithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			fn(n, stack)
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// rootIdent unwraps an lvalue-ish expression (selectors, indexing, parens,
+// derefs, slicing) to its leftmost identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.CallExpr:
+			e = v.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeName returns the rightmost identifier of a call's function
+// expression ("Errorf" for fmt.Errorf, "redactKey" for redactKey).
+func calleeName(c *ast.CallExpr) string {
+	switch f := ast.Unparen(c.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	case *ast.IndexExpr: // generic instantiation
+		if id := rootIdent(f); id != nil {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// calleePkgFunc resolves a call to (package path, function name) when the
+// callee is a package-level function; ok is false for methods, builtins
+// and locals.
+func (p *Pass) calleePkgFunc(c *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj := p.TypesInfo.ObjectOf(sel.Sel)
+	fn, isFn := obj.(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// usesPackage reports whether id names an import of the given path.
+func (p *Pass) usesPackage(id *ast.Ident, path string) bool {
+	pn, ok := p.TypesInfo.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}

@@ -1,0 +1,147 @@
+// Package analysistest runs one dpvet analyzer over a testdata package and
+// checks its findings against expectations written in the source, mirroring
+// golang.org/x/tools/go/analysis/analysistest (which is unavailable here —
+// see the loader's note on the offline build).
+//
+// Expectations are trailing comments of the form
+//
+//	x := f() // want "regex"
+//	y := g() // want detmap:"regex" directive:"another regex"
+//
+// Each quoted regex must match the message of exactly one ACTIVE (post
+// suppression) finding on that line; an optional analyzer: label also pins
+// the finding's analyzer ("directive" names the suppression-hygiene
+// pseudo-analyzer). Active findings on lines without a matching
+// expectation, and expectations no finding matches, both fail the test.
+//
+// Suppressions are exercised for free: a //dpvet:ignore directive that
+// works produces no active finding (so the line needs no want), while one
+// that silences nothing produces an unused-directive finding the test
+// would have to declare — a suite cannot silently carry a stale directive.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE finds the expectation section of a line; wantTokenRE splits it
+// into (optional analyzer label, quoted regex) pairs.
+var (
+	wantRE      = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	wantTokenRE = regexp.MustCompile(`(?:([a-zA-Z]+):)?"((?:[^"\\]|\\.)*)"`)
+)
+
+type expectation struct {
+	file     string
+	line     int
+	analyzer string // "" matches any analyzer
+	re       *regexp.Regexp
+	matched  bool
+}
+
+// Run loads dir as a single package, applies a (ignoring its package
+// scope) plus //dpvet:ignore resolution, and compares the active findings
+// with the package's // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings, err := analysis.VetPackage(pkg, a)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		if !claim(wants, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s finding matched %q", w.file, w.line, orAny(w.analyzer), w.re)
+		}
+	}
+}
+
+func orAny(analyzer string) string {
+	if analyzer == "" {
+		return "(any analyzer)"
+	}
+	return analyzer
+}
+
+// parseWants scans every source line for a // want section.
+func parseWants(pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for name, src := range pkg.Sources {
+		line := 0
+		for _, raw := range splitLines(src) {
+			line++
+			m := wantRE.FindStringSubmatch(raw)
+			if m == nil {
+				continue
+			}
+			toks := wantTokenRE.FindAllStringSubmatch(m[1], -1)
+			if len(toks) == 0 {
+				return nil, fmt.Errorf("%s:%d: // want with no quoted expectation", name, line)
+			}
+			for _, tok := range toks {
+				re, err := regexp.Compile(tok[2])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", name, line, tok[2], err)
+				}
+				out = append(out, &expectation{file: name, line: line, analyzer: tok[1], re: re})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out, nil
+}
+
+func splitLines(src []byte) []string {
+	var lines []string
+	start := 0
+	for i, b := range src {
+		if b == '\n' {
+			lines = append(lines, string(src[start:i]))
+			start = i + 1
+		}
+	}
+	return append(lines, string(src[start:]))
+}
+
+// claim marks the first unmatched expectation covering f, reporting
+// whether one existed.
+func claim(wants []*expectation, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.File || w.line != f.Line {
+			continue
+		}
+		if w.analyzer != "" && w.analyzer != f.Analyzer {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDetMap(t *testing.T) {
+	analysistest.Run(t, analysis.DetMap, filepath.Join("testdata", "src", "detmap"))
+}
+
+func TestDetMapScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/engine":   true,
+		"repro/internal/store":    true,
+		"repro/internal/noise":    false, // draws are scalar; no map iteration contract
+		"repro/internal/analysis": false,
+	} {
+		if got := analysis.DetMap.InScope(path); got != want {
+			t.Errorf("DetMap.InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

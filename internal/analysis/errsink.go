@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrSink flags handlers that write raw error text straight into an HTTP
+// response body. The serving contract routes every failure through the
+// typed-error mapper (statusCode + a structured errorResponse carrying the
+// request ID), so clients get stable, machine-readable failures and
+// internal detail — file paths, dataset names, wrapped causes — never
+// leaks through an ad-hoc write. Raw-text escapes look like:
+//
+//	http.Error(w, err.Error(), 500)
+//	fmt.Fprintf(w, "failed: %v", err)
+//	w.Write([]byte(err.Error()))
+//	io.WriteString(w, err.Error())
+//
+// where w is (or implements) net/http.ResponseWriter. Writing a constant
+// transport-level message (http.Error(w, "POST only", 405)) is fine: the
+// check fires only when an error value or err.Error() call reaches the
+// body. The structured path — a JSON encoder over a response struct whose
+// field happens to hold err.Error() — is exactly the sanctioned mapper
+// shape and is not matched.
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "flag raw err.Error() written into HTTP response bodies instead of the typed-error mapper",
+	Run:  runErrSink,
+}
+
+func runErrSink(p *Pass) error {
+	inspectWithStack(p.Files, func(n ast.Node, stack []ast.Node) {
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		p.checkErrSinkCall(c)
+	})
+	return nil
+}
+
+func (p *Pass) checkErrSinkCall(c *ast.CallExpr) {
+	if pkg, name, ok := p.calleePkgFunc(c); ok {
+		switch {
+		case pkg == "net/http" && name == "Error" && len(c.Args) >= 2:
+			if e := p.firstErrorText(c.Args[1]); e != nil {
+				p.Reportf(c.Pos(), "http.Error with raw error text; map the error through the typed-error path (statusCode + structured body) instead")
+			}
+			return
+		case pkg == "fmt" && strings.HasPrefix(name, "Fprint") && len(c.Args) >= 1:
+			if !p.isResponseWriter(c.Args[0]) {
+				return
+			}
+			for _, arg := range c.Args[1:] {
+				if p.firstErrorText(arg) != nil {
+					p.Reportf(c.Pos(), "fmt.%s writes raw error text into an http.ResponseWriter; route through the typed-error mapper", name)
+					return
+				}
+			}
+			return
+		case pkg == "io" && name == "WriteString" && len(c.Args) == 2:
+			if p.isResponseWriter(c.Args[0]) && p.firstErrorText(c.Args[1]) != nil {
+				p.Reportf(c.Pos(), "io.WriteString writes raw error text into an http.ResponseWriter; route through the typed-error mapper")
+			}
+			return
+		}
+		return
+	}
+	// w.Write(...) on a ResponseWriter.
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Write" {
+		return
+	}
+	if _, isMethod := p.TypesInfo.Selections[sel]; !isMethod {
+		return
+	}
+	if !p.isResponseWriter(sel.X) {
+		return
+	}
+	for _, arg := range c.Args {
+		if p.firstErrorText(arg) != nil {
+			p.Reportf(c.Pos(), "ResponseWriter.Write of raw error text; route through the typed-error mapper")
+			return
+		}
+	}
+}
+
+// firstErrorText finds an expression carrying raw error text inside arg:
+// an err.Error() call, or a value whose type implements error (which
+// fmt verbs would stringify). Struct literals are NOT descended into —
+// a structured response body is the sanctioned mapper shape.
+func (p *Pass) firstErrorText(arg ast.Expr) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CompositeLit:
+			return false // structured body: sanctioned
+		case *ast.CallExpr:
+			if p.isErrErrorCall(v) {
+				found = v
+				return false
+			}
+		case *ast.Ident:
+			if p.implementsError(p.TypeOf(v)) {
+				found = v
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isErrErrorCall matches <expr>.Error() where <expr>'s type implements
+// the error interface.
+func (p *Pass) isErrErrorCall(c *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(c.Args) != 0 {
+		return false
+	}
+	return p.implementsError(p.TypeOf(sel.X))
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func (p *Pass) implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}
+
+// isResponseWriter reports whether e's static type is net/http's
+// ResponseWriter interface or a concrete type implementing it (the
+// server's statusWriter wrapper, for example).
+func (p *Pass) isResponseWriter(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter" {
+			return true
+		}
+	}
+	iface := p.httpResponseWriterIface()
+	if iface == nil {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// httpResponseWriterIface digs the ResponseWriter interface out of the
+// package's import graph (nil when net/http is nowhere in scope).
+func (p *Pass) httpResponseWriterIface() *types.Interface {
+	httpPkg := findImport(p.Pkg, "net/http", map[*types.Package]bool{})
+	if httpPkg == nil {
+		return nil
+	}
+	obj := httpPkg.Scope().Lookup("ResponseWriter")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+func findImport(pkg *types.Package, path string, seen map[*types.Package]bool) *types.Package {
+	if pkg == nil || seen[pkg] {
+		return nil
+	}
+	seen[pkg] = true
+	if pkg.Path() == path {
+		return pkg
+	}
+	for _, imp := range pkg.Imports() {
+		if found := findImport(imp, path, seen); found != nil {
+			return found
+		}
+	}
+	return nil
+}

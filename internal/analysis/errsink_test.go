@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestErrSink(t *testing.T) {
+	analysistest.Run(t, analysis.ErrSink, filepath.Join("testdata", "src", "errsink"))
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Suppression directive grammar (one directive per site):
+//
+//	//dpvet:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// Placed at the end of the offending line it silences that line; placed on
+// a line of its own (typically the last line of the comment block above)
+// it silences the next line. The reason is mandatory: a suppression
+// without a written rationale is itself a finding, as is a directive
+// naming an unknown analyzer or one that suppresses nothing (stale
+// directives rot into false confidence).
+
+const directiveMarker = "//dpvet:ignore"
+
+type directive struct {
+	file       string
+	line       int // line the directive text is on
+	targetLine int // line whose diagnostics it silences
+	analyzers  []string
+	reason     string
+	used       bool
+	malformed  string // non-empty: why the directive does not parse
+}
+
+// parseDirectives scans one file's source for dpvet directives. known maps
+// valid analyzer names; unknown names mark the directive malformed.
+func parseDirectives(file string, src []byte, known map[string]bool) []*directive {
+	var out []*directive
+	for i, lineBytes := range bytes.Split(src, []byte("\n")) {
+		line := string(lineBytes)
+		idx := strings.Index(line, directiveMarker)
+		if idx < 0 {
+			continue
+		}
+		// The marker must BEGIN a comment. Mentions inside prose ("// see
+		// //dpvet:ignore above"), doc-comment grammar examples, and string
+		// literals are not directives: skip when the text before the marker
+		// already opened a comment, or holds an unclosed quote.
+		prefix := line[:idx]
+		if strings.Contains(prefix, "//") ||
+			strings.Count(prefix, `"`)%2 == 1 ||
+			strings.Count(prefix, "`")%2 == 1 {
+			continue
+		}
+		d := &directive{file: file, line: i + 1}
+		// A directive on its own comment line targets the next line; a
+		// trailing directive targets its own line.
+		if strings.TrimSpace(prefix) == "" {
+			d.targetLine = d.line + 1
+		} else {
+			d.targetLine = d.line
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(line[idx:], directiveMarker))
+		names, reason, found := strings.Cut(body, "--")
+		if !found || strings.TrimSpace(reason) == "" {
+			d.malformed = "missing '-- <reason>' (suppressions must state their rationale)"
+			out = append(out, d)
+			continue
+		}
+		d.reason = strings.TrimSpace(reason)
+		for _, n := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+			if !known[n] {
+				d.malformed = fmt.Sprintf("unknown analyzer %q", n)
+				break
+			}
+			d.analyzers = append(d.analyzers, n)
+		}
+		if d.malformed == "" && len(d.analyzers) == 0 {
+			d.malformed = "no analyzer named"
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (d *directive) covers(analyzer string, line int) bool {
+	if d.malformed != "" || line != d.targetLine {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveSuppressions positions a package's diagnostics, applies its
+// directives, and appends directive-hygiene findings (malformed or unused
+// directives) under the pseudo-analyzer "directive".
+func resolveSuppressions(pkg *Package, diags []Diagnostic, known map[string]bool) []Finding {
+	byFile := map[string][]*directive{}
+	var all []*directive
+	for name, src := range pkg.Sources {
+		ds := parseDirectives(name, src, known)
+		byFile[name] = ds
+		all = append(all, ds...)
+	}
+	var out []Finding
+	for _, d := range diags {
+		pos := sharedFset.Position(d.Pos)
+		f := Finding{File: pos.Filename, Line: pos.Line, Col: pos.Column, Analyzer: d.Analyzer, Message: d.Message}
+		for _, dir := range byFile[pos.Filename] {
+			if dir.covers(d.Analyzer, pos.Line) {
+				f.Suppressed = true
+				f.SuppressReason = dir.reason
+				dir.used = true
+				break
+			}
+		}
+		out = append(out, f)
+	}
+	for _, dir := range all {
+		switch {
+		case dir.malformed != "":
+			out = append(out, Finding{
+				File: dir.file, Line: dir.line, Col: 1, Analyzer: "directive",
+				Message: "malformed //dpvet:ignore directive: " + dir.malformed,
+			})
+		case !dir.used:
+			out = append(out, Finding{
+				File: dir.file, Line: dir.line, Col: 1, Analyzer: "directive",
+				Message: fmt.Sprintf("unused //dpvet:ignore directive (no %s finding on line %d); remove it",
+					strings.Join(dir.analyzers, "/"), dir.targetLine),
+			})
+		}
+	}
+	return out
+}

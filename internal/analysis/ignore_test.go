@@ -1,0 +1,75 @@
+package analysis
+
+import "testing"
+
+// Directive recognition: the marker must BEGIN a comment. Mentions in
+// prose, grammar examples inside doc comments, and string literals are
+// not directives (the analysis package itself documents the grammar, so
+// this is self-defense, not pedantry).
+func TestParseDirectives(t *testing.T) {
+	known := map[string]bool{"detmap": true, "ctxflow": true}
+	src := []byte(`package p
+
+// standalone directive targets the next line
+//dpvet:ignore detmap -- reason one
+var a = 1
+
+var b = 2 //dpvet:ignore ctxflow -- inline targets its own line
+
+// prose mentioning //dpvet:ignore detmap -- like this is not a directive
+//	//dpvet:ignore detmap -- grammar example inside a doc comment
+var c = "//dpvet:ignore detmap -- string literal"
+
+//dpvet:ignore detmap
+//dpvet:ignore nosuchcheck -- unknown analyzer
+//dpvet:ignore -- no analyzer named
+`)
+	ds := parseDirectives("p.go", src, known)
+	type want struct {
+		line, target int
+		analyzer     string
+		malformed    bool
+	}
+	wants := []want{
+		{4, 5, "detmap", false},
+		{7, 7, "ctxflow", false},
+		{13, 14, "", true}, // missing reason
+		{14, 15, "", true}, // unknown analyzer
+		{15, 16, "", true}, // no analyzer named
+	}
+	if len(ds) != len(wants) {
+		for _, d := range ds {
+			t.Logf("parsed: line %d target %d analyzers %v malformed %q", d.line, d.targetLine, d.analyzers, d.malformed)
+		}
+		t.Fatalf("parsed %d directives, want %d", len(ds), len(wants))
+	}
+	for i, w := range wants {
+		d := ds[i]
+		if d.line != w.line || d.targetLine != w.target {
+			t.Errorf("directive %d: line %d target %d, want %d/%d", i, d.line, d.targetLine, w.line, w.target)
+		}
+		if (d.malformed != "") != w.malformed {
+			t.Errorf("directive %d: malformed=%q, want malformed=%v", i, d.malformed, w.malformed)
+		}
+		if w.analyzer != "" && (len(d.analyzers) != 1 || d.analyzers[0] != w.analyzer) {
+			t.Errorf("directive %d: analyzers %v, want [%s]", i, d.analyzers, w.analyzer)
+		}
+	}
+}
+
+func TestDirectiveCovers(t *testing.T) {
+	d := &directive{targetLine: 10, analyzers: []string{"detmap", "ctxflow"}}
+	if !d.covers("detmap", 10) || !d.covers("ctxflow", 10) {
+		t.Error("directive must cover its named analyzers on the target line")
+	}
+	if d.covers("detmap", 11) {
+		t.Error("directive must not cover other lines")
+	}
+	if d.covers("keyleak", 10) {
+		t.Error("directive must not cover unnamed analyzers")
+	}
+	m := &directive{targetLine: 10, analyzers: []string{"detmap"}, malformed: "x"}
+	if m.covers("detmap", 10) {
+		t.Error("malformed directives must suppress nothing")
+	}
+}

@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestKeyLeak(t *testing.T) {
+	analysistest.Run(t, analysis.KeyLeak, filepath.Join("testdata", "src", "keyleak"))
+}
+
+func TestKeyLeakScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/server":     true,
+		"repro/internal/accountant": true,
+		"repro/cmd/reprod":          true,  // cmd/... wildcard
+		"repro/internal/engine":     false, // its "keys" are cache hashes, not credentials
+		"repro/internal/rescache":   false,
+	} {
+		if got := analysis.KeyLeak.InScope(path); got != want {
+			t.Errorf("KeyLeak.InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The loader turns `go list -deps -json` output into fully type-checked
+// packages using only the standard library: golang.org/x/tools (the usual
+// go/packages + go/analysis stack) is not vendored and the build
+// environment is offline, so dpvet carries its own minimal equivalent.
+// `go list -deps` emits packages in dependency order (imports before
+// importers), which lets a single forward pass type-check everything with
+// a map-backed importer; the standard library is checked from source once
+// per process and cached (it is immutable for a given toolchain).
+
+// Package is one loaded, type-checked package plus everything an analyzer
+// or the suppression scanner needs: syntax with comments, type
+// information, and raw file contents.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Files     []*ast.File
+	FileNames []string          // absolute, parallel to Files
+	Sources   map[string][]byte // file name -> content
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// sharedFset is the process-wide FileSet: cached standard-library packages
+// keep positions in it, so every load must use the same set.
+var sharedFset = token.NewFileSet()
+
+// Fset returns the FileSet all loaded packages share.
+func Fset() *token.FileSet { return sharedFset }
+
+var (
+	loadMu   sync.Mutex
+	stdCache = map[string]*types.Package{}
+)
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{
+		"list", "-e", "-deps",
+		"-json=ImportPath,Dir,Standard,GoFiles,Imports,ImportMap,Error",
+	}, args...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// mapImporter resolves imports against the packages already type-checked
+// in this load (plus the process-wide standard-library cache), honoring
+// the per-package ImportMap (vendoring and similar path rewrites).
+type mapImporter struct {
+	importMap map[string]string
+	session   map[string]*types.Package
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if r, ok := m.importMap[path]; ok {
+		path = r
+	}
+	if p, ok := m.session[path]; ok {
+		return p, nil
+	}
+	if p, ok := stdCache[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("analysis: import %q not loaded", path)
+}
+
+// Load type-checks the packages matched by patterns (resolved relative to
+// dir) together with their whole dependency closure, and returns the
+// non-standard-library packages in dependency order. The caller holds no
+// lock; loads are serialized internally.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	entries, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	session := map[string]*types.Package{}
+	var out []*Package
+	for _, e := range entries {
+		if e.Error != nil {
+			return nil, fmt.Errorf("analysis: loading %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.ImportPath == "unsafe" {
+			continue
+		}
+		if e.Standard {
+			if _, ok := stdCache[e.ImportPath]; ok {
+				continue
+			}
+			tp, _, err := checkEntry(e, session, nil)
+			if err != nil {
+				return nil, err
+			}
+			stdCache[e.ImportPath] = tp
+			continue
+		}
+		info := newInfo()
+		tp, pkg, err := checkEntry(e, session, info)
+		if err != nil {
+			return nil, err
+		}
+		session[e.ImportPath] = tp
+		pkg.Info = info
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// checkEntry parses and type-checks one go list entry. info may be nil
+// (standard library: only the *types.Package is retained).
+func checkEntry(e listEntry, session map[string]*types.Package, info *types.Info) (*types.Package, *Package, error) {
+	pkg := &Package{
+		PkgPath: e.ImportPath,
+		Dir:     e.Dir,
+		Sources: map[string][]byte{},
+	}
+	for _, name := range e.GoFiles {
+		fn := filepath.Join(e.Dir, name)
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: %v", err)
+		}
+		f, err := parser.ParseFile(sharedFset, fn, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: parsing %s: %v", fn, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.FileNames = append(pkg.FileNames, fn)
+		pkg.Sources[fn] = src
+	}
+	conf := types.Config{
+		Importer: &mapImporter{importMap: e.ImportMap, session: session},
+	}
+	tp, err := conf.Check(e.ImportPath, sharedFset, pkg.Files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %v", e.ImportPath, err)
+	}
+	pkg.Types = tp
+	return tp, pkg, nil
+}
+
+// LoadDir loads a single directory of Go files as one package outside the
+// module graph — the analysistest path for testdata packages. Imports are
+// resolved through `go list` (standard library or module packages), so
+// testdata may import anything the module itself can.
+func LoadDir(dir string) (*Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkg := &Package{PkgPath: "testdata/" + filepath.Base(dir), Dir: dir, Sources: map[string][]byte{}}
+	imports := map[string]bool{}
+	for _, fn := range names {
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(sharedFset, fn, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.FileNames = append(pkg.FileNames, fn)
+		pkg.Sources[fn] = src
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	session := map[string]*types.Package{}
+	for path := range imports {
+		if path == "unsafe" {
+			continue
+		}
+		if err := loadImport(dir, path, session); err != nil {
+			return nil, err
+		}
+	}
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	info := newInfo()
+	conf := types.Config{Importer: &mapImporter{session: session}}
+	tp, err := conf.Check(pkg.PkgPath, sharedFset, pkg.Files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", dir, err)
+	}
+	pkg.Types = tp
+	pkg.Info = info
+	return pkg, nil
+}
+
+// loadImport brings one import path (plus closure) into session/stdCache.
+func loadImport(dir, path string, session map[string]*types.Package) error {
+	loadMu.Lock()
+	already := stdCache[path] != nil
+	loadMu.Unlock()
+	if already || session[path] != nil {
+		return nil
+	}
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	entries, err := goList(dir, path)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.ImportPath == "unsafe" {
+			continue
+		}
+		if e.Error != nil {
+			return fmt.Errorf("analysis: loading %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if _, ok := stdCache[e.ImportPath]; ok {
+			continue
+		}
+		if _, ok := session[e.ImportPath]; ok {
+			continue
+		}
+		tp, _, err := checkEntry(e, session, nil)
+		if err != nil {
+			return err
+		}
+		if e.Standard {
+			stdCache[e.ImportPath] = tp
+		} else {
+			session[e.ImportPath] = tp
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSeedFlow(t *testing.T) {
+	analysistest.Run(t, analysis.SeedFlow, filepath.Join("testdata", "src", "seedflow"))
+}
+
+func TestSeedFlowScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/engine":    true,
+		"repro/internal/strategy":  true,
+		"repro/internal/noise":     false, // the sanctioned randomness provider
+		"repro/internal/telemetry": false, // request IDs are deliberately non-deterministic
+		"repro/cmd/reprod":         false,
+	} {
+		if got := analysis.SeedFlow.InScope(path); got != want {
+			t.Errorf("SeedFlow.InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package ctxflow exercises the ctxflow analyzer: severing cancellation
+// inside a function that already receives a context.
+package ctxflow
+
+import "context"
+
+// Detach silently drops the caller's cancellation.
+func Detach(ctx context.Context) context.Context {
+	return context.Background() // want ctxflow:"severs cancellation"
+}
+
+// DetachTODO is the same escape through TODO.
+func DetachTODO(ctx context.Context) context.Context {
+	return context.TODO() // want ctxflow:"severs cancellation"
+}
+
+// TopLevel receives no context; Background is the legitimate root here.
+func TopLevel() context.Context {
+	return context.Background()
+}
+
+// Nested closures inherit the enclosing handler's obligation, even when
+// the closure itself has no context parameter.
+func Nested(ctx context.Context) func() context.Context {
+	return func() context.Context {
+		return context.TODO() // want ctxflow:"severs cancellation"
+	}
+}
+
+// Threaded is the sanctioned shape: derive from the inbound context.
+func Threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

@@ -1,0 +1,10 @@
+package ctxflow
+
+import "context"
+
+// Cleanup must run even after the request that scheduled it is cancelled;
+// the annotation records that the detachment is deliberate.
+func Cleanup(ctx context.Context, release func(context.Context)) {
+	//dpvet:ignore ctxflow -- cleanup must complete even when the request context is already cancelled
+	release(context.Background())
+}

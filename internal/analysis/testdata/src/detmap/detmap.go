@@ -1,0 +1,83 @@
+// Package detmap exercises the detmap analyzer: map iteration whose body
+// feeds an order-sensitive sink breaks the bit-identity contract.
+package detmap
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// AppendUnsorted collects map values in iteration order and never restores
+// determinism.
+func AppendUnsorted(m map[string]int) []int {
+	out := make([]int, 0, len(m))
+	for _, v := range m {
+		out = append(out, v) // want detmap:"append to out inside map iteration"
+	}
+	return out
+}
+
+// AppendThenSort is the sanctioned collect-then-sort idiom.
+func AppendThenSort(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FloatAccum sums floats in map order: rounding is not associative, so the
+// total depends on iteration order.
+func FloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want detmap:"accumulation onto sum inside map iteration"
+	}
+	return sum
+}
+
+// IntAccum is exempt: integer addition is commutative and associative.
+func IntAccum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// EncodeInMapOrder emits wire bytes in map order.
+func EncodeInMapOrder(m map[string]int) []byte {
+	var buf bytes.Buffer
+	for k := range m {
+		buf.WriteString(k) // want detmap:"buf.WriteString inside map iteration"
+	}
+	return buf.Bytes()
+}
+
+// FprintInMapOrder formats lines into an outer writer in map order.
+func FprintInMapOrder(m map[string]int, w *bytes.Buffer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want detmap:"fmt.Fprintf to w inside map iteration"
+	}
+}
+
+// SendInMapOrder streams values in map order.
+func SendInMapOrder(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v // want detmap:"send on ch inside map iteration"
+	}
+}
+
+// LocalPerIteration is clean: the appended-to slice is born inside the
+// loop, so its order never depends on map order.
+func LocalPerIteration(m map[string][]int, f func([]int)) {
+	for _, vs := range m {
+		local := make([]int, 0, len(vs))
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		f(local)
+	}
+}

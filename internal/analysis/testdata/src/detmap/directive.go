@@ -1,0 +1,41 @@
+package detmap
+
+// Malformed directives (no rationale) suppress nothing and are themselves
+// findings; the un-silenced detmap finding stays active.
+func Malformed(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		//dpvet:ignore detmap // want directive:"missing"
+		out = append(out, v) // want detmap:"append to out inside map iteration"
+	}
+	return out
+}
+
+// Unused directives rot into false confidence and are reported: slices
+// iterate deterministically, so there is nothing here to silence.
+func Unused(s []int) []int {
+	var out []int
+	for _, v := range s {
+		//dpvet:ignore detmap -- stale rationale kept to exercise unused-directive reporting // want directive:"unused"
+		out = append(out, v)
+	}
+	return out
+}
+
+// UnknownAnalyzer directives are malformed, not silently inert.
+func UnknownAnalyzer(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		//dpvet:ignore nosuchcheck -- typo in the analyzer name // want directive:"unknown analyzer"
+		out = append(out, v) // want detmap:"append to out inside map iteration"
+	}
+	return out
+}
+
+// Prose mentioning the marker mid-comment — like this: a //dpvet:ignore
+// directive must BEGIN its comment — is not a directive. The same goes for
+// string literals:
+const doc = "grammar: //dpvet:ignore <analyzer> -- <reason>"
+
+// DocProse uses doc so the package compiles.
+func DocProse() string { return doc }

@@ -1,0 +1,22 @@
+package detmap
+
+// Keys collects keys for membership tests only; the suppression records
+// why order does not matter here (standalone directive targeting the next
+// line).
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		//dpvet:ignore detmap -- callers treat the result as an unordered membership set
+		out = append(out, k)
+	}
+	return out
+}
+
+// Inline directives target their own line.
+func Inline(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //dpvet:ignore detmap -- unordered membership set, inline form
+	}
+	return out
+}

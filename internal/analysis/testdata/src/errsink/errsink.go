@@ -1,0 +1,60 @@
+// Package errsink exercises the errsink analyzer: raw error text written
+// into HTTP response bodies instead of the typed-error mapper.
+package errsink
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// BadHTTPError sends err.Error() straight to the client.
+func BadHTTPError(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusInternalServerError) // want errsink:"http.Error with raw error text"
+}
+
+// ConstHTTPError writes a constant transport-level message: allowed.
+func ConstHTTPError(w http.ResponseWriter) {
+	http.Error(w, "POST only", http.StatusMethodNotAllowed)
+}
+
+// BadFprintf formats an error value into the response writer.
+func BadFprintf(w http.ResponseWriter, err error) {
+	fmt.Fprintf(w, "failed: %v", err) // want errsink:"fmt.Fprintf writes raw error text"
+}
+
+// GoodFprintf writes no error material.
+func GoodFprintf(w http.ResponseWriter, n int) {
+	fmt.Fprintf(w, "processed %d rows", n)
+}
+
+// BadWrite pushes err.Error() bytes through ResponseWriter.Write.
+func BadWrite(w http.ResponseWriter, err error) {
+	_, _ = w.Write([]byte(err.Error())) // want errsink:"ResponseWriter.Write of raw error text"
+}
+
+// BadWriteString routes raw text through io.WriteString.
+func BadWriteString(w http.ResponseWriter, err error) {
+	_, _ = io.WriteString(w, err.Error()) // want errsink:"io.WriteString writes raw error text"
+}
+
+// errorBody is the typed-error mapper shape: a structured response whose
+// field carries the mapped message.
+type errorBody struct {
+	Error     string `json:"error"`
+	RequestID string `json:"request_id"`
+}
+
+// GoodMapped is the sanctioned path: err.Error() inside a struct literal
+// handed to an encoder is the mapper shape, not a raw-text escape.
+func GoodMapped(w http.ResponseWriter, err error) {
+	w.WriteHeader(http.StatusInternalServerError)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), RequestID: "r-1"})
+}
+
+// NotAWriter is clean: the sink rule requires an http.ResponseWriter, and
+// a plain io.Writer (a log file, a buffer) is out of scope here.
+func NotAWriter(w io.Writer, err error) {
+	fmt.Fprintf(w, "failed: %v", err)
+}

@@ -1,0 +1,12 @@
+package errsink
+
+import "net/http"
+
+// Probe reports readiness to an internal prober; the plain-text body is
+// the probe protocol and never carries tenant data.
+func Probe(w http.ResponseWriter, ready func() error) {
+	if err := ready(); err != nil {
+		//dpvet:ignore errsink -- internal readiness probe: the plain-text body is the probe protocol and carries no tenant data
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	}
+}

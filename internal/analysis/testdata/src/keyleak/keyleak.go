@@ -1,0 +1,60 @@
+// Package keyleak exercises the keyleak analyzer: API-key values reaching
+// log, format and error sinks without redaction.
+package keyleak
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+	"net/http"
+)
+
+// redact is this package's sanitizer: any callee whose name contains
+// "redact" blesses its argument.
+func redact(key string) string {
+	if len(key) > 4 {
+		key = key[:4]
+	}
+	return key + "…"
+}
+
+// BadErrorf embeds the raw credential in an error.
+func BadErrorf(key string) error {
+	return fmt.Errorf("unknown api key %q", key) // want keyleak:"API key key reaches fmt.Errorf"
+}
+
+// GoodErrorf names the key by fingerprint only.
+func GoodErrorf(key string) error {
+	return fmt.Errorf("unknown api key %q", redact(key))
+}
+
+type config struct {
+	APIKey string
+	Addr   string
+}
+
+// BadLogField prints a credential-bearing struct field.
+func BadLogField(c config) {
+	log.Printf("starting with key %s", c.APIKey) // want keyleak:"API key c.APIKey reaches log.Printf"
+}
+
+// GoodLogField prints only non-secret fields.
+func GoodLogField(c config) {
+	log.Printf("listening on %s", c.Addr)
+}
+
+// BadSlogAttr attaches the raw key as a structured attr (method sink).
+func BadSlogAttr(l *slog.Logger, key string) {
+	l.Info("auth failed", "key", key) // want keyleak:"API key key reaches log/slog.Info"
+}
+
+// BadHTTPError echoes the credential into a response body.
+func BadHTTPError(w http.ResponseWriter, apiKey string) {
+	http.Error(w, "bad key: "+apiKey, http.StatusUnauthorized) // want keyleak:"API key apiKey reaches http.Error"
+}
+
+// KeyCount is clean: the tainted name rule wants string-shaped values, and
+// an int carries no secret material.
+func KeyCount(keyCount int) {
+	log.Printf("registry holds %d keys", keyCount)
+}

@@ -1,0 +1,41 @@
+// Package seedflow exercises the seedflow analyzer: ambient randomness and
+// clock-derived seeds in pipeline packages.
+package seedflow
+
+import (
+	"math/rand" // want seedflow:"import of math/rand"
+	"time"
+)
+
+// Draw uses the banned process-global stream (the import is the finding;
+// this use keeps the file compiling).
+func Draw() int {
+	return rand.Intn(10)
+}
+
+// NewSource stands in for noise.NewSource: a seed-shaped callee.
+func NewSource(seed int64) int64 { return seed }
+
+// ClockSeedAssign derives a seed from the wall clock and stores it in a
+// seed-named variable.
+func ClockSeedAssign() int64 {
+	seed := time.Now().UnixNano() // want seedflow:"assigned to seed"
+	return seed
+}
+
+// ClockSeedArg feeds the clock straight into a seed-shaped callee, via
+// method call and arithmetic wrappers.
+func ClockSeedArg() int64 {
+	return NewSource(time.Now().UnixNano() + 1) // want seedflow:"passed to NewSource"
+}
+
+// FixedSeed threads explicit configuration: reproducible, clean.
+func FixedSeed(seed int64) int64 {
+	return NewSource(seed)
+}
+
+// Timestamp is clean: the clock may be read for anything that is not a
+// seed (latency measurement, log stamps).
+func Timestamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,11 @@
+package seedflow
+
+import (
+	crand "crypto/rand" //dpvet:ignore seedflow -- nonce generation for the transport handshake; never touches released data
+)
+
+// Nonce fills b from the system entropy pool. Irreproducible by design,
+// which is exactly why the import needs a written rationale.
+func Nonce(b []byte) {
+	_, _ = crand.Read(b)
+}

@@ -247,6 +247,7 @@ func (e *Executor) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 	}
 	var t Task
 	if err := ReadFrame(r.Body, &t); err != nil {
+		//dpvet:ignore errsink -- transport-level frame errors precede any dataset or credential access (wire diagnostics only), and the sole client is the coordinator; task-level failures ride inside the Result frame per the one-error-channel contract
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}

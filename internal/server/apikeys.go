@@ -55,7 +55,11 @@ func ParseAPIKeys(r io.Reader) ([]KeyConfig, error) {
 			return nil, fmt.Errorf("api keys line %d: %w", line, err)
 		}
 		if seen[kc.Key] {
-			return nil, fmt.Errorf("api keys line %d: duplicate key %q", line, kc.Key)
+			// Config errors surface in operator logs and daemon stderr;
+			// like every other sink, they carry only the key's redactKey
+			// fingerprint (keyleak invariant), which the line number plus
+			// prefix makes actionable without exposing the credential.
+			return nil, fmt.Errorf("api keys line %d: duplicate key %s", line, redactKey(kc.Key))
 		}
 		seen[kc.Key] = true
 		out = append(out, kc)
@@ -77,15 +81,17 @@ func ParseAPIKeysEnv(s string) ([]KeyConfig, error) {
 			continue
 		}
 		fields := strings.Split(entry, ":")
+		// The entry text embeds the raw key (its first field); error
+		// messages identify it by fingerprint only, like every other sink.
 		if len(fields) > 3 {
-			return nil, fmt.Errorf("api keys entry %q: want key[:epsilon-cap[:delta-cap]]", entry)
+			return nil, fmt.Errorf("api keys entry %s: want key[:epsilon-cap[:delta-cap]]", redactKey(fields[0]))
 		}
 		kc, err := parseKeyFields(fields)
 		if err != nil {
-			return nil, fmt.Errorf("api keys entry %q: %w", entry, err)
+			return nil, fmt.Errorf("api keys entry %s: %w", redactKey(fields[0]), err)
 		}
 		if seen[kc.Key] {
-			return nil, fmt.Errorf("duplicate api key %q", kc.Key)
+			return nil, fmt.Errorf("duplicate api key %s", redactKey(kc.Key))
 		}
 		seen[kc.Key] = true
 		out = append(out, kc)
@@ -96,7 +102,7 @@ func ParseAPIKeysEnv(s string) ([]KeyConfig, error) {
 func parseKeyFields(fields []string) (KeyConfig, error) {
 	kc := KeyConfig{Key: fields[0]}
 	if kc.Key == "" || strings.ContainsAny(kc.Key, " \t") {
-		return KeyConfig{}, fmt.Errorf("invalid key %q", kc.Key)
+		return KeyConfig{}, fmt.Errorf("invalid key %s", redactKey(kc.Key))
 	}
 	if len(fields) >= 2 {
 		eps, err := strconv.ParseFloat(fields[1], 64)

@@ -96,6 +96,7 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() ([]byte, err
 		payload, err := fn()
 		// Unregister BEFORE publishing: once done is closed a new request
 		// must start a fresh flight, never join a finished one.
+		//dpvet:ignore ctxflow -- deliberate detachment: the flight map must be cleaned up even when the leader's request context is already cancelled, or followers would join a dead flight
 		if lerr := g.lock(context.Background()); lerr == nil {
 			delete(g.flights, key)
 			g.unlock()

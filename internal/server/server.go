@@ -152,9 +152,7 @@ package server
 import (
 	"compress/gzip"
 	"context"
-	"crypto/sha256"
 	"crypto/subtle"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -330,7 +328,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("%w: empty API key", repro.ErrInvalidOption)
 		}
 		if keys[kc.Key] {
-			return nil, fmt.Errorf("%w: duplicate API key %q", repro.ErrInvalidOption, kc.Key)
+			// Construction errors land in logs and daemon stderr; only the
+			// redactKey fingerprint may identify the credential (keyleak).
+			return nil, fmt.Errorf("%w: duplicate API key %s", repro.ErrInvalidOption, redactKey(kc.Key))
 		}
 		keys[kc.Key] = true
 		perKey[kc.Key] = kc.caps()
@@ -1276,17 +1276,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// redactKey maps an API key to a stable non-secret identifier: the first
-// four characters (enough for an operator to recognise their own naming
-// scheme) plus a short SHA-256 fingerprint (enough to disambiguate, and
-// recomputable by anyone who holds the key file).
+// redactKey maps an API key to its stable non-secret identifier. The
+// fingerprint format is owned by accountant.RedactKey so ledger errors and
+// server logs print the same identifier for the same credential.
 func redactKey(key string) string {
-	sum := sha256.Sum256([]byte(key))
-	prefix := key
-	if len(prefix) > 4 {
-		prefix = prefix[:4]
-	}
-	return prefix + "…" + hex.EncodeToString(sum[:4])
+	return accountant.RedactKey(key)
 }
 
 // metricsBudget reads one ledger's spend and remaining budget. Remaining

@@ -115,8 +115,12 @@ func TestPerKeyBudgetsIndependent(t *testing.T) {
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("alice past her cap: %d, want 429", rec.Code)
 	}
-	if e := decode[errorResponse](t, rec); !strings.Contains(e.Error, "alice-key") {
-		t.Fatalf("per-key 429 must name the refusing cap: %s", e.Error)
+	// The refusing cap is named by fingerprint only: a 429 body travels to
+	// clients and logs, so it must never carry the raw credential.
+	if e := decode[errorResponse](t, rec); !strings.Contains(e.Error, redactKey("alice-key")) {
+		t.Fatalf("per-key 429 must name the refusing cap by fingerprint: %s", e.Error)
+	} else if strings.Contains(e.Error, "alice-key") {
+		t.Fatalf("per-key 429 leaks the raw key: %s", e.Error)
 	}
 	// Alice's exhaustion never blocks bob.
 	if rec := release("bob-key", 0.9, 3); rec.Code != http.StatusOK {

@@ -531,6 +531,7 @@ func (s *Store) List() []Info {
 	defer s.mu.Unlock()
 	out := make([]Info, 0, len(s.datasets))
 	for _, d := range s.datasets {
+		//dpvet:ignore detmap -- the map-order append is re-sorted by the insertion sort below (kept dependency-free instead of sort.Slice, which detmap would recognise)
 		out = append(out, s.infoLocked(d))
 	}
 	// Insertion sort: registries are small and the dependency-free loop
